@@ -1,0 +1,158 @@
+// Command tixbench regenerates the experimental evaluation of the paper
+// (Sec. 6): Tables 1–5 and the Pick timing experiment, over the synthetic
+// INEX-like corpus with control terms planted at the frequencies each
+// table sweeps.
+//
+// Usage:
+//
+//	tixbench [-table all|1|2|3|4|5|pick] [-articles N] [-seed S] [-runs R]
+//
+// Absolute seconds are machine-dependent; the shapes to compare against
+// the paper are the orderings and ratios (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "which experiment: all, 1, 2, 3, 4, 5, pick")
+		articles = flag.Int("articles", 5000, "synthetic corpus size in articles (~90 elements each)")
+		seed     = flag.Int64("seed", 42, "corpus generation seed")
+		runs     = flag.Int("runs", 3, "timed runs per cell (trimmed mean)")
+		small    = flag.Bool("small", false, "use the reduced test-scale configuration")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table layout")
+		access   = flag.Bool("access", false, "also print per-cell store node-read counts")
+	)
+	flag.Parse()
+	csvOut = *csv
+	accessOut = *access
+	if err := run(*table, *articles, *seed, *runs, *small); err != nil {
+		fmt.Fprintln(os.Stderr, "tixbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, articles int, seed int64, runs int, small bool) error {
+	bench.Runs = runs
+
+	cfg := bench.DefaultConfig()
+	if small {
+		cfg = bench.SmallConfig()
+	}
+	cfg.Articles = articles
+	cfg.Seed = seed
+	if table == "pick" {
+		// The Pick experiment needs no corpus.
+		return writeTables(nil, []string{"pick"}, seed)
+	}
+
+	fmt.Fprintf(os.Stderr, "building corpus (%d articles, seed %d)...\n", cfg.Articles, cfg.Seed)
+	c, err := bench.Build(cfg)
+	if err != nil {
+		return err
+	}
+	st := c.Index
+	fmt.Fprintf(os.Stderr, "corpus ready: %d nodes, %d terms, %d occurrences\n",
+		st.Store().NumNodes(), st.NumTerms(), st.TotalOccurrences())
+
+	var which []string
+	if table == "all" {
+		which = []string{"1", "2", "3", "4", "5", "pick", "ablation"}
+	} else {
+		which = strings.Split(table, ",")
+	}
+	return writeTables(c, which, seed)
+}
+
+func writeTables(c *bench.Corpus, which []string, seed int64) error {
+	for _, w := range which {
+		var t *bench.Table
+		var err error
+		switch strings.TrimSpace(w) {
+		case "1":
+			t, err = c.Table1()
+		case "2":
+			t, err = c.Table2()
+		case "3":
+			t, err = c.Table3()
+		case "4":
+			t, err = c.Table4()
+		case "5":
+			t, err = c.Table5()
+		case "pick":
+			t, err = bench.PickTable(seed, nil)
+		case "ablation":
+			t, err = c.Ablations()
+		default:
+			return fmt.Errorf("unknown table %q", w)
+		}
+		if err != nil {
+			return err
+		}
+		if csvOut {
+			fmt.Printf("# %s: %s\n", t.ID, t.Caption)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
+		if accessOut {
+			if err := t.WriteAccess(os.Stdout); err != nil {
+				return err
+			}
+		}
+		printShape(t)
+	}
+	return nil
+}
+
+// Rendering modes (set from flags).
+var (
+	csvOut    bool
+	accessOut bool
+)
+
+// printShape summarizes the qualitative comparisons the paper draws from
+// each table.
+func printShape(t *bench.Table) {
+	switch t.ID {
+	case "table1", "table2", "table3", "table4":
+		last := t.Rows[len(t.Rows)-1]
+		if r, ok := last.Ratio(bench.MComp1, bench.MTermJoin); ok {
+			fmt.Printf("   shape: Comp1/TermJoin at max x = %.1fx\n", r)
+		}
+		if r, ok := last.Ratio(bench.MComp2, bench.MTermJoin); ok {
+			fmt.Printf("   shape: Comp2/TermJoin at max x = %.1fx\n", r)
+		}
+		if r, ok := last.Ratio(bench.MGenMeet, bench.MTermJoin); ok {
+			fmt.Printf("   shape: GenMeet/TermJoin at max x = %.1fx\n", r)
+		}
+		if r, ok := last.Ratio(bench.MTermJoin, bench.MEnhancedTermJoin); ok {
+			fmt.Printf("   shape: TermJoin/Enhanced at max x = %.1fx\n", r)
+		}
+	case "table5":
+		worst, best := 0.0, 1e18
+		for _, row := range t.Rows {
+			if r, ok := row.Ratio(bench.MComp3, bench.MPhraseFinder); ok {
+				if r > worst {
+					worst = r
+				}
+				if r < best {
+					best = r
+				}
+			}
+		}
+		fmt.Printf("   shape: Comp3/PhraseFinder ratio range = %.1fx .. %.1fx\n", best, worst)
+	}
+	fmt.Println()
+}

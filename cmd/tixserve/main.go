@@ -1,0 +1,73 @@
+// Command tixserve serves a TIX database over HTTP (see internal/server
+// for the API):
+//
+//	tixserve -load articles.xml -load reviews.xml -addr :8080
+//	tixserve -open db.tix -addr :8080
+//
+// Example request:
+//
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/terms -d '{"terms":["search","engine"],"topK":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/server"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var loads multiFlag
+	flag.Var(&loads, "load", "XML file to load (repeatable)")
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		open = flag.String("open", "", "database file written by tixdb -save")
+		stem = flag.Bool("stem", true, "index with the light plural stemmer")
+		maxR = flag.Int("max-results", 100, "per-request result cap")
+	)
+	flag.Parse()
+	if err := run(loads, *addr, *open, *stem, *maxR); err != nil {
+		fmt.Fprintln(os.Stderr, "tixserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(loads []string, addr, open string, stem bool, maxResults int) error {
+	var d *db.DB
+	if open != "" {
+		var err error
+		d, err = db.LoadDBFile(open)
+		if err != nil {
+			return err
+		}
+	} else {
+		d = db.New(db.Options{Stemming: stem})
+	}
+	for _, path := range loads {
+		if err := d.LoadFile(path); err != nil {
+			return err
+		}
+	}
+	if len(loads) == 0 && open == "" {
+		return fmt.Errorf("nothing to serve; use -load or -open")
+	}
+	st := d.Stats() // force index construction before serving
+	fmt.Fprintf(os.Stderr, "serving %d document(s), %d nodes, %d terms on %s\n",
+		st.Documents, st.Nodes, st.Terms, addr)
+	s := server.New(d)
+	s.MaxResults = maxResults
+	return s.ListenAndServe(addr)
+}

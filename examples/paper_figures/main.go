@@ -1,0 +1,134 @@
+// Paper figures: reproduces the worked example of the paper's Sections 3
+// and 5 on its Figure 1 database, printing the scored trees of Figures 5
+// (selection witnesses), 6 (projection), 7 (join) and 8 (projection
+// followed by Pick) so the reproduction can be compared against the paper
+// side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/fixture"
+	"repro/internal/pattern"
+	"repro/internal/scoring"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+var tok = tokenize.NewStemming()
+
+func query2Pattern() *pattern.Pattern {
+	p := pattern.NewPattern(1)
+	author := p.Root.Child(2, pattern.PC)
+	author.Child(3, pattern.PC)
+	p.Root.Child(4, pattern.ADStar)
+	p.Formula = pattern.Conj(
+		pattern.TagEq(1, "article"),
+		pattern.TagEq(2, "author"),
+		pattern.TagEq(3, "sname"),
+		pattern.ContentEq(3, "Doe"),
+		pattern.IsElement(4),
+	)
+	return p
+}
+
+func query2Scores() *algebra.ScoreSet {
+	return &algebra.ScoreSet{
+		Primary: map[int]algebra.NodeScorer{
+			4: func(n *xmltree.Node) float64 {
+				return scoring.ScoreFoo(tok, n, fixture.PrimaryPhrases, fixture.SecondaryPhrases)
+			},
+		},
+		Secondary: map[int]algebra.ScoreExpr{1: algebra.VarScore(4)},
+	}
+}
+
+func main() {
+	articles := fixture.Articles()
+	c := algebra.FromXML(articles)
+	p := query2Pattern()
+	s := query2Scores()
+
+	fmt.Println("=== Figure 5: three representative selection witnesses ===")
+	sel := algebra.Select(c, p, s)
+	// Pick the witnesses the paper shows: $4 = p#a18, section#a16, article.
+	want := map[string]float64{"p": 0.8, "section": 3.6, "article": 5.6}
+	shown := map[string]bool{}
+	for _, w := range sel {
+		n4 := w.NodesOfVar(4)[0]
+		if target, ok := want[n4.Tag]; ok && !shown[n4.Tag] {
+			if sc, _ := w.Score(n4); math.Abs(sc-target) < 1e-9 {
+				shown[n4.Tag] = true
+				fmt.Printf("--- witness with $4 = <%s>[%.1f] ---\n%s", n4.Tag, sc, w)
+			}
+		}
+	}
+
+	fmt.Println("=== Figure 6: projection with PL = {$1, $3, $4} ===")
+	proj := algebra.Project(c, p, s, []int{1, 3, 4}, algebra.ProjectOptions{DropZeroIR: true})
+	fmt.Print(proj[0])
+
+	fmt.Println()
+	fmt.Println("=== Figure 8: projection followed by Pick ===")
+	picked := algebra.Pick(proj, algebra.DefaultCriterion(0.8), s)
+	fmt.Print(picked[0])
+
+	fmt.Println()
+	fmt.Println("=== Figure 7: one result of the Query 3 join ===")
+	reviews := fixture.Reviews()
+	jp := pattern.NewPattern(1)
+	art := jp.Root.Child(2, pattern.AD)
+	art.Child(3, pattern.PC)
+	au := art.Child(4, pattern.PC)
+	au.Child(5, pattern.PC)
+	art.Child(6, pattern.ADStar)
+	rev := jp.Root.Child(7, pattern.AD)
+	rev.Child(8, pattern.PC)
+	jp.Formula = pattern.Conj(
+		pattern.TagEq(1, algebra.ProdRootTag),
+		pattern.TagEq(2, "article"),
+		pattern.TagEq(3, "article-title"),
+		pattern.TagEq(4, "author"),
+		pattern.TagEq(5, "sname"),
+		pattern.ContentEq(5, "Doe"),
+		pattern.IsElement(6),
+		pattern.TagEq(7, "review"),
+		pattern.TagEq(8, "title"),
+	)
+	js := &algebra.ScoreSet{
+		Primary: map[int]algebra.NodeScorer{
+			6: func(n *xmltree.Node) float64 {
+				return scoring.ScoreFoo(tok, n, fixture.PrimaryPhrases, fixture.SecondaryPhrases)
+			},
+		},
+		Join: map[string]algebra.JoinScorer{
+			"joinScore": func(b pattern.Binding) float64 {
+				return scoring.ScoreSim(tok, b[3], b[8])
+			},
+		},
+		Secondary: map[int]algebra.ScoreExpr{
+			2: algebra.VarScore(6),
+			1: func(e algebra.ScoreEnv) float64 {
+				return scoring.ScoreBar(e.Named["joinScore"], e.Var[6])
+			},
+		},
+	}
+	joined := algebra.Join(algebra.FromXML(articles), algebra.FromXML(reviews), jp, js)
+	for _, w := range joined {
+		n6 := w.NodesOfVar(6)[0]
+		n7 := w.NodesOfVar(7)[0]
+		id, _ := n7.Attr("id")
+		if n6.Tag == "p" && id == "1" {
+			if sc, _ := w.Score(n6); sc == 0.8 {
+				fmt.Print(w)
+				break
+			}
+		}
+	}
+	if len(joined) == 0 {
+		log.Fatal("join produced nothing")
+	}
+}

@@ -1,0 +1,208 @@
+// Package algebra implements TIX, the bulk algebra for querying text in XML
+// (Sec. 3 of the paper). TIX operators manipulate collections of scored
+// data trees: rooted ordered labeled trees in which every node may carry a
+// real-valued score (Definition 1); the score of a tree is the score of its
+// root.
+//
+// The operators implemented here are the logical layer: Scored Selection
+// (σ), Scored Projection (π), Product/Scored Join (×, ⋈), Threshold (τ),
+// Pick (ρ), Union and Group. They are defined for clarity and serve as the
+// executable specification that the physical access methods of
+// internal/exec (TermJoin, PhraseFinder, the stack-based Pick) are tested
+// against. The physical operators produce the same results at scale.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+// ScoredTree is a scored data tree (Definition 1). Scores lives beside the
+// tree so that plain xmltree values remain the single tree representation
+// throughout the system; a node absent from Scores has a null score (the
+// traditional unscored data tree is the special case of an empty map).
+// VarNodes records which nodes each pattern variable produced, for
+// operators (Threshold, Pick) whose conditions reference query IR-nodes; a
+// node may appear under several variables (e.g. an article bound by both
+// $1 and, through an ad* edge, $4).
+type ScoredTree struct {
+	Root     *xmltree.Node
+	Scores   map[*xmltree.Node]float64
+	VarNodes map[int][]*xmltree.Node
+}
+
+// NewScoredTree wraps an unscored data tree.
+func NewScoredTree(root *xmltree.Node) *ScoredTree {
+	return &ScoredTree{
+		Root:     root,
+		Scores:   map[*xmltree.Node]float64{},
+		VarNodes: map[int][]*xmltree.Node{},
+	}
+}
+
+// Score returns the score of n and whether n carries one.
+func (t *ScoredTree) Score(n *xmltree.Node) (float64, bool) {
+	s, ok := t.Scores[n]
+	return s, ok
+}
+
+// RootScore returns the score of the tree (the score of its root), or 0 if
+// the root is unscored.
+func (t *ScoredTree) RootScore() float64 { return t.Scores[t.Root] }
+
+// SetScore assigns a score to n.
+func (t *ScoredTree) SetScore(n *xmltree.Node, s float64) { t.Scores[n] = s }
+
+// NodesOfVar returns the nodes of the tree bound to pattern variable v, in
+// the order they were recorded (document order for selection/projection
+// outputs).
+func (t *ScoredTree) NodesOfVar(v int) []*xmltree.Node { return t.VarNodes[v] }
+
+// AddVarNode records that n was bound to variable v, once.
+func (t *ScoredTree) AddVarNode(v int, n *xmltree.Node) {
+	for _, m := range t.VarNodes[v] {
+		if m == n {
+			return
+		}
+	}
+	t.VarNodes[v] = append(t.VarNodes[v], n)
+}
+
+// IsIRNode reports whether n carries a score in this tree.
+func (t *ScoredTree) IsIRNode(n *xmltree.Node) bool {
+	_, ok := t.Scores[n]
+	return ok
+}
+
+// String renders the tree with scores for diagnostics.
+func (t *ScoredTree) String() string {
+	var rec func(n *xmltree.Node, d int) string
+	rec = func(n *xmltree.Node, d int) string {
+		pad := ""
+		for i := 0; i < d; i++ {
+			pad += "  "
+		}
+		label := n.Tag
+		if n.Kind == xmltree.Text {
+			label = fmt.Sprintf("%q", n.Text)
+		}
+		s := pad + label
+		if sc, ok := t.Scores[n]; ok {
+			s += fmt.Sprintf("[%.2f]", sc)
+		}
+		s += "\n"
+		for _, c := range n.Children {
+			s += rec(c, d+1)
+		}
+		return s
+	}
+	return rec(t.Root, 0)
+}
+
+// Collection is an ordered collection of scored data trees — the carrier of
+// every TIX operator.
+type Collection []*ScoredTree
+
+// FromXML wraps data trees into an unscored collection.
+func FromXML(roots ...*xmltree.Node) Collection {
+	out := make(Collection, len(roots))
+	for i, r := range roots {
+		out[i] = NewScoredTree(r)
+	}
+	return out
+}
+
+// SortByRootScore orders the collection by descending root score (the
+// Sortby(score) clause of the XQuery extension). Ties preserve the prior
+// order (stable).
+func (c Collection) SortByRootScore() Collection {
+	out := append(Collection(nil), c...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].RootScore() > out[j].RootScore() })
+	return out
+}
+
+// NodeScorer scores a data node from its content (a primary IR-node's
+// scoring function, e.g. ScoreFoo applied over alltext()).
+type NodeScorer func(*xmltree.Node) float64
+
+// JoinScorer scores a join condition match from the full binding (e.g.
+// ScoreSim over two bound title nodes).
+type JoinScorer func(pattern.Binding) float64
+
+// ScoreEnv carries already-computed scores during evaluation of secondary
+// scoring rules: per-variable scores and named join-condition scores.
+type ScoreEnv struct {
+	Var   map[int]float64
+	Named map[string]float64
+}
+
+// ScoreExpr computes a secondary IR-node's score from the environment (e.g.
+// $1.score = $4.score, or $1.score = ScoreBar($joinScore, $6.score)).
+type ScoreExpr func(ScoreEnv) float64
+
+// VarScore returns the ScoreExpr that copies another variable's score —
+// the most common secondary rule ($1.score = $4.score). Under projection,
+// where a variable has many matches, the environment holds the highest
+// score among them, per Sec. 3.2.2.
+func VarScore(v int) ScoreExpr {
+	return func(e ScoreEnv) float64 { return e.Var[v] }
+}
+
+// NamedScore returns the ScoreExpr that reads a named join score.
+func NamedScore(name string) ScoreExpr {
+	return func(e ScoreEnv) float64 { return e.Named[name] }
+}
+
+// ScoreSet is the S component of a scored pattern tree (Definition 2): how
+// to compute the scores of IR-nodes. Variables in Primary are primary
+// query IR-nodes (an IR-style predicate applies to the node directly);
+// variables in Secondary are secondary IR-nodes whose scores derive from
+// other scores. Join holds scoring functions attached to join conditions,
+// producing named scores ($joinScore in Fig. 4).
+type ScoreSet struct {
+	Primary   map[int]NodeScorer
+	Secondary map[int]ScoreExpr
+	Join      map[string]JoinScorer
+}
+
+// IsIRVar reports whether v is an IR variable (primary or secondary).
+func (s *ScoreSet) IsIRVar(v int) bool {
+	if s == nil {
+		return false
+	}
+	if _, ok := s.Primary[v]; ok {
+		return true
+	}
+	_, ok := s.Secondary[v]
+	return ok
+}
+
+// evalBinding computes every score for one embedding: primary scores from
+// the bound nodes, join scores from the binding, then secondary scores in
+// ascending variable order (so chains that follow variable order resolve).
+func (s *ScoreSet) evalBinding(b pattern.Binding) ScoreEnv {
+	env := ScoreEnv{Var: map[int]float64{}, Named: map[string]float64{}}
+	if s == nil {
+		return env
+	}
+	for v, fn := range s.Primary {
+		if n, ok := b[v]; ok {
+			env.Var[v] = fn(n)
+		}
+	}
+	for name, fn := range s.Join {
+		env.Named[name] = fn(b)
+	}
+	vars := make([]int, 0, len(s.Secondary))
+	for v := range s.Secondary {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		env.Var[v] = s.Secondary[v](env)
+	}
+	return env
+}

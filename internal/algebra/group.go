@@ -1,0 +1,125 @@
+package algebra
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// GroupRootTag is the tag of the synthetic root created by GroupBy, after
+// TAX's grouping operator which TIX inherits.
+const GroupRootTag = "tix_group_root"
+
+// GroupBy is the TAX-style grouping operator over a collection: input
+// trees are partitioned by the grouping basis (an empty basis — a key
+// function returning the same value for every tree — yields a single
+// group), and each group becomes one output tree whose synthetic group
+// root has the group's members as ordered subtrees. The ordering function
+// orders members within their group; a nil order keeps input order.
+//
+// Scores and variable annotations of the members carry over; the group
+// root itself is unscored.
+func GroupBy(c Collection, key func(*ScoredTree) string, order func(a, b *ScoredTree) bool) Collection {
+	if key == nil {
+		key = func(*ScoredTree) string { return "" }
+	}
+	var keys []string
+	groups := map[string][]*ScoredTree{}
+	for _, t := range c {
+		k := key(t)
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	sort.Strings(keys)
+	out := make(Collection, 0, len(keys))
+	for _, k := range keys {
+		members := groups[k]
+		if order != nil {
+			sort.SliceStable(members, func(i, j int) bool { return order(members[i], members[j]) })
+		}
+		root := xmltree.NewElement(GroupRootTag)
+		st := NewScoredTree(root)
+		for _, m := range members {
+			cm, mapping := deepCloneWithMap(m.Root)
+			root.AppendChild(cm)
+			copyAnnotations(st, m, mapping)
+		}
+		xmltree.Number(root)
+		out = append(out, st)
+	}
+	return out
+}
+
+// ByScoreDesc is the ordering function that sorts group members by
+// descending root score.
+func ByScoreDesc(a, b *ScoredTree) bool { return a.RootScore() > b.RootScore() }
+
+// LeftmostK is the projection that retains only the leftmost k subtrees of
+// a group root (the paper's expression of rank-based thresholding,
+// Sec. 3.3.1: "a projection is then applied to retain the leftmost K
+// subtrees, which correspond to the top-K results").
+func LeftmostK(t *ScoredTree, k int) *ScoredTree {
+	if k < 0 {
+		k = 0
+	}
+	root := xmltree.NewElement(t.Root.Tag)
+	root.Attrs = append([]xmltree.Attr(nil), t.Root.Attrs...)
+	st := NewScoredTree(root)
+	for i, c := range t.Root.Children {
+		if i >= k {
+			break
+		}
+		cm, mapping := deepCloneWithMap(c)
+		root.AppendChild(cm)
+		for n, s := range t.Scores {
+			if cl, ok := mapping[n]; ok {
+				st.Scores[cl] = s
+			}
+		}
+		for v, nodes := range t.VarNodes {
+			for _, n := range nodes {
+				if cl, ok := mapping[n]; ok {
+					st.AddVarNode(v, cl)
+				}
+			}
+		}
+	}
+	xmltree.Number(root)
+	return st
+}
+
+// TopKViaGrouping expresses the Threshold operator's K condition through
+// grouping, as Sec. 3.3.1 describes: group the whole collection with an
+// empty grouping basis ordered by score, keep the leftmost k subtrees, and
+// return them as a collection again. Modulo output order (best first), the
+// result is the same set of trees Threshold(c, K(v, k)) retains when every
+// tree carries exactly one data IR-node for v.
+func TopKViaGrouping(c Collection, k int) Collection {
+	grouped := GroupBy(c, nil, ByScoreDesc)
+	if len(grouped) == 0 {
+		return nil
+	}
+	top := LeftmostK(grouped[0], k)
+	// Ungroup: each child of the group root becomes a collection member.
+	out := make(Collection, 0, len(top.Root.Children))
+	for _, child := range top.Root.Children {
+		st := NewScoredTree(child)
+		child.Parent = nil
+		for n, s := range top.Scores {
+			if child.Contains(n) {
+				st.Scores[n] = s
+			}
+		}
+		for v, nodes := range top.VarNodes {
+			for _, n := range nodes {
+				if child.Contains(n) {
+					st.AddVarNode(v, n)
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

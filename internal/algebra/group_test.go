@@ -1,0 +1,152 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/xmltree"
+)
+
+func mkScored(tag string, score float64) *ScoredTree {
+	n := xmltree.NewElement(tag)
+	n.AppendChild(xmltree.NewText(tag))
+	xmltree.Number(n)
+	st := NewScoredTree(n)
+	st.SetScore(n, score)
+	st.AddVarNode(1, n)
+	return st
+}
+
+func TestGroupByEmptyBasis(t *testing.T) {
+	c := Collection{mkScored("a", 1), mkScored("b", 3), mkScored("c", 2)}
+	out := GroupBy(c, nil, ByScoreDesc)
+	if len(out) != 1 {
+		t.Fatalf("groups = %d, want 1", len(out))
+	}
+	g := out[0]
+	if g.Root.Tag != GroupRootTag {
+		t.Errorf("root tag = %s", g.Root.Tag)
+	}
+	if len(g.Root.Children) != 3 {
+		t.Fatalf("members = %d", len(g.Root.Children))
+	}
+	// Ordered by descending score: b, c, a.
+	wantTags := []string{"b", "c", "a"}
+	for i, w := range wantTags {
+		if g.Root.Children[i].Tag != w {
+			t.Errorf("member %d = %s, want %s", i, g.Root.Children[i].Tag, w)
+		}
+	}
+	// Scores carried over onto the clones.
+	if s, ok := g.Score(g.Root.Children[0]); !ok || s != 3 {
+		t.Errorf("member score = %v, %v", s, ok)
+	}
+	if _, ok := g.Score(g.Root); ok {
+		t.Errorf("group root must be unscored")
+	}
+	if err := xmltree.Validate(g.Root); err != nil {
+		t.Errorf("group tree not renumbered: %v", err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	c := Collection{mkScored("a", 1), mkScored("b", 2), mkScored("a", 3)}
+	out := GroupBy(c, func(t *ScoredTree) string { return t.Root.Tag }, nil)
+	if len(out) != 2 {
+		t.Fatalf("groups = %d, want 2", len(out))
+	}
+	// Keys sorted: "a" then "b".
+	if len(out[0].Root.Children) != 2 || len(out[1].Root.Children) != 1 {
+		t.Errorf("group sizes wrong: %d, %d", len(out[0].Root.Children), len(out[1].Root.Children))
+	}
+	// nil order keeps input order within the group.
+	if s, _ := out[0].Score(out[0].Root.Children[0]); s != 1 {
+		t.Errorf("input order not preserved: %f", s)
+	}
+}
+
+func TestLeftmostK(t *testing.T) {
+	c := Collection{mkScored("a", 1), mkScored("b", 3), mkScored("c", 2)}
+	g := GroupBy(c, nil, ByScoreDesc)[0]
+	top2 := LeftmostK(g, 2)
+	if len(top2.Root.Children) != 2 {
+		t.Fatalf("children = %d", len(top2.Root.Children))
+	}
+	if top2.Root.Children[0].Tag != "b" || top2.Root.Children[1].Tag != "c" {
+		t.Errorf("leftmost-2 = %s, %s", top2.Root.Children[0].Tag, top2.Root.Children[1].Tag)
+	}
+	if s, ok := top2.Score(top2.Root.Children[0]); !ok || s != 3 {
+		t.Errorf("score lost: %v %v", s, ok)
+	}
+	if got := LeftmostK(g, 0); len(got.Root.Children) != 0 {
+		t.Errorf("k=0 children = %d", len(got.Root.Children))
+	}
+	if got := LeftmostK(g, -1); len(got.Root.Children) != 0 {
+		t.Errorf("negative k children = %d", len(got.Root.Children))
+	}
+	if got := LeftmostK(g, 10); len(got.Root.Children) != 3 {
+		t.Errorf("oversize k children = %d", len(got.Root.Children))
+	}
+}
+
+// TestTopKViaGroupingEqualsThresholdK verifies the Sec. 3.3.1 equivalence:
+// K-based thresholding is expressible as grouping with an empty basis
+// ordered by score followed by a leftmost-K projection.
+func TestTopKViaGroupingEqualsThresholdK(t *testing.T) {
+	articles := fixture.Articles()
+	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
+	for _, k := range []int{1, 3, 5, 100} {
+		viaGrouping := TopKViaGrouping(sel, k)
+		viaThreshold := Threshold(sel, []ThresholdCond{K(4, k)})
+		if len(viaGrouping) != len(viaThreshold) {
+			t.Fatalf("k=%d: grouping %d vs threshold %d trees", k, len(viaGrouping), len(viaThreshold))
+		}
+		// Same multiset of root scores.
+		count := map[float64]int{}
+		for _, tr := range viaThreshold {
+			count[round(tr.RootScore())]++
+		}
+		for _, tr := range viaGrouping {
+			count[round(tr.RootScore())]--
+		}
+		for s, n := range count {
+			if n != 0 {
+				t.Errorf("k=%d: score %v multiplicity off by %d", k, s, n)
+			}
+		}
+		// Grouping output is best-first.
+		for i := 1; i < len(viaGrouping); i++ {
+			if viaGrouping[i].RootScore() > viaGrouping[i-1].RootScore() {
+				t.Errorf("k=%d: not best-first at %d", k, i)
+			}
+		}
+	}
+	if got := TopKViaGrouping(nil, 3); got != nil {
+		t.Errorf("empty input should stay empty")
+	}
+}
+
+func round(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+func TestTopKViaGroupingPreservesVarNodes(t *testing.T) {
+	articles := fixture.Articles()
+	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
+	top := TopKViaGrouping(sel, 2)
+	for i, tr := range top {
+		if len(tr.NodesOfVar(4)) != 1 {
+			t.Errorf("tree %d lost its $4 annotation", i)
+		}
+		n3 := tr.NodesOfVar(3)
+		if len(n3) != 1 {
+			t.Errorf("tree %d lost its $3 annotation", i)
+			continue
+		}
+		// Witness trees elide unbound children (the sname's text node is
+		// not part of the witness, as in Fig. 5), so the content check
+		// goes through provenance.
+		if n3[0].Origin().AllText() != "Doe" {
+			t.Errorf("tree %d: $3 provenance = %q", i, n3[0].Origin().AllText())
+		}
+	}
+}

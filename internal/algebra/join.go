@@ -1,0 +1,115 @@
+package algebra
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+// ProdRootTag is the tag of the synthetic root created by Product, as in
+// the paper's Fig. 4 and Fig. 7 ($1.tag = tix_prod_root).
+const ProdRootTag = "tix_prod_root"
+
+// Product is the product operator C1 × C2 of Sec. 3.2.3: each output tree
+// has a tix_prod_root whose two children are the roots of one tree from
+// each input collection. Input trees are deep-copied so output trees are
+// independently mutable; scores and variable annotations carry over.
+func Product(c1, c2 Collection) Collection {
+	out := make(Collection, 0, len(c1)*len(c2))
+	for _, a := range c1 {
+		for _, b := range c2 {
+			root := xmltree.NewElement(ProdRootTag)
+			ca, mapA := deepCloneWithMap(a.Root)
+			cb, mapB := deepCloneWithMap(b.Root)
+			root.AppendChild(ca)
+			root.AppendChild(cb)
+			xmltree.Number(root)
+			st := NewScoredTree(root)
+			copyAnnotations(st, a, mapA)
+			copyAnnotations(st, b, mapB)
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Join is the scored join operator C1 ⋈_P C2: a scored selection over the
+// product of the two inputs. The pattern is matched against each product
+// tree; its root variable typically constrains tag = tix_prod_root. Join
+// conditions between the two sides appear in the pattern formula, and the
+// scoring set may attach named scores to them (Fig. 4's $joinScore).
+func Join(c1, c2 Collection, pat *pattern.Pattern, scores *ScoreSet) Collection {
+	return Select(Product(c1, c2), pat, scores)
+}
+
+func deepCloneWithMap(n *xmltree.Node) (*xmltree.Node, map[*xmltree.Node]*xmltree.Node) {
+	m := map[*xmltree.Node]*xmltree.Node{}
+	var rec func(*xmltree.Node) *xmltree.Node
+	rec = func(o *xmltree.Node) *xmltree.Node {
+		cl := shallowClone(o)
+		m[o] = cl
+		for _, c := range o.Children {
+			cl.AppendChild(rec(c))
+		}
+		return cl
+	}
+	return rec(n), m
+}
+
+func copyAnnotations(dst *ScoredTree, src *ScoredTree, m map[*xmltree.Node]*xmltree.Node) {
+	for n, s := range src.Scores {
+		if cl, ok := m[n]; ok {
+			dst.Scores[cl] = s
+		}
+	}
+	for v, nodes := range src.VarNodes {
+		for _, n := range nodes {
+			if cl, ok := m[n]; ok {
+				dst.AddVarNode(v, cl)
+			}
+		}
+	}
+}
+
+// Union merges two collections (the set-union access method of Example
+// 5.2). Trees from both inputs appear in the output; when mergeScores is
+// non-nil and two trees (one from each side) share the same source root —
+// judged by document provenance (Ord and region) — they are merged into a
+// single tree whose root score is mergeScores(scoreA, scoreB). With a nil
+// mergeScores, Union is plain concatenation.
+func Union(c1, c2 Collection, mergeScores func(a, b float64) float64) Collection {
+	if mergeScores == nil {
+		out := make(Collection, 0, len(c1)+len(c2))
+		out = append(out, c1...)
+		out = append(out, c2...)
+		return out
+	}
+	type key struct {
+		ord        int32
+		start, end uint32
+	}
+	keyOf := func(t *ScoredTree) key {
+		return key{t.Root.Ord, t.Root.Start, t.Root.End}
+	}
+	byKey := map[key]*ScoredTree{}
+	var out Collection
+	for _, t := range c1 {
+		byKey[keyOf(t)] = t
+		out = append(out, t)
+	}
+	for _, t := range c2 {
+		if prev, ok := byKey[keyOf(t)]; ok {
+			prev.SetScore(prev.Root, mergeScores(prev.RootScore(), t.RootScore()))
+			continue
+		}
+		// Only in the right input: merge with a zero left score.
+		t.SetScore(t.Root, mergeScores(0, t.RootScore()))
+		out = append(out, t)
+	}
+	return out
+}
+
+// WeightedSum returns a score-merging function computing w1·a + w2·b, the
+// weighted-addition combiner of Examples 5.1 and 5.2.
+func WeightedSum(w1, w2 float64) func(a, b float64) float64 {
+	return func(a, b float64) float64 { return w1*a + w2*b }
+}

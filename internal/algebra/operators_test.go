@@ -1,0 +1,172 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+func TestSelectEmptyInputs(t *testing.T) {
+	p := pattern.NewPattern(1)
+	p.Formula = pattern.TagEq(1, "a")
+	if got := Select(nil, p, nil); len(got) != 0 {
+		t.Errorf("empty collection selected %d", len(got))
+	}
+	c := FromXML(xmltree.MustParse(`<b/>`))
+	if got := Select(c, p, nil); len(got) != 0 {
+		t.Errorf("non-matching selected %d", len(got))
+	}
+}
+
+func TestSelectNilScoreSet(t *testing.T) {
+	c := FromXML(xmltree.MustParse(`<a><b/></a>`))
+	p := pattern.NewPattern(1)
+	p.Root.Child(2, pattern.PC)
+	p.Formula = pattern.Conj(pattern.TagEq(1, "a"), pattern.TagEq(2, "b"))
+	got := Select(c, p, nil)
+	if len(got) != 1 {
+		t.Fatalf("witnesses = %d", len(got))
+	}
+	// No scores anywhere, but variable annotations present.
+	if len(got[0].Scores) != 0 {
+		t.Errorf("nil score set produced scores")
+	}
+	if len(got[0].NodesOfVar(2)) != 1 {
+		t.Errorf("var annotation missing")
+	}
+}
+
+func TestSelectWithDisjunctiveFormula(t *testing.T) {
+	c := FromXML(xmltree.MustParse(`<r><a/><b/><c/></r>`))
+	p := pattern.NewPattern(1)
+	p.Formula = pattern.Or{L: pattern.TagEq(1, "a"), R: pattern.TagEq(1, "b")}
+	got := Select(c, p, nil)
+	if len(got) != 2 {
+		t.Errorf("disjunctive selection = %d, want 2", len(got))
+	}
+}
+
+func TestProjectWithoutDropZero(t *testing.T) {
+	// Zero-scored IR matches are retained when DropZeroIR is off.
+	c := FromXML(xmltree.MustParse(`<r><p>hit</p><p>miss</p></r>`))
+	p := pattern.NewPattern(1)
+	p.Root.Child(2, pattern.AD)
+	p.Formula = pattern.Conj(pattern.TagEq(1, "r"), pattern.TagEq(2, "p"))
+	scores := &ScoreSet{
+		Primary: map[int]NodeScorer{2: func(n *xmltree.Node) float64 {
+			if n.AllText() == "hit" {
+				return 1
+			}
+			return 0
+		}},
+		Secondary: map[int]ScoreExpr{1: VarScore(2)},
+	}
+	kept := Project(c, p, scores, []int{1, 2}, ProjectOptions{})
+	if len(kept) != 1 {
+		t.Fatalf("projection output = %d", len(kept))
+	}
+	if got := len(kept[0].Root.FindTag("p")); got != 2 {
+		t.Errorf("kept p = %d, want 2 (zero retained)", got)
+	}
+	dropped := Project(c, p, scores, []int{1, 2}, ProjectOptions{DropZeroIR: true})
+	if got := len(dropped[0].Root.FindTag("p")); got != 1 {
+		t.Errorf("dropped p = %d, want 1", got)
+	}
+}
+
+func TestProjectNoMatchesProducesNothing(t *testing.T) {
+	c := FromXML(xmltree.MustParse(`<r><p>x</p></r>`))
+	p := pattern.NewPattern(1)
+	p.Formula = pattern.TagEq(1, "zzz")
+	if got := Project(c, p, nil, []int{1}, ProjectOptions{}); len(got) != 0 {
+		t.Errorf("no-match projection = %d trees", len(got))
+	}
+}
+
+func TestProjectDisjointRootsWrapped(t *testing.T) {
+	// PL retains only the two p's (not the root): the projection wraps the
+	// forest under a synthetic root.
+	c := FromXML(xmltree.MustParse(`<r><p>x</p><p>y</p></r>`))
+	p := pattern.NewPattern(1)
+	p.Root.Child(2, pattern.AD)
+	p.Formula = pattern.Conj(pattern.TagEq(1, "r"), pattern.TagEq(2, "p"))
+	out := Project(c, p, nil, []int{2}, ProjectOptions{})
+	if len(out) != 1 {
+		t.Fatalf("projection output = %d", len(out))
+	}
+	if out[0].Root.Tag != "tix_proj_root" {
+		t.Errorf("forest root = %s", out[0].Root.Tag)
+	}
+	if len(out[0].Root.Children) != 2 {
+		t.Errorf("forest children = %d", len(out[0].Root.Children))
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	p := pattern.NewPattern(1)
+	p.Formula = pattern.TagEq(1, ProdRootTag)
+	a := FromXML(xmltree.MustParse(`<x/>`))
+	if got := Join(a, nil, p, nil); len(got) != 0 {
+		t.Errorf("join with empty right = %d", len(got))
+	}
+	if got := Join(nil, a, p, nil); len(got) != 0 {
+		t.Errorf("join with empty left = %d", len(got))
+	}
+}
+
+func TestScoreEnvSecondaryChain(t *testing.T) {
+	// Secondary rules evaluate in ascending variable order, so $3 can
+	// depend on $2 which depends on the primary $1. Each variable binds a
+	// distinct node so per-node scores are unambiguous.
+	c := FromXML(xmltree.MustParse(`<a><b>x</b><c/></a>`))
+	p := pattern.NewPattern(1)
+	p.Root.Child(2, pattern.PC)
+	p.Root.Child(3, pattern.PC)
+	p.Formula = pattern.Conj(pattern.TagEq(1, "a"), pattern.TagEq(2, "b"), pattern.TagEq(3, "c"))
+	scores := &ScoreSet{
+		Primary: map[int]NodeScorer{1: func(*xmltree.Node) float64 { return 2 }},
+		Secondary: map[int]ScoreExpr{
+			2: func(e ScoreEnv) float64 { return e.Var[1] * 10 },
+			3: func(e ScoreEnv) float64 { return e.Var[2] + 1 },
+		},
+	}
+	got := Select(c, p, scores)
+	if len(got) != 1 {
+		t.Fatalf("witnesses = %d", len(got))
+	}
+	w := got[0]
+	if s, _ := w.Score(w.NodesOfVar(2)[0]); s != 20 {
+		t.Errorf("$2 = %v, want 20", s)
+	}
+	if s, _ := w.Score(w.NodesOfVar(3)[0]); s != 21 {
+		t.Errorf("$3 = %v, want 21", s)
+	}
+}
+
+func TestIsIRVar(t *testing.T) {
+	s := &ScoreSet{
+		Primary:   map[int]NodeScorer{4: func(*xmltree.Node) float64 { return 0 }},
+		Secondary: map[int]ScoreExpr{1: VarScore(4)},
+	}
+	if !s.IsIRVar(4) || !s.IsIRVar(1) {
+		t.Errorf("IR vars not recognized")
+	}
+	if s.IsIRVar(2) {
+		t.Errorf("non-IR var recognized")
+	}
+	var nilSet *ScoreSet
+	if nilSet.IsIRVar(1) {
+		t.Errorf("nil score set must report false")
+	}
+}
+
+func TestNamedScoreExpr(t *testing.T) {
+	env := ScoreEnv{Named: map[string]float64{"joinScore": 2.5}}
+	if got := NamedScore("joinScore")(env); got != 2.5 {
+		t.Errorf("NamedScore = %v", got)
+	}
+	if got := NamedScore("missing")(env); got != 0 {
+		t.Errorf("missing named score = %v", got)
+	}
+}

@@ -1,0 +1,258 @@
+package algebra
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// PickCriterion is the pick-criterion PC of the Pick operator ρ_{P,PC}(C)
+// (Sec. 3.3.2). It decomposes the way the paper's Sec. 5.3 observes most
+// criteria do:
+//
+//   - Relevant: the relevance-score threshold for data IR-nodes (the
+//     "score at least 0.8" part of PickFoo);
+//   - DetWorth: whether a node is worth returning given its subtree (the
+//     ">50% of child nodes are relevant" part);
+//   - SameClass: whether two nodes belong to the same return class (the
+//     odd/even level-parity rule of the Sec. 5.3 example) — used for
+//     vertical (parent/child) redundancy elimination: when an ancestor is
+//     determined not worth returning, surviving candidates in its subtree
+//     that share its class are redundant and dropped, while those of a
+//     different class are returned;
+//   - HorizontalDedup: optionally keep only the first returned candidate
+//     among same-class siblings (the "return only the first author" kind
+//     of horizontal redundancy elimination).
+type PickCriterion struct {
+	Relevant        func(score float64) bool
+	DetWorth        func(t *ScoredTree, n *xmltree.Node) bool
+	SameClass       func(a, b *xmltree.Node) bool
+	HorizontalDedup bool
+}
+
+// DefaultCriterion returns the PC used throughout the paper's examples
+// (PickFoo of Fig. 9 with the Sec. 5.3 classes): relevance means score ≥
+// threshold; an interior node is worth returning when more than half of
+// its scored children are relevant, a leaf when it is itself relevant; and
+// two nodes share a class when their levels have equal parity.
+func DefaultCriterion(threshold float64) PickCriterion {
+	return PickCriterion{
+		Relevant: func(s float64) bool { return s >= threshold },
+		DetWorth: func(t *ScoredTree, n *xmltree.Node) bool {
+			if len(n.Children) == 0 {
+				s, ok := t.Score(n)
+				return ok && s >= threshold
+			}
+			relevant, total := 0, 0
+			for _, c := range n.Children {
+				s, ok := t.Score(c)
+				if !ok {
+					continue
+				}
+				total++
+				if s >= threshold {
+					relevant++
+				}
+			}
+			if total == 0 {
+				s, ok := t.Score(n)
+				return ok && s >= threshold
+			}
+			return float64(relevant)/float64(total) > 0.5
+		},
+		SameClass: func(a, b *xmltree.Node) bool { return a.Level%2 == b.Level%2 },
+	}
+}
+
+// PickedNodes runs the pick decision procedure on one scored tree and
+// returns the set of nodes determined worth returning, in document order.
+//
+// The procedure mirrors the stack-based algorithm of Fig. 12 (implemented
+// physically in internal/exec): candidates (relevant IR-nodes) survive
+// upward while their ancestors keep being worth returning; when an
+// ancestor is determined NOT worth returning, the surviving candidates in
+// its subtree are finalized — those in a different return class are
+// returned, those in the same class are eliminated as redundant. Survivors
+// remaining after the root is processed are returned.
+func PickedNodes(t *ScoredTree, pc PickCriterion) []*xmltree.Node {
+	result := map[*xmltree.Node]bool{}
+	var rec func(n *xmltree.Node) []*xmltree.Node
+	rec = func(n *xmltree.Node) []*xmltree.Node {
+		var alive []*xmltree.Node
+		for _, c := range n.Children {
+			alive = append(alive, rec(c)...)
+		}
+		score, isIR := t.Score(n)
+		if !isIR {
+			return alive // non-IR nodes are transparent to picking
+		}
+		if pc.DetWorth(t, n) {
+			if pc.Relevant(score) {
+				alive = append(alive, n)
+			}
+			return alive
+		}
+		for _, x := range alive {
+			if !pc.SameClass(x, n) {
+				result[x] = true
+			}
+		}
+		return nil
+	}
+	// Final flush (the ending of Fig. 12): survivors remaining after the
+	// root closes are "potentially worth returning"; the algorithm
+	// arbitrarily outputs the top node and then only the nodes in its
+	// class, which keeps the parent/child exclusion property — two nodes
+	// at adjacent levels are never both returned.
+	if surv := rec(t.Root); len(surv) > 0 {
+		rep := surv[len(surv)-1]
+		result[rep] = true
+		for _, x := range surv {
+			if pc.SameClass(x, rep) {
+				result[x] = true
+			}
+		}
+	}
+
+	out := make([]*xmltree.Node, 0, len(result))
+	for n := range result {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	if pc.HorizontalDedup {
+		out = dedupSiblings(out, pc)
+	}
+	return out
+}
+
+// dedupSiblings keeps, per parent, only the first picked node of each
+// class in document order.
+func dedupSiblings(picked []*xmltree.Node, pc PickCriterion) []*xmltree.Node {
+	var out []*xmltree.Node
+	type slot struct {
+		parent *xmltree.Node
+		rep    *xmltree.Node
+	}
+	var reps []slot
+	for _, n := range picked {
+		dup := false
+		for _, s := range reps {
+			if s.parent == n.Parent && pc.SameClass(s.rep, n) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			reps = append(reps, slot{n.Parent, n})
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Pick is the Pick operator ρ_{P,PC}(C): for each input tree it returns a
+// tree from which redundant IR-nodes have been eliminated. Kept nodes are
+// the picked IR-nodes, all non-IR nodes (structural/projection content),
+// and the root; children of removed nodes are hoisted to their nearest
+// kept ancestor, as in Fig. 8.
+//
+// When rescore is non-nil, secondary scores are recomputed after pruning
+// (the paper: "this score changes dynamically when the set of $4-matching
+// data IR-nodes is changed … due to the pruning by Pick"): each primary
+// variable's environment entry becomes the maximum score among its
+// remaining matches.
+func Pick(c Collection, pc PickCriterion, rescore *ScoreSet) Collection {
+	out := make(Collection, 0, len(c))
+	for _, t := range c {
+		out = append(out, pickOne(t, pc, rescore))
+	}
+	return out
+}
+
+func pickOne(t *ScoredTree, pc PickCriterion, rescore *ScoreSet) *ScoredTree {
+	picked := map[*xmltree.Node]bool{}
+	for _, n := range PickedNodes(t, pc) {
+		picked[n] = true
+	}
+	keep := func(n *xmltree.Node) bool {
+		if n == t.Root {
+			return true
+		}
+		if !t.IsIRNode(n) {
+			return true
+		}
+		return picked[n]
+	}
+
+	clones := map[*xmltree.Node]*xmltree.Node{}
+	var build func(n *xmltree.Node, parentClone *xmltree.Node)
+	var root *xmltree.Node
+	build = func(n *xmltree.Node, parentClone *xmltree.Node) {
+		attach := parentClone
+		if keep(n) {
+			cl := shallowClone(n)
+			clones[n] = cl
+			if parentClone == nil {
+				root = cl
+			} else {
+				parentClone.AppendChild(cl)
+			}
+			attach = cl
+		}
+		for _, c := range n.Children {
+			build(c, attach)
+		}
+	}
+	build(t.Root, nil)
+
+	nt := NewScoredTree(root)
+	for n, s := range t.Scores {
+		if cl, ok := clones[n]; ok {
+			nt.Scores[cl] = s
+		}
+	}
+	for v, nodes := range t.VarNodes {
+		isPrimary := rescore != nil && rescore.Primary != nil
+		if isPrimary {
+			_, isPrimary = rescore.Primary[v]
+		}
+		for _, n := range nodes {
+			cl, ok := clones[n]
+			if !ok {
+				continue
+			}
+			// A surviving node keeps a primary IR-variable annotation only
+			// if it was actually picked: the root, kept for structure, no
+			// longer counts as a $4 match once pick pruned it, so the
+			// dynamic rescoring below sees only the remaining matches.
+			if isPrimary && t.IsIRNode(n) && !picked[n] {
+				continue
+			}
+			nt.AddVarNode(v, cl)
+		}
+	}
+	if rescore != nil && len(rescore.Secondary) > 0 {
+		env := ScoreEnv{Var: map[int]float64{}, Named: map[string]float64{}}
+		for v := range rescore.Primary {
+			best := 0.0
+			for _, n := range nt.NodesOfVar(v) {
+				if s, ok := nt.Score(n); ok && s > best {
+					best = s
+				}
+			}
+			env.Var[v] = best
+		}
+		vars := make([]int, 0, len(rescore.Secondary))
+		for v := range rescore.Secondary {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			env.Var[v] = rescore.Secondary[v](env)
+			for _, n := range nt.NodesOfVar(v) {
+				nt.SetScore(n, env.Var[v])
+			}
+		}
+	}
+	return nt
+}

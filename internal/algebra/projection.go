@@ -1,0 +1,169 @@
+package algebra
+
+import (
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+// ProjectOptions tunes the scored projection operator.
+type ProjectOptions struct {
+	// DropZeroIR removes IR nodes whose score is zero from the output, as
+	// in the paper's Fig. 6 ("zero-score nodes are removed"). Non-IR nodes
+	// in the projection list are always retained.
+	DropZeroIR bool
+}
+
+// Project is the scored projection operator π_{P,PL}(C) of Sec. 3.2.2: for
+// each input tree it returns one output tree retaining the nodes bound (in
+// any embedding) to a variable in the projection list pl, collapsed onto
+// their nearest retained ancestor.
+//
+// Scores: data nodes matching a primary query IR-node are scored by the
+// node's scoring function, independently of other matches. Data nodes
+// matching a secondary query IR-node get the highest score they can
+// achieve — their score expression evaluated over an environment in which
+// each primary variable holds the maximum score among its matches.
+//
+// Input trees with no embedding contribute no output tree.
+func Project(c Collection, pat *pattern.Pattern, scores *ScoreSet, pl []int, opts ProjectOptions) Collection {
+	inPL := map[int]bool{}
+	for _, v := range pl {
+		inPL[v] = true
+	}
+	var out Collection
+	for _, t := range c {
+		bindings := pat.Match(t.Root)
+		if len(bindings) == 0 {
+			continue
+		}
+		out = append(out, projectOne(bindings, scores, inPL, opts))
+	}
+	return out
+}
+
+func projectOne(bindings []pattern.Binding, scores *ScoreSet, inPL map[int]bool, opts ProjectOptions) *ScoredTree {
+	// Gather retained data nodes, the variables that bound them, and the
+	// per-variable primary score maxima.
+	type nodeInfo struct {
+		vars  map[int]bool
+		score float64
+		isIR  bool
+	}
+	info := map[*xmltree.Node]*nodeInfo{}
+	maxPrimary := map[int]float64{}
+	for _, b := range bindings {
+		for v, n := range b {
+			if !inPL[v] {
+				continue
+			}
+			ni := info[n]
+			if ni == nil {
+				ni = &nodeInfo{vars: map[int]bool{}}
+				info[n] = ni
+			}
+			ni.vars[v] = true
+		}
+		if scores != nil {
+			for v, fn := range scores.Primary {
+				if n, ok := b[v]; ok && inPL[v] {
+					s := fn(n)
+					if ni := info[n]; ni != nil {
+						ni.score, ni.isIR = s, true
+					}
+					if s > maxPrimary[v] {
+						maxPrimary[v] = s
+					}
+				}
+			}
+		}
+	}
+	// Secondary scores: environment holds each primary variable's maximum.
+	if scores != nil && len(scores.Secondary) > 0 {
+		env := ScoreEnv{Var: map[int]float64{}, Named: map[string]float64{}}
+		for v, s := range maxPrimary {
+			env.Var[v] = s
+		}
+		vars := make([]int, 0, len(scores.Secondary))
+		for v := range scores.Secondary {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			env.Var[v] = scores.Secondary[v](env)
+		}
+		for _, ni := range info {
+			for v := range ni.vars {
+				if _, sec := scores.Secondary[v]; sec {
+					ni.score, ni.isIR = env.Var[v], true
+				}
+			}
+		}
+	}
+
+	// Drop zero-scored IR nodes if requested. A node is only dropped when
+	// every projection-list variable that bound it is an IR variable: a
+	// node retained through a non-IR variable (Fig. 6's sname via $3) stays
+	// even if it also happens to be a zero-scored ad* match.
+	retained := make([]*xmltree.Node, 0, len(info))
+	for n, ni := range info {
+		if opts.DropZeroIR && ni.isIR && ni.score == 0 {
+			onlyIR := true
+			for v := range ni.vars {
+				if !scores.IsIRVar(v) {
+					onlyIR = false
+					break
+				}
+			}
+			if onlyIR {
+				delete(info, n)
+				continue
+			}
+			// Keep the node but as plain content, not a zero-scored IR node.
+			ni.isIR = false
+		}
+		retained = append(retained, n)
+	}
+	sort.Slice(retained, func(i, j int) bool { return retained[i].Start < retained[j].Start })
+
+	// Nest retained nodes by containment; if several roots remain, wrap
+	// them under a synthetic projection root.
+	clones := map[*xmltree.Node]*xmltree.Node{}
+	var stack []*xmltree.Node
+	var roots []*xmltree.Node
+	for _, n := range retained {
+		cl := shallowClone(n)
+		clones[n] = cl
+		for len(stack) > 0 && !stack[len(stack)-1].Contains(n) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			roots = append(roots, cl)
+		} else {
+			clones[stack[len(stack)-1]].AppendChild(cl)
+		}
+		stack = append(stack, n)
+	}
+	var root *xmltree.Node
+	if len(roots) == 1 {
+		root = roots[0]
+	} else {
+		root = xmltree.NewElement("tix_proj_root")
+		for _, r := range roots {
+			root.AppendChild(r)
+		}
+	}
+
+	st := NewScoredTree(root)
+	for n, ni := range info {
+		cl := clones[n]
+		if ni.isIR {
+			st.Scores[cl] = ni.score
+		}
+		for v := range ni.vars {
+			st.AddVarNode(v, cl)
+		}
+	}
+	return st
+}

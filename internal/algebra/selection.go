@@ -1,0 +1,101 @@
+package algebra
+
+import (
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/xmltree"
+)
+
+// Select is the scored selection operator σ_P(C) of Sec. 3.2.1: it returns
+// one scored witness tree per embedding of the scored pattern tree into
+// each input tree. The witness tree contains exactly the bound data nodes,
+// nested by their ancestor relationships in the data tree; scores are
+// assigned per the scoring set (primary IR-nodes from their scoring
+// function over the data node, secondary IR-nodes from their score
+// expression, join scores from the full binding).
+func Select(c Collection, pat *pattern.Pattern, scores *ScoreSet) Collection {
+	var out Collection
+	for _, t := range c {
+		for _, b := range pat.Match(t.Root) {
+			out = append(out, witness(b, scores))
+		}
+	}
+	return out
+}
+
+// witness builds the scored witness tree for one embedding.
+func witness(b pattern.Binding, scores *ScoreSet) *ScoredTree {
+	env := scores.evalBinding(b)
+
+	// Distinct bound data nodes in document order.
+	distinct := make([]*xmltree.Node, 0, len(b))
+	seen := map[*xmltree.Node]bool{}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			distinct = append(distinct, n)
+		}
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i].Start < distinct[j].Start })
+
+	// Shallow-clone each node and nest by containment with a stack; the
+	// pattern root's binding contains every other bound node, so the first
+	// node in document order is the witness root.
+	clones := map[*xmltree.Node]*xmltree.Node{}
+	var stack []*xmltree.Node // data nodes with live clone frames
+	var root *xmltree.Node
+	for _, n := range distinct {
+		cl := shallowClone(n)
+		clones[n] = cl
+		for len(stack) > 0 && !stack[len(stack)-1].Contains(n) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			root = cl
+		} else {
+			clones[stack[len(stack)-1]].AppendChild(cl)
+		}
+		stack = append(stack, n)
+	}
+
+	st := NewScoredTree(root)
+	// Iterate variables in ascending order so that when several variables
+	// bind the same data node (an article matched by both $1 and an ad*
+	// $4), the score written to the shared witness node is deterministic —
+	// the highest variable's, matching the convention that later-numbered
+	// variables carry the more specific scoring rule.
+	vars := make([]int, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		n := b[v]
+		st.AddVarNode(v, clones[n])
+		if s, ok := env.Var[v]; ok {
+			st.Scores[clones[n]] = s
+		}
+	}
+	return st
+}
+
+// shallowClone copies a node without its children, preserving the
+// provenance fields (Ord, Start, End, Level) that link the witness back to
+// the source document.
+func shallowClone(n *xmltree.Node) *xmltree.Node {
+	cp := &xmltree.Node{
+		Kind:  n.Kind,
+		Tag:   n.Tag,
+		Text:  n.Text,
+		Start: n.Start,
+		End:   n.End,
+		Level: n.Level,
+		Ord:   n.Ord,
+		Src:   n.Origin(),
+	}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = append([]xmltree.Attr(nil), n.Attrs...)
+	}
+	return cp
+}

@@ -1,0 +1,127 @@
+package algebra
+
+import "sort"
+
+// ThresholdCond is one condition of the Threshold operator τ_{P,TC}(C)
+// (Sec. 3.3.1), attached to a query IR-node (pattern variable). Exactly one
+// of MinScore or TopK should be set; when both are set, both must hold.
+type ThresholdCond struct {
+	// Var is the query IR-node the condition applies to.
+	Var int
+	// MinScore keeps a tree only if at least one data IR-node matching Var
+	// in it has a score strictly greater than *MinScore (the V condition).
+	MinScore *float64
+	// TopK keeps a tree only if at least one data IR-node matching Var in
+	// it ranks within the top *TopK by score among all Var matches across
+	// the whole input collection (the K condition).
+	TopK *int
+}
+
+// V builds a MinScore condition.
+func V(v int, min float64) ThresholdCond { return ThresholdCond{Var: v, MinScore: &min} }
+
+// K builds a TopK condition.
+func K(v int, k int) ThresholdCond { return ThresholdCond{Var: v, TopK: &k} }
+
+// Threshold filters the collection per the conditions; a tree is kept only
+// if it satisfies every condition. Rank for K conditions is computed over
+// the data IR-nodes matching the condition's variable across all input
+// trees, sorted by descending score; ties share the lower (better) rank's
+// neighborhood deterministically by input order.
+func Threshold(c Collection, conds []ThresholdCond) Collection {
+	// Precompute rank cutoffs per TopK condition: the k-th highest score.
+	cutoffs := map[int]float64{} // var → minimum score to be in top-K
+	haveCut := map[int]bool{}
+	for _, cond := range conds {
+		if cond.TopK == nil || haveCut[cond.Var] {
+			continue
+		}
+		var all []float64
+		for _, t := range c {
+			for _, n := range t.NodesOfVar(cond.Var) {
+				if s, ok := t.Score(n); ok {
+					all = append(all, s)
+				}
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+		k := *cond.TopK
+		if k <= 0 {
+			cutoffs[cond.Var] = 0
+			haveCut[cond.Var] = true
+			continue
+		}
+		if len(all) == 0 {
+			haveCut[cond.Var] = true
+			cutoffs[cond.Var] = 0
+			continue
+		}
+		if k > len(all) {
+			k = len(all)
+		}
+		cutoffs[cond.Var] = all[k-1]
+		haveCut[cond.Var] = true
+	}
+
+	var out Collection
+	for _, t := range c {
+		keep := true
+		for _, cond := range conds {
+			if !satisfies(t, cond, cutoffs) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func satisfies(t *ScoredTree, cond ThresholdCond, cutoffs map[int]float64) bool {
+	nodes := t.NodesOfVar(cond.Var)
+	if cond.MinScore != nil {
+		ok := false
+		for _, n := range nodes {
+			if s, has := t.Score(n); has && s > *cond.MinScore {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if cond.TopK != nil {
+		if *cond.TopK <= 0 {
+			return false
+		}
+		cut := cutoffs[cond.Var]
+		ok := false
+		for _, n := range nodes {
+			if s, has := t.Score(n); has && s >= cut {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TopTrees returns the n highest-scoring trees by root score (a convenience
+// built on SortByRootScore, corresponding to "Sortby(score) … stop after n"
+// in the XQuery extension).
+func TopTrees(c Collection, n int) Collection {
+	sorted := c.SortByRootScore()
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return sorted[:n]
+}

@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Cell is one table cell: a method's measurement for one workload row.
+type Cell struct {
+	Method Method
+	M      Measurement
+	Err    error
+}
+
+// Row is one workload row of a table.
+type Row struct {
+	// Label is the x-axis value (term frequency, number of terms, query
+	// number, or input size).
+	Label string
+	// Extra carries row metadata (e.g. Table 5's result size).
+	Extra string
+	Cells []Cell
+}
+
+// Table is one regenerated evaluation table.
+type Table struct {
+	ID      string
+	Caption string
+	Columns []Method
+	Rows    []Row
+}
+
+func (c *Corpus) runRow(label, extra string, methods []Method, terms []string, complex bool) Row {
+	row := Row{Label: label, Extra: extra}
+	for _, m := range methods {
+		meas, err := c.RunTermMethod(m, terms, complex)
+		row.Cells = append(row.Cells, Cell{Method: m, M: meas, Err: err})
+	}
+	return row
+}
+
+// Table1 regenerates Table 1: two-term queries with increasing term
+// frequencies, simple scoring; Comp1 vs Comp2 vs Generalized Meet vs
+// TermJoin.
+func (c *Corpus) Table1() (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Caption: "Two index terms, varying frequency, simple scoring (seconds)",
+		Columns: []Method{MComp1, MComp2, MGenMeet, MTermJoin},
+	}
+	for _, f := range c.freqs() {
+		a, b, err := c.PairTerms(f)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, c.runRow(fmt.Sprintf("%d", f), "", t.Columns, []string{a, b}, false))
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table 2: as Table 1 but with the complex scoring
+// function and the Enhanced TermJoin column.
+func (c *Corpus) Table2() (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Caption: "Two index terms, varying frequency, complex scoring (seconds)",
+		Columns: []Method{MComp1, MComp2, MGenMeet, MTermJoin, MEnhancedTermJoin},
+	}
+	for _, f := range c.freqs() {
+		a, b, err := c.PairTerms(f)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, c.runRow(fmt.Sprintf("%d", f), "", t.Columns, []string{a, b}, true))
+	}
+	return t, nil
+}
+
+// Table3 regenerates Table 3: term 1 fixed at frequency 1,000, term 2
+// varied; complex scoring.
+func (c *Corpus) Table3() (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Caption: "Term1 fixed at freq 1,000, term2 varying, complex scoring (seconds)",
+		Columns: []Method{MComp1, MComp2, MGenMeet, MTermJoin, MEnhancedTermJoin},
+	}
+	fixed, _, err := c.PairTerms(1000)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range c.t3freqs() {
+		_, second, err := c.PairTerms(f)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, c.runRow(fmt.Sprintf("%d", f), "", t.Columns, []string{fixed, second}, true))
+	}
+	return t, nil
+}
+
+// Table4 regenerates Table 4: queries of 2..7 terms, each term at
+// frequency ≈ 1,500; complex scoring.
+func (c *Corpus) Table4() (*Table, error) {
+	t := &Table{
+		ID:      "table4",
+		Caption: "Queries with 2..n terms of frequency ~1,500, complex scoring (seconds)",
+		Columns: []Method{MComp1, MComp2, MGenMeet, MTermJoin, MEnhancedTermJoin},
+	}
+	for n := 2; n <= c.t4terms(); n++ {
+		terms, err := c.Table4Terms(n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, c.runRow(fmt.Sprintf("%d", n), "", t.Columns, terms, true))
+	}
+	return t, nil
+}
+
+// Table5 regenerates Table 5: thirteen two-term phrases; PhraseFinder vs
+// Comp3, reporting result sizes alongside.
+func (c *Corpus) Table5() (*Table, error) {
+	t := &Table{
+		ID:      "table5",
+		Caption: "Thirteen two-term phrases; PhraseFinder vs composite (seconds)",
+		Columns: []Method{MComp3, MPhraseFinder},
+	}
+	for _, row := range Table5Rows {
+		t1, t2, f1, f2, err := c.Table5Phrase(row)
+		if err != nil {
+			return nil, err
+		}
+		r := Row{Label: fmt.Sprintf("%d", row.Query)}
+		phrase := []string{t1, t2}
+		for _, m := range t.Columns {
+			meas, err := c.RunPhraseMethod(m, phrase)
+			r.Cells = append(r.Cells, Cell{Method: m, M: meas, Err: err})
+		}
+		size := 0
+		if len(r.Cells) > 0 {
+			size = r.Cells[0].M.Results
+		}
+		r.Extra = fmt.Sprintf("f1=%d f2=%d results=%d", f1, f2, size)
+		t.Rows = append(t.Rows, r)
+	}
+	return t, nil
+}
+
+// PickSizes are the input sizes of the Pick experiment (Sec. 6 reports the
+// range 200 → 55,000 nodes).
+var PickSizes = []int{200, 1000, 5000, 15000, 30000, 55000}
+
+// PickTable regenerates the Pick timing experiment.
+func PickTable(seed int64, sizes []int) (*Table, error) {
+	if sizes == nil {
+		sizes = PickSizes
+	}
+	t := &Table{
+		ID:      "pick",
+		Caption: "Stack-based Pick, parent/child redundancy elimination (seconds)",
+		Columns: []Method{"Pick"},
+	}
+	for _, sz := range sizes {
+		m, err := RunPick(sz, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", sz),
+			Extra: fmt.Sprintf("picked=%d", m.Results),
+			Cells: []Cell{{Method: "Pick", M: m}},
+		})
+	}
+	return t, nil
+}
+
+// Write renders the table in the paper's row/column layout.
+func (t *Table) Write(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Caption)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"x"}
+	for _, m := range t.Columns {
+		header = append(header, string(m))
+	}
+	header = append(header, "")
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range t.Rows {
+		cols := []string{r.Label}
+		for _, cell := range r.Cells {
+			if cell.Err != nil {
+				cols = append(cols, "ERR")
+				continue
+			}
+			cols = append(cols, formatSeconds(cell.M.Seconds))
+		}
+		cols = append(cols, r.Extra)
+		fmt.Fprintln(tw, strings.Join(cols, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteAccess renders the table with store node-reads per cell instead of
+// seconds — the machine-independent cost evidence behind the timings.
+func (t *Table) WriteAccess(w io.Writer) error {
+	fmt.Fprintf(w, "== %s: %s [node reads] ==\n", t.ID, t.Caption)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"x"}
+	for _, m := range t.Columns {
+		header = append(header, string(m))
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range t.Rows {
+		cols := []string{r.Label}
+		for _, cell := range r.Cells {
+			if cell.Err != nil {
+				cols = append(cols, "ERR")
+				continue
+			}
+			cols = append(cols, fmt.Sprintf("%d", cell.M.Stats.NodeReads))
+		}
+		fmt.Fprintln(tw, strings.Join(cols, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (x, one column per method, extra),
+// for plotting the paper's tables as figures.
+func (t *Table) WriteCSV(w io.Writer) error {
+	header := []string{"x"}
+	for _, m := range t.Columns {
+		header = append(header, string(m))
+	}
+	header = append(header, "extra")
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cols := []string{r.Label}
+		for _, cell := range r.Cells {
+			if cell.Err != nil {
+				cols = append(cols, "")
+				continue
+			}
+			cols = append(cols, fmt.Sprintf("%.6f", cell.M.Seconds))
+		}
+		cols = append(cols, strings.ReplaceAll(r.Extra, ",", ";"))
+		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatSeconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	case s >= 0.001:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.6f", s)
+	}
+}
+
+// Ratio returns how many times slower column a is than column b in the
+// given row (for EXPERIMENTS.md's who-wins-by-what-factor reporting).
+func (r *Row) Ratio(a, b Method) (float64, bool) {
+	var sa, sb float64
+	var okA, okB bool
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			continue
+		}
+		if c.Method == a {
+			sa, okA = c.M.Seconds, true
+		}
+		if c.Method == b {
+			sb, okB = c.M.Seconds, true
+		}
+	}
+	if !okA || !okB || sb == 0 {
+		return 0, false
+	}
+	return sa / sb, true
+}

@@ -1,0 +1,395 @@
+// Package db is the database facade of the reproduction — the stand-in for
+// the Timber system the paper ran on. It owns document loading, index
+// construction, and query evaluation: extended-XQuery strings (internal/xq)
+// for the paper's Query 1/2 shapes, and programmatic APIs for term search,
+// phrase search, and the Query 3 similarity join.
+package db
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/pattern"
+	"repro/internal/scoring"
+	"repro/internal/storage"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+	"repro/internal/xq"
+)
+
+// DB is an XML database instance.
+type DB struct {
+	store *storage.Store
+	tok   *tokenize.Tokenizer
+	idx   *index.Index // built lazily; invalidated on load
+	opts  Options
+}
+
+// Options configures a database.
+type Options struct {
+	// Stemming enables the light plural-stripping stemmer, which the
+	// paper's worked examples assume (Figures 5–8 score "search engines"
+	// as an occurrence of "search engine").
+	Stemming bool
+	// Stopwords, when non-empty, are dropped from the index (they still
+	// consume word offsets so phrase adjacency is preserved).
+	Stopwords []string
+}
+
+// New creates an empty database.
+func New(opts Options) *DB {
+	var tok *tokenize.Tokenizer
+	switch {
+	case len(opts.Stopwords) > 0:
+		tok = tokenize.NewWithStopwords(opts.Stopwords)
+	case opts.Stemming:
+		tok = tokenize.NewStemming()
+	default:
+		tok = tokenize.New()
+	}
+	return &DB{store: storage.NewStore(), tok: tok, opts: opts}
+}
+
+// Store exposes the underlying node store.
+func (d *DB) Store() *storage.Store { return d.store }
+
+// Tokenizer exposes the tokenizer documents are indexed with.
+func (d *DB) Tokenizer() *tokenize.Tokenizer { return d.tok }
+
+// LoadTree loads an already-parsed tree under the given document name.
+func (d *DB) LoadTree(name string, root *xmltree.Node) error {
+	if _, err := d.store.AddTree(name, root); err != nil {
+		return err
+	}
+	d.idx = nil
+	return nil
+}
+
+// LoadString parses and loads an XML document.
+func (d *DB) LoadString(name, src string) error {
+	root, err := xmltree.ParseString(src)
+	if err != nil {
+		return fmt.Errorf("db: load %s: %w", name, err)
+	}
+	return d.LoadTree(name, root)
+}
+
+// LoadReader parses and loads an XML document from r.
+func (d *DB) LoadReader(name string, r io.Reader) error {
+	root, err := xmltree.Parse(r)
+	if err != nil {
+		return fmt.Errorf("db: load %s: %w", name, err)
+	}
+	return d.LoadTree(name, root)
+}
+
+// LoadFile parses and loads an XML file; the document name is the file's
+// base name.
+func (d *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("db: %w", err)
+	}
+	defer f.Close()
+	return d.LoadReader(filepath.Base(path), f)
+}
+
+// RemoveDocument unloads a document by name. Because document ids are
+// positional, the store is rebuilt from the remaining documents (an O(N)
+// operation) and the inverted index is invalidated; ids of later documents
+// shift down, exactly as if the database had been loaded without the
+// removed document.
+func (d *DB) RemoveDocument(name string) error {
+	old := d.store
+	if old.DocByName(name) == nil {
+		return fmt.Errorf("db: document %q not loaded", name)
+	}
+	fresh := storage.NewStore()
+	for _, doc := range old.Docs() {
+		if doc.Name == name {
+			continue
+		}
+		if _, err := fresh.AddTree(doc.Name, doc.Root); err != nil {
+			return fmt.Errorf("db: rebuild after remove: %w", err)
+		}
+	}
+	d.store = fresh
+	d.idx = nil
+	return nil
+}
+
+// Index returns the inverted index, building it on first use after a load.
+func (d *DB) Index() *index.Index {
+	if d.idx == nil {
+		d.idx = index.Build(d.store, d.tok)
+	}
+	return d.idx
+}
+
+// Stats summarizes the database contents.
+type Stats struct {
+	Documents   int
+	Nodes       int
+	Elements    int
+	Terms       int
+	Occurrences int64
+}
+
+// Stats returns summary statistics (forces index construction).
+func (d *DB) Stats() Stats {
+	idx := d.Index()
+	st := Stats{
+		Documents:   len(d.store.Docs()),
+		Nodes:       d.store.NumNodes(),
+		Terms:       idx.NumTerms(),
+		Occurrences: idx.TotalOccurrences(),
+	}
+	for _, doc := range d.store.Docs() {
+		st.Elements += len(doc.Elements())
+	}
+	return st
+}
+
+// Query parses and evaluates an extended-XQuery query (the Sec. 4 dialect).
+func (d *DB) Query(src string) ([]xq.Result, error) {
+	e := &xq.Engine{Store: d.store, Index: d.Index()}
+	return e.EvalString(src)
+}
+
+// QueryRendered evaluates a query and renders each result through the
+// query's Return template (or the canonical <result> shape when the query
+// has none).
+func (d *DB) QueryRendered(src string) ([]string, []xq.Result, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := &xq.Engine{Store: d.store, Index: d.Index()}
+	results, err := e.Eval(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	rendered := make([]string, len(results))
+	for i, r := range results {
+		rendered[i] = q.Render(r)
+	}
+	return rendered, results, nil
+}
+
+// Explain renders the physical plan for a query without executing it.
+func (d *DB) Explain(src string) (string, error) {
+	e := &xq.Engine{Store: d.store, Index: d.Index()}
+	return e.Explain(src)
+}
+
+// TermSearchOptions configures TermSearch.
+type TermSearchOptions struct {
+	// Complex selects the complex scoring function of Sec. 6.1.
+	Complex bool
+	// Enhanced uses the child-count index (Enhanced TermJoin); only
+	// meaningful with Complex.
+	Enhanced bool
+	// TopK limits results to the k best scores (0 = all).
+	TopK int
+	// Weights per term (defaults to 1 each).
+	Weights []float64
+	// Parallel partitions the evaluation across this many worker
+	// goroutines, one document range each (0 = sequential).
+	Parallel int
+}
+
+// TermSearch scores every element containing at least one of the terms,
+// using the TermJoin access method, and returns results best-first.
+func (d *DB) TermSearch(terms []string, opts TermSearchOptions) ([]exec.ScoredNode, error) {
+	mode := exec.ChildCountNavigate
+	if opts.Enhanced {
+		mode = exec.ChildCountIndexed
+	}
+	q := exec.TermQuery{
+		Terms:   terms,
+		Complex: opts.Complex,
+		Scorer: exec.DefaultScorer{
+			SimpleFn:  scoring.SimpleScorer{Weights: opts.Weights},
+			ComplexFn: scoring.ComplexScorer{Weights: opts.Weights},
+		},
+	}
+	run := func(emit exec.Emit) error {
+		if opts.Parallel > 0 {
+			p := &exec.ParallelTermJoin{Index: d.Index(), Query: q, Workers: opts.Parallel, ChildCounts: mode}
+			return p.Run(emit)
+		}
+		tj := &exec.TermJoin{Index: d.Index(), Acc: storage.NewAccessor(d.store), Query: q, ChildCounts: mode}
+		return tj.Run(emit)
+	}
+	if opts.TopK > 0 {
+		tk := exec.NewTopK(opts.TopK)
+		if err := run(tk.Emit()); err != nil {
+			return nil, err
+		}
+		return tk.Results(), nil
+	}
+	out, err := exec.Collect(run)
+	if err != nil {
+		return nil, err
+	}
+	tk := exec.NewTopK(len(out))
+	for _, n := range out {
+		tk.Offer(n)
+	}
+	return tk.Results(), nil
+}
+
+// PhraseSearch returns every occurrence of the phrase via PhraseFinder.
+func (d *DB) PhraseSearch(phrase []string) ([]exec.PhraseMatch, error) {
+	pf := &exec.PhraseFinder{Index: d.Index(), Phrase: phrase}
+	return exec.CollectPhrase(pf.Run)
+}
+
+// Materialize returns the xmltree subtree for a result element.
+func (d *DB) Materialize(doc storage.DocID, ord int32) *xmltree.Node {
+	return storage.NewAccessor(d.store).Materialize(doc, ord)
+}
+
+// NameOf returns the element tag name of a scored node.
+func (d *DB) NameOf(n exec.ScoredNode) string {
+	doc := d.store.Doc(n.Doc)
+	if doc == nil {
+		return ""
+	}
+	return d.store.Tags.Name(doc.Nodes[n.Ord].Tag)
+}
+
+// TwigSearch runs the holistic twig join (TwigStack) for a structural tag
+// pattern against every loaded document and returns matches as
+// materialized subtrees of the pattern root's bindings, deduplicated and
+// in document order. Use exec.Twig / exec.TwigChild to build the pattern.
+func (d *DB) TwigSearch(pattern *exec.TwigNode) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	for _, doc := range d.store.Docs() {
+		ts := &exec.TwigStack{Store: d.store, Doc: doc.ID, Root: pattern}
+		matches, err := ts.Run()
+		if err != nil {
+			return nil, err
+		}
+		seen := map[int32]bool{}
+		for _, m := range matches {
+			root := m[0]
+			if seen[root] {
+				continue
+			}
+			seen[root] = true
+			out = append(out, doc.TreeNode(root))
+		}
+	}
+	return out, nil
+}
+
+// SimilarityJoinSpec describes a Query 3-style IR join: components of the
+// left document scored against query phrases, joined with right-document
+// elements by text similarity between LeftKey and RightKey children, with
+// root scores combined by ScoreBar.
+type SimilarityJoinSpec struct {
+	LeftDoc, RightDoc   string
+	LeftRoot, RightRoot string // element tags bound on each side
+	LeftKey, RightKey   string // tags of the similarity-compared children
+	Primary, Secondary  []string
+	// PickThreshold applies PickFoo-style pruning to the scored left
+	// components before joining (0 disables).
+	PickThreshold float64
+	// MinSim drops pairs whose similarity score is not above the given
+	// value (the Threshold simScore > 1 step of Query 3).
+	MinSim float64
+}
+
+// JoinedResult is one similarity-join result.
+type JoinedResult struct {
+	// Score is the combined ScoreBar(simScore, componentScore).
+	Score float64
+	// Sim is the title-similarity component.
+	Sim float64
+	// Component is the scored left-side component subtree.
+	Component *xmltree.Node
+	// ComponentScore is its IR score.
+	ComponentScore float64
+	// Right is the joined right-side element subtree.
+	Right *xmltree.Node
+}
+
+// SimilarityJoin evaluates a Query 3-style join through the TIX algebra,
+// best-first.
+func (d *DB) SimilarityJoin(spec SimilarityJoinSpec) ([]JoinedResult, error) {
+	left := d.store.DocByName(spec.LeftDoc)
+	right := d.store.DocByName(spec.RightDoc)
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("db: similarity join needs both documents loaded")
+	}
+
+	p := pattern.NewPattern(1)
+	l := p.Root.Child(2, pattern.AD)
+	l.Child(3, pattern.PC)
+	l.Child(6, pattern.ADStar)
+	r := p.Root.Child(7, pattern.AD)
+	r.Child(8, pattern.PC)
+	p.Formula = pattern.Conj(
+		pattern.TagEq(1, algebra.ProdRootTag),
+		pattern.TagEq(2, spec.LeftRoot),
+		pattern.TagEq(3, spec.LeftKey),
+		pattern.IsElement(6),
+		pattern.TagEq(7, spec.RightRoot),
+		pattern.TagEq(8, spec.RightKey),
+	)
+	scores := &algebra.ScoreSet{
+		Primary: map[int]algebra.NodeScorer{
+			6: func(n *xmltree.Node) float64 {
+				return scoring.ScoreFoo(d.tok, n, spec.Primary, spec.Secondary)
+			},
+		},
+		Join: map[string]algebra.JoinScorer{
+			"simScore": func(b pattern.Binding) float64 {
+				return scoring.ScoreSim(d.tok, b[3], b[8])
+			},
+		},
+		Secondary: map[int]algebra.ScoreExpr{
+			2: algebra.VarScore(6),
+			1: func(e algebra.ScoreEnv) float64 {
+				return scoring.ScoreBar(e.Named["simScore"], e.Var[6])
+			},
+		},
+	}
+	joined := algebra.Join(
+		algebra.FromXML(left.Root), algebra.FromXML(right.Root), p, scores)
+
+	var out []JoinedResult
+	for _, w := range joined.SortByRootScore() {
+		comp := w.NodesOfVar(6)[0]
+		compScore, _ := w.Score(comp)
+		rootScore := w.RootScore()
+		sim := 0.0
+		if compScore > 0 {
+			sim = rootScore - compScore
+		}
+		if spec.MinSim > 0 && sim <= spec.MinSim {
+			continue
+		}
+		if rootScore <= 0 {
+			continue
+		}
+		if spec.PickThreshold > 0 && compScore < spec.PickThreshold {
+			continue
+		}
+		rightN := w.NodesOfVar(7)[0]
+		out = append(out, JoinedResult{
+			Score:          rootScore,
+			Sim:            sim,
+			Component:      comp.Origin(),
+			ComponentScore: compScore,
+			Right:          rightN.Origin(),
+		})
+	}
+	return out, nil
+}

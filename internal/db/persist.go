@@ -1,0 +1,261 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/xmltree"
+)
+
+// Database file format (version 1):
+//
+//	magic   "TIXDB1\n"
+//	options stemming byte (0/1), uvarint stopword count, stopwords
+//	docs    uvarint count; per doc: name, serialized XML
+//	index   presence byte; if 1: uvarint term count; per term: the term,
+//	        uvarint posting count, postings as uvarint (doc, node, pos,
+//	        offset) with pos delta-encoded within a (term, doc) run
+//
+// Strings are uvarint length + bytes. The XML serialization round-trips
+// through the same parser used at load time, so the region encoding and
+// node ordinals of a reloaded database are identical to the original's.
+const fileMagic = "TIXDB1\n"
+
+// Save writes the database — documents, options and the inverted index —
+// to w.
+func (d *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	// Options.
+	stem := byte(0)
+	if d.opts.Stemming {
+		stem = 1
+	}
+	if err := bw.WriteByte(stem); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(d.opts.Stopwords)))
+	for _, sw := range d.opts.Stopwords {
+		writeString(bw, sw)
+	}
+	// Documents.
+	docs := d.store.Docs()
+	writeUvarint(bw, uint64(len(docs)))
+	for _, doc := range docs {
+		writeString(bw, doc.Name)
+		writeString(bw, xmltree.XMLString(doc.Root))
+	}
+	// Index.
+	if d.idx == nil {
+		if err := bw.WriteByte(0); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := bw.WriteByte(1); err != nil {
+		return err
+	}
+	terms := d.idx.TermsByFreq()
+	writeUvarint(bw, uint64(len(terms)))
+	for _, term := range terms {
+		writeString(bw, term)
+		ps := d.idx.Postings(term)
+		writeUvarint(bw, uint64(len(ps)))
+		lastDoc := storage.DocID(-1)
+		lastPos := uint32(0)
+		for _, p := range ps {
+			writeUvarint(bw, uint64(p.Doc))
+			writeUvarint(bw, uint64(p.Node))
+			if p.Doc != lastDoc {
+				writeUvarint(bw, uint64(p.Pos))
+				lastDoc, lastPos = p.Doc, p.Pos
+			} else {
+				writeUvarint(bw, uint64(p.Pos-lastPos))
+				lastPos = p.Pos
+			}
+			writeUvarint(bw, uint64(p.Offset))
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the database to path.
+func (d *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("db: %w", err)
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("db: load: bad magic %q", magic)
+	}
+	stem, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	nStop, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{Stemming: stem == 1}
+	for i := uint64(0); i < nStop; i++ {
+		sw, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		opts.Stopwords = append(opts.Stopwords, sw)
+	}
+	d := New(opts)
+
+	nDocs, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nDocs; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		xmlSrc, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.LoadString(name, xmlSrc); err != nil {
+			return nil, err
+		}
+	}
+
+	hasIndex, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	if hasIndex == 0 {
+		return d, nil
+	}
+	nTerms, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	postings := make(map[string][]index.Posting, nTerms)
+	for i := uint64(0); i < nTerms; i++ {
+		term, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		nPost, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		const sanity = 1 << 31
+		if nPost > sanity {
+			return nil, fmt.Errorf("db: load: implausible posting count %d for %q", nPost, term)
+		}
+		ps := make([]index.Posting, 0, nPost)
+		lastDoc := storage.DocID(-1)
+		lastPos := uint32(0)
+		for j := uint64(0); j < nPost; j++ {
+			docV, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			nodeV, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			posV, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			offV, err := readUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			doc := storage.DocID(docV)
+			var pos uint32
+			if doc != lastDoc {
+				pos = uint32(posV)
+			} else {
+				pos = lastPos + uint32(posV)
+			}
+			lastDoc, lastPos = doc, pos
+			ps = append(ps, index.Posting{
+				Doc:    doc,
+				Node:   int32(nodeV),
+				Pos:    pos,
+				Offset: uint32(offV),
+			})
+		}
+		postings[term] = ps
+	}
+	idx, err := index.Restore(d.store, d.tok, postings)
+	if err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	d.idx = idx
+	return d, nil
+}
+
+// LoadDBFile reads a database file written by SaveFile.
+func LoadDBFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("db: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("db: load: %w", err)
+	}
+	return v, nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	const maxString = 1 << 30
+	if n > maxString {
+		return "", fmt.Errorf("db: load: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("db: load: %w", err)
+	}
+	return string(buf), nil
+}

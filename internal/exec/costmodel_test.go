@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// These tests pin the store-traffic asymmetries that produce the paper's
+// table shapes, independent of wall-clock noise: Comp2's cost is dominated
+// by the element-extent scan (flat in term frequency), Comp1's ancestor
+// materialization scales with occurrences × depth, and TermJoin touches
+// each participating element a constant number of times.
+
+func TestComp2TrafficIsFlatInFrequency(t *testing.T) {
+	lo := buildSynthIndex(t, map[string]int{"ctla": 20, "ctlb": 20}, 31)
+	hi := buildSynthIndex(t, map[string]int{"ctla": 400, "ctlb": 400}, 31)
+	q := TermQuery{Terms: []string{"ctla", "ctlb"}, Scorer: DefaultScorer{}}
+
+	c2lo := &Comp2{Index: lo, Acc: storage.NewAccessor(lo.Store()), Query: q}
+	if _, err := Collect(c2lo.Run); err != nil {
+		t.Fatal(err)
+	}
+	c2hi := &Comp2{Index: hi, Acc: storage.NewAccessor(hi.Store()), Query: q}
+	if _, err := Collect(c2hi.Run); err != nil {
+		t.Fatal(err)
+	}
+	// Same corpus size, 20× the term frequency: Comp2's reads are
+	// dominated by the extent scan and must grow far less than 20×.
+	ratio := float64(c2hi.Acc.Stats.NodeReads) / float64(c2lo.Acc.Stats.NodeReads)
+	if ratio > 3 {
+		t.Errorf("Comp2 reads grew %.1f× for 20× frequency; expected near-flat", ratio)
+	}
+	// And the extent scan floor: at least one read per element per term.
+	elements := int64(len(lo.Store().Docs()[0].Elements()))
+	if c2lo.Acc.Stats.NodeReads < 2*elements {
+		t.Errorf("Comp2 reads %d < 2×elements %d; extent scan missing?", c2lo.Acc.Stats.NodeReads, 2*elements)
+	}
+}
+
+func TestComp1TrafficScalesWithFrequency(t *testing.T) {
+	lo := buildSynthIndex(t, map[string]int{"ctla": 20, "ctlb": 20}, 32)
+	hi := buildSynthIndex(t, map[string]int{"ctla": 400, "ctlb": 400}, 32)
+	q := TermQuery{Terms: []string{"ctla", "ctlb"}, Scorer: DefaultScorer{}}
+
+	c1lo := &Comp1{Index: lo, Acc: storage.NewAccessor(lo.Store()), Query: q}
+	if _, err := Collect(c1lo.Run); err != nil {
+		t.Fatal(err)
+	}
+	c1hi := &Comp1{Index: hi, Acc: storage.NewAccessor(hi.Store()), Query: q}
+	if _, err := Collect(c1hi.Run); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(c1hi.Acc.Stats.NodeReads) / float64(c1lo.Acc.Stats.NodeReads)
+	// 20× the occurrences: the per-occurrence ancestor materialization
+	// must grow close to proportionally (ancestor sharing causes some
+	// sublinearity at the top of the tree).
+	if ratio < 5 {
+		t.Errorf("Comp1 reads grew only %.1f× for 20× frequency; materialization missing?", ratio)
+	}
+}
+
+func TestTermJoinTrafficBeatsComp1(t *testing.T) {
+	idx := buildSynthIndex(t, map[string]int{"ctla": 400, "ctlb": 400}, 33)
+	q := TermQuery{Terms: []string{"ctla", "ctlb"}, Scorer: DefaultScorer{}}
+	tj := &TermJoin{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if _, err := Collect(tj.Run); err != nil {
+		t.Fatal(err)
+	}
+	c1 := &Comp1{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if _, err := Collect(c1.Run); err != nil {
+		t.Fatal(err)
+	}
+	c2 := &Comp2{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if _, err := Collect(c2.Run); err != nil {
+		t.Fatal(err)
+	}
+	if tj.Acc.Stats.NodeReads >= c1.Acc.Stats.NodeReads {
+		t.Errorf("TermJoin reads %d ≥ Comp1 reads %d", tj.Acc.Stats.NodeReads, c1.Acc.Stats.NodeReads)
+	}
+	if tj.Acc.Stats.NodeReads >= c2.Acc.Stats.NodeReads {
+		t.Errorf("TermJoin reads %d ≥ Comp2 reads %d", tj.Acc.Stats.NodeReads, c2.Acc.Stats.NodeReads)
+	}
+}
+
+func TestGenMeetTrafficBetweenTermJoinAndComposites(t *testing.T) {
+	idx := buildSynthIndex(t, map[string]int{"ctla": 300, "ctlb": 300}, 34)
+	q := TermQuery{Terms: []string{"ctla", "ctlb"}, Complex: true, Scorer: DefaultScorer{}}
+	tj := &TermJoin{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if _, err := Collect(tj.Run); err != nil {
+		t.Fatal(err)
+	}
+	gm := &GenMeet{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if _, err := Collect(gm.Run); err != nil {
+		t.Fatal(err)
+	}
+	c2 := &Comp2{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if _, err := Collect(c2.Run); err != nil {
+		t.Fatal(err)
+	}
+	if gm.Acc.Stats.NodeReads < tj.Acc.Stats.NodeReads {
+		t.Errorf("GenMeet reads %d < TermJoin reads %d; expected TermJoin minimal",
+			gm.Acc.Stats.NodeReads, tj.Acc.Stats.NodeReads)
+	}
+	if gm.Acc.Stats.NodeReads >= c2.Acc.Stats.NodeReads {
+		t.Errorf("GenMeet reads %d ≥ Comp2 reads %d; expected between",
+			gm.Acc.Stats.NodeReads, c2.Acc.Stats.NodeReads)
+	}
+}

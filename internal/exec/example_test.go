@@ -1,0 +1,83 @@
+package exec_test
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/scoring"
+	"repro/internal/storage"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+func buildExampleIndex() *index.Index {
+	s := storage.NewStore()
+	doc := `<article>
+		<sec><p>stack based join</p><p>term join scores</p></sec>
+		<sec><p>unrelated content</p></sec>
+	</article>`
+	if _, err := s.AddTree("a.xml", xmltree.MustParse(doc)); err != nil {
+		panic(err)
+	}
+	return index.Build(s, tokenize.New())
+}
+
+// ExampleTermJoin scores every element containing query terms in one
+// stack-based merge pass (Fig. 11 of the paper).
+func ExampleTermJoin() {
+	idx := buildExampleIndex()
+	tj := &exec.TermJoin{
+		Index: idx,
+		Acc:   storage.NewAccessor(idx.Store()),
+		Query: exec.TermQuery{
+			Terms:  []string{"join", "scores"},
+			Scorer: exec.DefaultScorer{SimpleFn: scoring.SimpleScorer{Weights: []float64{0.8, 0.6}}},
+		},
+	}
+	results, err := exec.Collect(tj.Run)
+	if err != nil {
+		panic(err)
+	}
+	store := idx.Store()
+	doc := store.Doc(0)
+	for _, n := range results {
+		fmt.Printf("<%s> %.1f\n", store.Tags.Name(doc.Nodes[n.Ord].Tag), n.Score)
+	}
+	// Output:
+	// <p> 0.8
+	// <p> 1.4
+	// <sec> 2.2
+	// <article> 2.2
+}
+
+// ExamplePhraseFinder verifies phrase adjacency during posting
+// intersection using the word offsets kept in the index (Sec. 5.1.2).
+func ExamplePhraseFinder() {
+	idx := buildExampleIndex()
+	pf := &exec.PhraseFinder{Index: idx, Phrase: []string{"term", "join"}}
+	ms, err := exec.CollectPhrase(pf.Run)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(ms), "phrase occurrence(s)")
+	// "based join" is not "term join"; only the second paragraph matches.
+	// Output: 1 phrase occurrence(s)
+}
+
+// ExampleStackPick eliminates granularity redundancy: a worthy parent
+// subsumes its relevant children (Fig. 12).
+func ExampleStackPick() {
+	// A section whose two paragraphs are both relevant: the section is
+	// worth returning and subsumes them.
+	nodes := []exec.PickNode{
+		{Ord: 0, Start: 0, End: 10, Level: 0, Score: 2.0, HasScore: true},
+		{Ord: 1, Start: 1, End: 4, Level: 1, Score: 1.0, HasScore: true},
+		{Ord: 2, Start: 5, End: 9, Level: 1, Score: 1.0, HasScore: true},
+	}
+	picked := exec.StackPick(nodes, exec.DefaultPickFuncs(0.8))
+	for _, p := range picked {
+		fmt.Printf("ord %d score %.1f\n", p.Ord, p.Score)
+	}
+	// Output: ord 0 score 2.0
+}

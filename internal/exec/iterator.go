@@ -1,0 +1,366 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Iterator is the pull-based (Open/Next/Close) operator interface of a
+// classic pipelined query engine, provided so TIX plans can be composed in
+// the volcano style the paper assumes ("a set-oriented, pipelined,
+// database-style query evaluation engine", Sec. 5). Score-generating
+// access methods are inherently push-based single passes; BlockingSource
+// adapts them by draining on Open (they are the paper's blocking
+// operators), while scans, filters, limits and merges stream.
+type Iterator interface {
+	// Open prepares the iterator; it must be called exactly once before
+	// Next.
+	Open() error
+	// Next returns the next element, or ok=false at end of stream.
+	Next() (n ScoredNode, ok bool, err error)
+	// Close releases resources; safe to call after a failed Open.
+	Close() error
+}
+
+// Drain runs an iterator to completion and returns its output.
+func Drain(it Iterator) ([]ScoredNode, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []ScoredNode
+	for {
+		n, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, n)
+	}
+}
+
+// SliceSource streams a fixed slice.
+type SliceSource struct {
+	Nodes []ScoredNode
+	pos   int
+}
+
+// Open resets the cursor.
+func (s *SliceSource) Open() error { s.pos = 0; return nil }
+
+// Next yields the next element.
+func (s *SliceSource) Next() (ScoredNode, bool, error) {
+	if s.pos >= len(s.Nodes) {
+		return ScoredNode{}, false, nil
+	}
+	n := s.Nodes[s.pos]
+	s.pos++
+	return n, true, nil
+}
+
+// Close is a no-op.
+func (s *SliceSource) Close() error { return nil }
+
+// BlockingSource adapts a push-based access method (TermJoin, Comp1, …) to
+// the iterator interface by running it to completion on Open.
+type BlockingSource struct {
+	Run func(Emit) error
+	buf []ScoredNode
+	pos int
+}
+
+// Open drains the wrapped access method.
+func (b *BlockingSource) Open() error {
+	if b.Run == nil {
+		return fmt.Errorf("exec: BlockingSource without a Run function")
+	}
+	b.buf = b.buf[:0]
+	b.pos = 0
+	return b.Run(func(n ScoredNode) { b.buf = append(b.buf, n) })
+}
+
+// Next yields the next buffered element.
+func (b *BlockingSource) Next() (ScoredNode, bool, error) {
+	if b.pos >= len(b.buf) {
+		return ScoredNode{}, false, nil
+	}
+	n := b.buf[b.pos]
+	b.pos++
+	return n, true, nil
+}
+
+// Close releases the buffer.
+func (b *BlockingSource) Close() error { b.buf = nil; return nil }
+
+// IndexScan streams one posting list as zero-scored occurrences (Doc/Ord
+// of the containing text node; Score carries the within-node offset count
+// of 1) — the leaf access path score generation starts from (Sec. 5.1).
+type IndexScan struct {
+	Index *index.Index
+	Term  string
+	list  []index.Posting
+	pos   int
+}
+
+// Open resolves the term through the index tokenizer.
+func (s *IndexScan) Open() error {
+	if s.Index == nil {
+		return fmt.Errorf("exec: IndexScan without an index")
+	}
+	s.list = s.Index.Postings(s.Index.Tokenizer().Normalize(s.Term))
+	s.pos = 0
+	return nil
+}
+
+// Next yields the next occurrence.
+func (s *IndexScan) Next() (ScoredNode, bool, error) {
+	if s.pos >= len(s.list) {
+		return ScoredNode{}, false, nil
+	}
+	p := s.list[s.pos]
+	s.pos++
+	return ScoredNode{Doc: p.Doc, Ord: p.Node, Score: 1}, true, nil
+}
+
+// Close is a no-op.
+func (s *IndexScan) Close() error { return nil }
+
+// ElementScan streams every element of a document in document order with a
+// null (zero) score — the extent scan Comp2 pays for.
+type ElementScan struct {
+	Store *storage.Store
+	Doc   storage.DocID
+	Tag   string // optional; empty scans all elements
+	list  []int32
+	pos   int
+}
+
+// Open materializes the extent reference (no copying).
+func (s *ElementScan) Open() error {
+	doc := s.Store.Doc(s.Doc)
+	if doc == nil {
+		return fmt.Errorf("exec: ElementScan of unknown document %d", s.Doc)
+	}
+	if s.Tag == "" {
+		s.list = doc.Elements()
+	} else {
+		tid, ok := s.Store.Tags.Lookup(s.Tag)
+		if !ok {
+			s.list = nil
+		} else {
+			s.list = doc.TagExtent(tid)
+		}
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next yields the next element.
+func (s *ElementScan) Next() (ScoredNode, bool, error) {
+	if s.pos >= len(s.list) {
+		return ScoredNode{}, false, nil
+	}
+	ord := s.list[s.pos]
+	s.pos++
+	return ScoredNode{Doc: s.Doc, Ord: ord}, true, nil
+}
+
+// Close is a no-op.
+func (s *ElementScan) Close() error { return nil }
+
+// Filter streams the elements of its input for which Pred returns true
+// (the Threshold operator's V condition is Filter with a score predicate).
+type Filter struct {
+	Input Iterator
+	Pred  func(ScoredNode) bool
+}
+
+// Open opens the input.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next pulls until the predicate accepts.
+func (f *Filter) Next() (ScoredNode, bool, error) {
+	for {
+		n, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return n, ok, err
+		}
+		if f.Pred(n) {
+			return n, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Limit passes through at most N elements.
+type Limit struct {
+	Input Iterator
+	N     int
+	seen  int
+}
+
+// Open opens the input.
+func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
+
+// Next stops after N elements.
+func (l *Limit) Next() (ScoredNode, bool, error) {
+	if l.seen >= l.N {
+		return ScoredNode{}, false, nil
+	}
+	n, ok, err := l.Input.Next()
+	if ok {
+		l.seen++
+	}
+	return n, ok, err
+}
+
+// Close closes the input.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// SortByScore is the blocking sort operator: it drains its input on Open
+// and streams it back by descending score (ties by document order).
+type SortByScore struct {
+	Input Iterator
+	buf   []ScoredNode
+	pos   int
+}
+
+// Open drains and sorts.
+func (s *SortByScore) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.pos = 0
+	for {
+		n, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.buf = append(s.buf, n)
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool {
+		if s.buf[i].Score != s.buf[j].Score {
+			return s.buf[i].Score > s.buf[j].Score
+		}
+		if s.buf[i].Doc != s.buf[j].Doc {
+			return s.buf[i].Doc < s.buf[j].Doc
+		}
+		return s.buf[i].Ord < s.buf[j].Ord
+	})
+	return nil
+}
+
+// Next yields the next sorted element.
+func (s *SortByScore) Next() (ScoredNode, bool, error) {
+	if s.pos >= len(s.buf) {
+		return ScoredNode{}, false, nil
+	}
+	n := s.buf[s.pos]
+	s.pos++
+	return n, true, nil
+}
+
+// Close closes the input and releases the buffer.
+func (s *SortByScore) Close() error {
+	s.buf = nil
+	return s.Input.Close()
+}
+
+// MergeUnion streams the score-merged union of two document-ordered inputs
+// (the set-union access method of Example 5.2): elements present in both
+// inputs appear once with score w1·a + w2·b; elements in one input keep
+// that side's weighted score. Inputs must be ordered by (Doc, Ord).
+type MergeUnion struct {
+	Left, Right   Iterator
+	WLeft, WRight float64
+	l, r          ScoredNode
+	lOK, rOK      bool
+	primed        bool
+}
+
+// Open opens both inputs.
+func (m *MergeUnion) Open() error {
+	if m.WLeft == 0 && m.WRight == 0 {
+		m.WLeft, m.WRight = 1, 1
+	}
+	if err := m.Left.Open(); err != nil {
+		return err
+	}
+	if err := m.Right.Open(); err != nil {
+		return err
+	}
+	m.primed = false
+	return nil
+}
+
+func (m *MergeUnion) prime() error {
+	var err error
+	m.l, m.lOK, err = m.Left.Next()
+	if err != nil {
+		return err
+	}
+	m.r, m.rOK, err = m.Right.Next()
+	if err != nil {
+		return err
+	}
+	m.primed = true
+	return nil
+}
+
+func nodeLess(a, b ScoredNode) bool {
+	if a.Doc != b.Doc {
+		return a.Doc < b.Doc
+	}
+	return a.Ord < b.Ord
+}
+
+// Next yields the next merged element.
+func (m *MergeUnion) Next() (ScoredNode, bool, error) {
+	if !m.primed {
+		if err := m.prime(); err != nil {
+			return ScoredNode{}, false, err
+		}
+	}
+	var err error
+	switch {
+	case !m.lOK && !m.rOK:
+		return ScoredNode{}, false, nil
+	case m.lOK && (!m.rOK || nodeLess(m.l, m.r)):
+		out := ScoredNode{Doc: m.l.Doc, Ord: m.l.Ord, Score: m.WLeft * m.l.Score}
+		m.l, m.lOK, err = m.Left.Next()
+		return out, true, err
+	case m.rOK && (!m.lOK || nodeLess(m.r, m.l)):
+		out := ScoredNode{Doc: m.r.Doc, Ord: m.r.Ord, Score: m.WRight * m.r.Score}
+		m.r, m.rOK, err = m.Right.Next()
+		return out, true, err
+	default: // equal keys: combine
+		out := ScoredNode{Doc: m.l.Doc, Ord: m.l.Ord, Score: m.WLeft*m.l.Score + m.WRight*m.r.Score}
+		m.l, m.lOK, err = m.Left.Next()
+		if err != nil {
+			return ScoredNode{}, false, err
+		}
+		m.r, m.rOK, err = m.Right.Next()
+		return out, true, err
+	}
+}
+
+// Close closes both inputs.
+func (m *MergeUnion) Close() error {
+	errL := m.Left.Close()
+	errR := m.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

@@ -1,0 +1,298 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scoring"
+	"repro/internal/storage"
+)
+
+func sn(doc, ord int, score float64) ScoredNode {
+	return ScoredNode{Doc: storage.DocID(doc), Ord: int32(ord), Score: score}
+}
+
+func TestSliceSourceAndDrain(t *testing.T) {
+	in := []ScoredNode{sn(0, 1, 1), sn(0, 2, 2)}
+	got, err := Drain(&SliceSource{Nodes: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("Drain = %v", got)
+	}
+	// Reopening restarts.
+	s := &SliceSource{Nodes: in}
+	if _, err := Drain(s); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 {
+		t.Errorf("reopen did not reset: %v", again)
+	}
+}
+
+func TestBlockingSourceWrapsTermJoin(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	q := TermQuery{Terms: []string{"search", "engine"}, Scorer: DefaultScorer{}}
+	tj := &TermJoin{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	it := &BlockingSource{Run: tj.Run}
+	got, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunTermJoin(idx, q, ChildCountNavigate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BlockingSource output differs")
+	}
+	empty := &BlockingSource{}
+	if err := empty.Open(); err == nil {
+		t.Errorf("BlockingSource without Run should fail Open")
+	}
+}
+
+func TestIndexScanAndElementScan(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	got, err := Drain(&IndexScan{Index: idx, Term: "Engines"}) // normalized to "engine"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != idx.TermFreq("engine") {
+		t.Errorf("IndexScan = %d occurrences, want %d", len(got), idx.TermFreq("engine"))
+	}
+	doc := idx.Store().DocByName("articles.xml")
+	all, err := Drain(&ElementScan{Store: idx.Store(), Doc: doc.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(doc.Elements()) {
+		t.Errorf("ElementScan = %d, want %d", len(all), len(doc.Elements()))
+	}
+	chapters, err := Drain(&ElementScan{Store: idx.Store(), Doc: doc.ID, Tag: "chapter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chapters) != 3 {
+		t.Errorf("chapter scan = %d, want 3", len(chapters))
+	}
+	none, err := Drain(&ElementScan{Store: idx.Store(), Doc: doc.ID, Tag: "nosuchtag"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unknown tag scan = %d", len(none))
+	}
+	bad := &ElementScan{Store: idx.Store(), Doc: 99}
+	if err := bad.Open(); err == nil {
+		t.Errorf("unknown doc should fail Open")
+	}
+}
+
+func TestFilterLimitSort(t *testing.T) {
+	in := []ScoredNode{sn(0, 1, 5), sn(0, 2, 1), sn(0, 3, 3), sn(0, 4, 4)}
+	got, err := Drain(&Limit{
+		N: 2,
+		Input: &SortByScore{Input: &Filter{
+			Input: &SliceSource{Nodes: in},
+			Pred:  func(n ScoredNode) bool { return n.Score > 1 },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Score != 5 || got[1].Score != 4 {
+		t.Errorf("pipeline = %v", got)
+	}
+}
+
+func TestMergeUnionAgainstAlgebraSemantics(t *testing.T) {
+	left := []ScoredNode{sn(0, 1, 1), sn(0, 3, 3), sn(1, 1, 5)}
+	right := []ScoredNode{sn(0, 2, 2), sn(0, 3, 4), sn(1, 9, 1)}
+	got, err := Drain(&MergeUnion{
+		Left:   &SliceSource{Nodes: left},
+		Right:  &SliceSource{Nodes: right},
+		WLeft:  2,
+		WRight: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ScoredNode{
+		sn(0, 1, 2),         // left only: 2*1
+		sn(0, 2, 1),         // right only: 0.5*2
+		sn(0, 3, 3*2+4*0.5), // both: 8
+		sn(1, 1, 10),
+		sn(1, 9, 0.5),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeUnionDefaultWeights(t *testing.T) {
+	got, err := Drain(&MergeUnion{
+		Left:  &SliceSource{Nodes: []ScoredNode{sn(0, 1, 1)}},
+		Right: &SliceSource{Nodes: []ScoredNode{sn(0, 1, 2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Score != 3 {
+		t.Errorf("default weights = %v", got)
+	}
+}
+
+func TestQuickMergeUnionMatchesMapUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() []ScoredNode {
+			var out []ScoredNode
+			ord := 0
+			for i := 0; i < rng.Intn(20); i++ {
+				ord += 1 + rng.Intn(3)
+				out = append(out, sn(0, ord, float64(rng.Intn(10))))
+			}
+			return out
+		}
+		left, right := gen(), gen()
+		got, err := Drain(&MergeUnion{
+			Left:  &SliceSource{Nodes: left},
+			Right: &SliceSource{Nodes: right},
+		})
+		if err != nil {
+			return false
+		}
+		want := map[int32]float64{}
+		for _, n := range left {
+			want[n.Ord] += n.Score
+		}
+		for _, n := range right {
+			want[n.Ord] += n.Score
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if !nodeLess(got[i-1], got[i]) {
+				return false
+			}
+		}
+		for _, n := range got {
+			if want[n.Ord] != n.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIteratorPlanEquivalentToTermJoinThreshold composes a full pipeline —
+// TermJoin source, V-threshold filter, sort, stop-after-K — and checks it
+// against the TopK access method.
+func TestIteratorPlanEquivalentToTermJoinThreshold(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	q := TermQuery{
+		Terms:  []string{"search", "engine", "internet"},
+		Scorer: DefaultScorer{SimpleFn: scoring.SimpleScorer{Weights: []float64{0.8, 0.8, 0.6}}},
+	}
+	tj := &TermJoin{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	plan := &Limit{
+		N: 3,
+		Input: &SortByScore{Input: &Filter{
+			Input: &BlockingSource{Run: tj.Run},
+			Pred:  func(n ScoredNode) bool { return n.Score > 1 },
+		}},
+	}
+	got, err := Drain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := NewTopK(3)
+	tj2 := &TermJoin{Index: idx, Acc: storage.NewAccessor(idx.Store()), Query: q}
+	if err := tj2.Run(FilterMinScore(1, tk.Emit())); err != nil {
+		t.Fatal(err)
+	}
+	want := tk.Results()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("plan = %v, want %v", got, want)
+	}
+}
+
+// errIter fails on demand, for error-propagation tests.
+type errIter struct {
+	failOpen bool
+	failNext bool
+}
+
+func (e *errIter) Open() error {
+	if e.failOpen {
+		return fmt.Errorf("open failed")
+	}
+	return nil
+}
+
+func (e *errIter) Next() (ScoredNode, bool, error) {
+	if e.failNext {
+		return ScoredNode{}, false, fmt.Errorf("next failed")
+	}
+	return ScoredNode{}, false, nil
+}
+
+func (e *errIter) Close() error { return nil }
+
+func TestIteratorErrorPropagation(t *testing.T) {
+	if _, err := Drain(&Filter{Input: &errIter{failOpen: true}, Pred: func(ScoredNode) bool { return true }}); err == nil {
+		t.Errorf("open error lost")
+	}
+	if _, err := Drain(&SortByScore{Input: &errIter{failNext: true}}); err == nil {
+		t.Errorf("next error lost in sort")
+	}
+	if _, err := Drain(&MergeUnion{Left: &errIter{failOpen: true}, Right: &SliceSource{}}); err == nil {
+		t.Errorf("merge open error lost")
+	}
+	if _, err := Drain(&MergeUnion{Left: &SliceSource{}, Right: &errIter{failNext: true}}); err == nil {
+		t.Errorf("merge next error lost")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Equal scores: document order breaks ties deterministically.
+	in := []ScoredNode{sn(1, 5, 2), sn(0, 9, 2), sn(0, 1, 2)}
+	got, err := Drain(&SortByScore{Input: &SliceSource{Nodes: in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []ScoredNode{sn(0, 1, 2), sn(0, 9, 2), sn(1, 5, 2)}
+	if !reflect.DeepEqual(got, wantOrder) {
+		t.Errorf("tie-break order = %v", got)
+	}
+	// And sanity: a random shuffle sorts by score desc.
+	rng := rand.New(rand.NewSource(2))
+	var big []ScoredNode
+	for i := 0; i < 100; i++ {
+		big = append(big, sn(0, i, float64(rng.Intn(20))))
+	}
+	sorted, err := Drain(&SortByScore{Input: &SliceSource{Nodes: big}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool {
+		return sorted[i].Score > sorted[j].Score ||
+			(sorted[i].Score == sorted[j].Score && sorted[i].Ord < sorted[j].Ord)
+	}) {
+		t.Errorf("not sorted")
+	}
+}

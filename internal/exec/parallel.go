@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// ParallelTermJoin evaluates a TermJoin across worker goroutines by
+// partitioning the document space — an extension beyond the paper (which
+// ran single-threaded on 2003 hardware) that exploits the fact that the
+// TermJoin stack never spans documents, so per-document work is
+// embarrassingly parallel. Results are identical to the sequential
+// TermJoin, emitted in the same (doc, pop) order after all workers finish.
+type ParallelTermJoin struct {
+	Index *index.Index
+	Query TermQuery
+	// Workers is the number of goroutines; 0 uses GOMAXPROCS.
+	Workers     int
+	ChildCounts ChildCountMode
+	// Stats accumulates the workers' combined store-access statistics
+	// after a Run.
+	Stats storage.AccessStats
+}
+
+// Run executes the partitions and emits the merged result. Each worker
+// uses its own storage accessor; per-worker access statistics are summed
+// into Stats.
+func (p *ParallelTermJoin) Run(emit Emit) error {
+	nDocs := len(p.Index.Store().Docs())
+	if nDocs == 0 {
+		return nil
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nDocs {
+		workers = nDocs
+	}
+	if workers == 1 {
+		tj := &TermJoin{
+			Index:       p.Index,
+			Acc:         storage.NewAccessor(p.Index.Store()),
+			Query:       p.Query,
+			ChildCounts: p.ChildCounts,
+		}
+		if err := tj.Run(emit); err != nil {
+			return err
+		}
+		p.Stats.Add(tj.Acc.Stats)
+		return nil
+	}
+
+	// Pre-resolve posting lists once so each worker can slice its document
+	// range without re-normalizing.
+	terms := normalizeTerms(p.Index, p.Query.Terms)
+	lists := make([][]index.Posting, len(terms))
+	for i := range terms {
+		lists[i] = p.Query.postings(p.Index, terms, i)
+	}
+
+	// Contiguous DocID ranges per worker.
+	type part struct {
+		loDoc, hiDoc storage.DocID // inclusive, exclusive
+	}
+	parts := make([]part, 0, workers)
+	per := nDocs / workers
+	extra := nDocs % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		parts = append(parts, part{storage.DocID(lo), storage.DocID(lo + n)})
+		lo += n
+	}
+
+	results := make([][]ScoredNode, workers)
+	stats := make([]storage.AccessStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pt := parts[w]
+			sub := make([][]index.Posting, len(lists))
+			for i, ps := range lists {
+				loIdx := sort.Search(len(ps), func(k int) bool { return ps[k].Doc >= pt.loDoc })
+				hiIdx := sort.Search(len(ps), func(k int) bool { return ps[k].Doc >= pt.hiDoc })
+				sub[i] = ps[loIdx:hiIdx]
+			}
+			q := p.Query
+			q.PostingLists = sub
+			acc := storage.NewAccessor(p.Index.Store())
+			tj := &TermJoin{Index: p.Index, Acc: acc, Query: q, ChildCounts: p.ChildCounts}
+			out, err := Collect(tj.Run)
+			if err != nil {
+				errs[w] = fmt.Errorf("exec: parallel worker %d: %w", w, err)
+				return
+			}
+			results[w] = out
+			stats[w] = acc.Stats
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for w := range results {
+		p.Stats.Add(stats[w])
+		for _, n := range results[w] {
+			emit(n)
+		}
+	}
+	return nil
+}

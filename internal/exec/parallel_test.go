@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/synth"
+	"repro/internal/tokenize"
+)
+
+// buildMultiDocIndex loads several generated documents so parallel
+// partitioning has real work per worker.
+func buildMultiDocIndex(t testing.TB, docs int) *index.Index {
+	t.Helper()
+	s := storage.NewStore()
+	for i := 0; i < docs; i++ {
+		cfg := synth.DefaultConfig()
+		cfg.Articles = 6
+		cfg.Seed = int64(100 + i)
+		cfg.ControlTerms = map[string]int{"ctla": 30, "ctlb": 20}
+		c, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddTree(fmt.Sprintf("doc%02d.xml", i), c.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return index.Build(s, tokenize.New())
+}
+
+func TestParallelTermJoinMatchesSequential(t *testing.T) {
+	idx := buildMultiDocIndex(t, 7)
+	for _, complex := range []bool{false, true} {
+		q := TermQuery{Terms: []string{"ctla", "ctlb"}, Complex: complex, Scorer: DefaultScorer{}}
+		want, err := RunTermJoin(idx, q, ChildCountNavigate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 7, 50} {
+			p := &ParallelTermJoin{Index: idx, Query: q, Workers: workers}
+			got, err := Collect(p.Run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d complex=%v: %d results, want %d", workers, complex, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d complex=%v: result %d = %+v, want %+v",
+						workers, complex, i, got[i], want[i])
+				}
+			}
+			if p.Stats.NodeReads == 0 {
+				t.Errorf("workers=%d: stats not accumulated", workers)
+			}
+		}
+	}
+}
+
+func TestParallelTermJoinEmptyStore(t *testing.T) {
+	idx := index.Build(storage.NewStore(), tokenize.New())
+	p := &ParallelTermJoin{Index: idx, Query: TermQuery{Terms: []string{"x"}, Scorer: DefaultScorer{}}}
+	got, err := Collect(p.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty store produced %d results", len(got))
+	}
+}
+
+func TestParallelTermJoinPropagatesErrors(t *testing.T) {
+	idx := buildMultiDocIndex(t, 3)
+	p := &ParallelTermJoin{Index: idx, Query: TermQuery{Terms: []string{"ctla"}}, Workers: 2}
+	if err := p.Run(func(ScoredNode) {}); err == nil {
+		t.Errorf("missing scorer should propagate an error")
+	}
+}
+
+func TestParallelTermJoinWithPhrasePseudoTerm(t *testing.T) {
+	idx := buildMultiDocIndex(t, 4)
+	pf := &PhraseFinder{Index: idx, Phrase: []string{"ctla"}}
+	ms, err := CollectPhrase(pf.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := TermQuery{
+		Terms:        []string{"ctla-as-phrase"},
+		PostingLists: [][]index.Posting{PhrasePostings(ms)},
+		Scorer:       DefaultScorer{},
+	}
+	want, err := RunTermJoin(idx, q, ChildCountNavigate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ParallelTermJoin{Index: idx, Query: q, Workers: 3}
+	got, err := Collect(p.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pseudo-term parallel: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pseudo-term result %d differs", i)
+		}
+	}
+}

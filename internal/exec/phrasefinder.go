@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// PhraseMatch is one phrase occurrence: the text node containing it and the
+// absolute word position of its first term. A phrase match list is
+// interchangeable with a term posting list, so phrase scores can feed the
+// same downstream operators (e.g. TermJoin over phrases).
+type PhraseMatch struct {
+	Doc storage.DocID
+	// Node is the text node containing the whole phrase.
+	Node int32
+	// Pos is the absolute position of the phrase's first word.
+	Pos uint32
+}
+
+// PhraseFinder is the access method of Sec. 5.1.2: it intersects the
+// posting lists of the phrase's terms and uses the word-offset information
+// kept in the index to verify phrase adjacency during the intersection
+// itself — no post-hoc re-fetch of document text is needed.
+type PhraseFinder struct {
+	Index *index.Index
+	// Phrase is the term sequence, e.g. ["information", "retrieval"].
+	Phrase []string
+}
+
+// Run emits every occurrence of the phrase in position order.
+func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
+	if len(p.Phrase) == 0 {
+		return fmt.Errorf("exec: PhraseFinder requires a non-empty phrase")
+	}
+	terms := normalizeTerms(p.Index, p.Phrase)
+	first := p.Index.Postings(terms[0])
+	if len(terms) == 1 {
+		for _, occ := range first {
+			emit(PhraseMatch{Doc: occ.Doc, Node: occ.Node, Pos: occ.Pos})
+		}
+		return nil
+	}
+	cursors := make([]*index.Cursor, len(terms)-1)
+	for i, t := range terms[1:] {
+		cursors[i] = index.NewCursor(p.Index.Postings(t))
+	}
+	// Merge: for each occurrence of the first term at position q, the
+	// phrase matches iff term i+1 occurs at q+i+1 (same document; adjacency
+	// in the shared word-position space implies the same text node).
+	for _, occ := range first {
+		ok := true
+		for i, c := range cursors {
+			want := occ.Pos + uint32(i+1)
+			c.SeekPos(occ.Doc, want)
+			if !c.Valid() {
+				ok = false
+				break
+			}
+			cur := c.Cur()
+			if cur.Doc != occ.Doc || cur.Pos != want || cur.Node != occ.Node {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			emit(PhraseMatch{Doc: occ.Doc, Node: occ.Node, Pos: occ.Pos})
+		}
+	}
+	return nil
+}
+
+// CollectPhrase runs a phrase search and returns the matches.
+func CollectPhrase(f func(func(PhraseMatch)) error) ([]PhraseMatch, error) {
+	var out []PhraseMatch
+	err := f(func(m PhraseMatch) { out = append(out, m) })
+	return out, err
+}
+
+// Comp3 is the composite baseline PhraseFinder is compared against in
+// Sec. 6.2: an index access per term, an intersection of the returned
+// element (text node) identifiers, and then a filter pass that re-fetches
+// each candidate node's text from the store and verifies that the phrase
+// terms appear exactly one offset apart, in order. The extra work at the
+// filter level — re-tokenizing candidate text, which grows with the
+// intersection size — is what PhraseFinder avoids.
+type Comp3 struct {
+	Index  *index.Index
+	Acc    *storage.Accessor
+	Phrase []string
+}
+
+// Run emits every occurrence of the phrase, in position order.
+func (c *Comp3) Run(emit func(PhraseMatch)) error {
+	if len(c.Phrase) == 0 {
+		return fmt.Errorf("exec: Comp3 requires a non-empty phrase")
+	}
+	terms := normalizeTerms(c.Index, c.Phrase)
+
+	type nodeKey struct {
+		doc  storage.DocID
+		node int32
+	}
+	// Index access per term: materialize the set of text nodes containing
+	// the term, then intersect.
+	var candidates map[nodeKey]bool
+	for _, term := range terms {
+		now := map[nodeKey]bool{}
+		for _, p := range c.Index.Postings(term) {
+			now[nodeKey{p.Doc, p.Node}] = true
+		}
+		if candidates == nil {
+			candidates = now
+			continue
+		}
+		for k := range candidates {
+			if !now[k] {
+				delete(candidates, k)
+			}
+		}
+	}
+	keys := make([]nodeKey, 0, len(candidates))
+	for k := range candidates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].doc != keys[j].doc {
+			return keys[i].doc < keys[j].doc
+		}
+		return keys[i].node < keys[j].node
+	})
+
+	// Filter: fetch each candidate's text and verify offsets.
+	tok := c.Index.Tokenizer()
+	for _, k := range keys {
+		text := c.Acc.Text(k.doc, k.node)
+		toks := tok.Tokenize(text)
+		start := c.Acc.Node(k.doc, k.node).Start
+		for i := 0; i+len(terms) <= len(toks); i++ {
+			match := true
+			for j, t := range terms {
+				if toks[i+j].Term != t || toks[i+j].Offset != toks[i].Offset+uint32(j) {
+					match = false
+					break
+				}
+			}
+			if match {
+				emit(PhraseMatch{Doc: k.doc, Node: k.node, Pos: start + toks[i].Offset})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/synth"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+func phraseKeyList(ms []PhraseMatch) [][3]int64 {
+	out := make([][3]int64, len(ms))
+	for i, m := range ms {
+		out[i] = [3]int64{int64(m.Doc), int64(m.Node), int64(m.Pos)}
+	}
+	return out
+}
+
+// brutePhrase scans every text node with the tokenizer.
+func brutePhrase(idx *index.Index, phrase []string) []PhraseMatch {
+	tok := idx.Tokenizer()
+	var out []PhraseMatch
+	norm := normalizeTerms(idx, phrase)
+	for _, doc := range idx.Store().Docs() {
+		for ord := range doc.Nodes {
+			rec := &doc.Nodes[ord]
+			if rec.Kind != xmltree.Text {
+				continue
+			}
+			toks := tok.Tokenize(rec.Text)
+			for i := 0; i+len(norm) <= len(toks); i++ {
+				ok := true
+				for j, term := range norm {
+					if toks[i+j].Term != term || toks[i+j].Offset != toks[i].Offset+uint32(j) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, PhraseMatch{Doc: doc.ID, Node: int32(ord), Pos: rec.Start + toks[i].Offset})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestPhraseFinderOnFixture(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	for _, phrase := range [][]string{
+		{"search", "engine"},
+		{"information", "retrieval"},
+		{"internet", "technologies"},
+		{"search", "engine", "basics"},
+	} {
+		pf := &PhraseFinder{Index: idx, Phrase: phrase}
+		got, err := CollectPhrase(pf.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brutePhrase(idx, phrase)
+		if !reflect.DeepEqual(phraseKeyList(got), phraseKeyList(want)) {
+			t.Errorf("phrase %v: got %v, want %v", phrase, got, want)
+		}
+		if len(want) == 0 {
+			t.Errorf("phrase %v: empty workload, fixture broken?", phrase)
+		}
+	}
+}
+
+func TestComp3MatchesPhraseFinder(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	for _, phrase := range [][]string{
+		{"search", "engine"},
+		{"information", "retrieval"},
+		{"search", "engine", "basics"},
+	} {
+		pf := &PhraseFinder{Index: idx, Phrase: phrase}
+		want, err := CollectPhrase(pf.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c3 := &Comp3{Index: idx, Acc: storage.NewAccessor(idx.Store()), Phrase: phrase}
+		got, err := CollectPhrase(c3.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(phraseKeyList(got), phraseKeyList(want)) {
+			t.Errorf("phrase %v: Comp3 %v, PhraseFinder %v", phrase, got, want)
+		}
+	}
+}
+
+func TestPhraseFinderNoFalsePositivesAcrossNodes(t *testing.T) {
+	// "alpha" at the end of one text node, "beta" at the start of the next:
+	// not a phrase.
+	s := storage.NewStore()
+	if _, err := s.AddTree("x.xml", xmltree.MustParse(`<r><p>say alpha</p><p>beta now</p><p>alpha beta</p></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	idx := index.Build(s, tokenize.New())
+	pf := &PhraseFinder{Index: idx, Phrase: []string{"alpha", "beta"}}
+	got, err := CollectPhrase(pf.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1 (cross-node adjacency must not match)", len(got))
+	}
+	doc := s.DocByName("x.xml")
+	if doc.Nodes[got[0].Node].Text != "alpha beta" {
+		t.Errorf("matched wrong node: %q", doc.Nodes[got[0].Node].Text)
+	}
+}
+
+func TestPhraseFinderRepeatedTermPhrase(t *testing.T) {
+	s := storage.NewStore()
+	if _, err := s.AddTree("x.xml", xmltree.MustParse(`<r><p>go go go stop go go</p></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	idx := index.Build(s, tokenize.New())
+	pf := &PhraseFinder{Index: idx, Phrase: []string{"go", "go"}}
+	got, err := CollectPhrase(pf.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "go go go stop go go": matches at offsets 0,1 and 4.
+	if len(got) != 3 {
+		t.Errorf("matches = %d, want 3", len(got))
+	}
+	want := brutePhrase(idx, []string{"go", "go"})
+	if !reflect.DeepEqual(phraseKeyList(got), phraseKeyList(want)) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestPhraseFinderSingleTermAndErrors(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	pf := &PhraseFinder{Index: idx, Phrase: []string{"internet"}}
+	got, err := CollectPhrase(pf.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != idx.TermFreq("internet") {
+		t.Errorf("single-term phrase = %d matches, want %d", len(got), idx.TermFreq("internet"))
+	}
+	pf = &PhraseFinder{Index: idx}
+	if err := pf.Run(func(PhraseMatch) {}); err == nil {
+		t.Errorf("empty phrase should error")
+	}
+	c3 := &Comp3{Index: idx, Acc: storage.NewAccessor(idx.Store())}
+	if err := c3.Run(func(PhraseMatch) {}); err == nil {
+		t.Errorf("Comp3 empty phrase should error")
+	}
+}
+
+func TestPhraseOnSynthCorpusWithPlantedPhrases(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Seed = 21
+	cfg.ControlTerms = map[string]int{"pha": 60, "phb": 45}
+	cfg.Phrases = []synth.PhraseSpec{{T1: "pha", T2: "phb", Together: 25}}
+	c, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := storage.NewStore()
+	if _, err := s.AddTree("corpus.xml", c.Root); err != nil {
+		t.Fatal(err)
+	}
+	idx := index.Build(s, tokenize.New())
+
+	pf := &PhraseFinder{Index: idx, Phrase: []string{"pha", "phb"}}
+	got, err := CollectPhrase(pf.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 25 {
+		t.Errorf("planted 25 phrases, found %d", len(got))
+	}
+	want := brutePhrase(idx, []string{"pha", "phb"})
+	if !reflect.DeepEqual(phraseKeyList(got), phraseKeyList(want)) {
+		t.Errorf("PhraseFinder disagrees with brute force: %d vs %d", len(got), len(want))
+	}
+	c3 := &Comp3{Index: idx, Acc: storage.NewAccessor(idx.Store()), Phrase: []string{"pha", "phb"}}
+	got3, err := CollectPhrase(c3.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(phraseKeyList(got3), phraseKeyList(want)) {
+		t.Errorf("Comp3 disagrees with brute force")
+	}
+}
+
+func TestComp3DoesMoreTextReads(t *testing.T) {
+	idx := buildFixtureIndex(t)
+	accPF := storage.NewAccessor(idx.Store())
+	pf := &PhraseFinder{Index: idx, Phrase: []string{"search", "engine"}}
+	if _, err := CollectPhrase(pf.Run); err != nil {
+		t.Fatal(err)
+	}
+	c3 := &Comp3{Index: idx, Acc: storage.NewAccessor(idx.Store()), Phrase: []string{"search", "engine"}}
+	if _, err := CollectPhrase(c3.Run); err != nil {
+		t.Fatal(err)
+	}
+	if accPF.Stats.TextReads != 0 {
+		t.Errorf("PhraseFinder must not read text (reads=%d)", accPF.Stats.TextReads)
+	}
+	if c3.Acc.Stats.TextReads == 0 {
+		t.Errorf("Comp3 must re-fetch candidate text")
+	}
+}

@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"sort"
+)
+
+// PickNode is one node of the scored tree streamed into the stack-based
+// Pick access method, in document order. HasScore distinguishes IR-nodes
+// (which participate in the pick decision) from plain structural content
+// (which is transparent).
+type PickNode struct {
+	Ord      int32
+	Start    uint32
+	End      uint32
+	Level    uint16
+	Score    float64
+	HasScore bool
+}
+
+// PickFuncs is the plug-in decision logic of the Pick algorithm (Fig. 12):
+// DetWorth decides whether a node is worth returning given its direct
+// children, and IsSameClass decides whether two nodes belong to the same
+// return class (vertical redundancy elimination drops a surviving
+// candidate when an unworthy ancestor shares its class). Relevant is the
+// relevance-score threshold candidates must pass.
+type PickFuncs struct {
+	Relevant  func(score float64) bool
+	DetWorth  func(n PickNode, children []PickNode) bool
+	SameClass func(a, b PickNode) bool
+}
+
+// DefaultPickFuncs mirrors algebra.DefaultCriterion: relevance means score
+// ≥ threshold; an interior node is worth returning when more than half of
+// its scored children are relevant (a node with no scored children falls
+// back to its own relevance); two nodes share a class when their levels
+// have equal parity (the Sec. 5.3 example).
+func DefaultPickFuncs(threshold float64) PickFuncs {
+	return PickFuncs{
+		Relevant: func(s float64) bool { return s >= threshold },
+		DetWorth: func(n PickNode, children []PickNode) bool {
+			relevant, total := 0, 0
+			for _, c := range children {
+				if !c.HasScore {
+					continue
+				}
+				total++
+				if c.Score >= threshold {
+					relevant++
+				}
+			}
+			if total == 0 {
+				return n.HasScore && n.Score >= threshold
+			}
+			return float64(relevant)/float64(total) > 0.5
+		},
+		SameClass: func(a, b PickNode) bool { return a.Level%2 == b.Level%2 },
+	}
+}
+
+// StackPick is the stack-based evaluation of the Pick operator (Fig. 12).
+// It makes a single pass over the scored tree's nodes in document order,
+// maintaining a stack of open elements. When a node closes, DetWorth is
+// evaluated with its direct children: a worthy node keeps its surviving
+// candidates (and joins them if relevant); an unworthy node finalizes its
+// survivors — those in a different return class are output, those in the
+// same class are eliminated as redundant. Survivors remaining when the
+// root closes are output.
+//
+// The pass is blocking only in the sense the paper describes: output for a
+// subtree is produced as soon as an ancestor is determined not worth
+// returning (or at end of input); no global materialization beyond the
+// open-ancestor stack and its survivor lists is needed.
+//
+// The input must be in document order; the returned picked nodes are in
+// document order.
+func StackPick(nodes []PickNode, f PickFuncs) []PickNode {
+	type frame struct {
+		node      PickNode
+		children  []PickNode
+		survivors []PickNode
+	}
+	var stack []*frame
+	var result []PickNode
+
+	close1 := func() {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var parent *frame
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+			parent.children = append(parent.children, e.node)
+		}
+		propagate := func(surv []PickNode) {
+			if parent != nil {
+				parent.survivors = append(parent.survivors, surv...)
+				return
+			}
+			// Final flush (Fig. 12's ending): the remaining survivors are
+			// all potentially worth returning; output the top node and the
+			// nodes in its class, preserving parent/child exclusion.
+			if len(surv) == 0 {
+				return
+			}
+			rep := surv[len(surv)-1]
+			result = append(result, rep)
+			for _, x := range surv[:len(surv)-1] {
+				if f.SameClass(x, rep) {
+					result = append(result, x)
+				}
+			}
+		}
+		if !e.node.HasScore {
+			propagate(e.survivors)
+			return
+		}
+		if f.DetWorth(e.node, e.children) {
+			if f.Relevant(e.node.Score) {
+				e.survivors = append(e.survivors, e.node)
+			}
+			propagate(e.survivors)
+			return
+		}
+		for _, x := range e.survivors {
+			if !f.SameClass(x, e.node) {
+				result = append(result, x)
+			}
+		}
+	}
+
+	for _, n := range nodes {
+		for len(stack) > 0 && stack[len(stack)-1].node.End < n.Start {
+			close1()
+		}
+		stack = append(stack, &frame{node: n})
+	}
+	for len(stack) > 0 {
+		close1()
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i].Start < result[j].Start })
+	return result
+}

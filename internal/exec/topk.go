@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK retains the k highest-scoring elements of a scored-node stream — the
+// physical evaluation of the Threshold operator's K condition, using the
+// bounded-heap technique the paper cites for global ranking [8, 5]. The
+// zero value is unusable; create with NewTopK.
+type TopK struct {
+	k int
+	h scoredHeap
+}
+
+// NewTopK returns a TopK keeping the k best elements.
+func NewTopK(k int) *TopK {
+	return &TopK{k: k}
+}
+
+// Offer considers one element.
+func (t *TopK) Offer(n ScoredNode) {
+	if t.k <= 0 {
+		return
+	}
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, n)
+		return
+	}
+	if n.Score > t.h[0].Score {
+		t.h[0] = n
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Results returns the retained elements in descending score order.
+func (t *TopK) Results() []ScoredNode {
+	out := append([]ScoredNode(nil), t.h...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Doc != out[j].Doc {
+			return out[i].Doc < out[j].Doc
+		}
+		return out[i].Ord < out[j].Ord
+	})
+	return out
+}
+
+// Emit returns an Emit that feeds the TopK, for composing with the
+// score-generating access methods.
+func (t *TopK) Emit() Emit {
+	return func(n ScoredNode) { t.Offer(n) }
+}
+
+type scoredHeap []ScoredNode
+
+func (h scoredHeap) Len() int            { return len(h) }
+func (h scoredHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(ScoredNode)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FilterMinScore returns an Emit that forwards only elements with score
+// strictly greater than min — the Threshold operator's V condition.
+func FilterMinScore(min float64, next Emit) Emit {
+	return func(n ScoredNode) {
+		if n.Score > min {
+			next(n)
+		}
+	}
+}
+
+// ScoreHistogram is the auxiliary data Sec. 5.3 proposes for Pick: an
+// equi-width histogram of data IR-node scores that lets users (and the
+// Pick evaluator) turn a fraction — "the top 10% most relevant nodes" —
+// into a concrete relevance-score threshold without sorting the input.
+type ScoreHistogram struct {
+	min, max float64
+	buckets  []int
+	total    int
+}
+
+// NewScoreHistogram builds a histogram with the given number of buckets
+// over the scores of nodes. At least one bucket is always allocated.
+func NewScoreHistogram(nodes []ScoredNode, buckets int) *ScoreHistogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	h := &ScoreHistogram{buckets: make([]int, buckets)}
+	if len(nodes) == 0 {
+		return h
+	}
+	h.min, h.max = nodes[0].Score, nodes[0].Score
+	for _, n := range nodes {
+		if n.Score < h.min {
+			h.min = n.Score
+		}
+		if n.Score > h.max {
+			h.max = n.Score
+		}
+	}
+	for _, n := range nodes {
+		h.buckets[h.bucket(n.Score)]++
+		h.total++
+	}
+	return h
+}
+
+func (h *ScoreHistogram) bucket(s float64) int {
+	if h.max == h.min {
+		return 0
+	}
+	b := int(float64(len(h.buckets)) * (s - h.min) / (h.max - h.min))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Total returns the number of recorded scores.
+func (h *ScoreHistogram) Total() int { return h.total }
+
+// ThresholdForTopFraction returns a score threshold such that
+// approximately frac of the recorded nodes score at or above it (resolution
+// limited by the bucket width). frac outside (0,1] returns the minimum.
+func (h *ScoreHistogram) ThresholdForTopFraction(frac float64) float64 {
+	if h.total == 0 || frac <= 0 {
+		return h.max
+	}
+	if frac >= 1 {
+		return h.min
+	}
+	want := int(frac * float64(h.total))
+	if want < 1 {
+		want = 1
+	}
+	seen := 0
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		seen += h.buckets[i]
+		if seen >= want {
+			width := (h.max - h.min) / float64(len(h.buckets))
+			return h.min + float64(i)*width
+		}
+	}
+	return h.min
+}
+
+// CountAbove returns the number of recorded scores in buckets at or above
+// the bucket containing s — the estimate Pick uses to size its candidate
+// set without a scan.
+func (h *ScoreHistogram) CountAbove(s float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for i := h.bucket(s); i < len(h.buckets); i++ {
+		n += h.buckets[i]
+	}
+	return n
+}

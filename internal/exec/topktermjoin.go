@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// TopKTermJoin evaluates "TermJoin then keep the k best elements" with
+// early termination, in the spirit of the top-k techniques the paper cites
+// for Threshold evaluation (Chang & Hwang's minimal probing and Bruno et
+// al.'s upper-bound pruning, Sec. 5.3 [8, 5]).
+//
+// It derives, per document, an upper bound on the score any element of
+// that document can attain — for the simple scoring function the weighted
+// whole-document term counts; for the complex function that base plus the
+// maximal proximity bonus (each adjacent occurrence pair contributes at
+// most 1/(1+1), and the child ratio is at most 1). Documents are processed
+// in decreasing bound order, and evaluation stops as soon as the next
+// bound cannot displace the current k-th best score. The result is exactly
+// the full TermJoin's top k.
+type TopKTermJoin struct {
+	Index *index.Index
+	Query TermQuery
+	K     int
+	// ChildCounts as in TermJoin (complex scoring only).
+	ChildCounts ChildCountMode
+	// DocsEvaluated reports, after Run, how many documents were actually
+	// scored (the early-termination payoff).
+	DocsEvaluated int
+	// Bound overrides the per-document upper bound: given the per-term
+	// whole-document counts and the total occurrence count, it must return
+	// a value ≥ any element score in that document. Nil uses the default
+	// described above.
+	Bound func(counts []int, totalOcc int) float64
+}
+
+// Run evaluates and returns the top-k elements, best first.
+func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
+	if t.K <= 0 {
+		return nil, nil
+	}
+	if err := t.Query.validate("TopKTermJoin"); err != nil {
+		return nil, err
+	}
+	t.DocsEvaluated = 0
+
+	terms := normalizeTerms(t.Index, t.Query.Terms)
+	lists := make([][]index.Posting, len(terms))
+	for i := range terms {
+		lists[i] = t.Query.postings(t.Index, terms, i)
+	}
+
+	// Per-document term counts (one pass over each posting list).
+	type docInfo struct {
+		doc    storage.DocID
+		counts []int
+		occ    int
+		bound  float64
+	}
+	byDoc := map[storage.DocID]*docInfo{}
+	for ti, ps := range lists {
+		for _, p := range ps {
+			di := byDoc[p.Doc]
+			if di == nil {
+				di = &docInfo{doc: p.Doc, counts: make([]int, len(terms))}
+				byDoc[p.Doc] = di
+			}
+			di.counts[ti]++
+			di.occ++
+		}
+	}
+	docs := make([]*docInfo, 0, len(byDoc))
+	bound := t.Bound
+	if bound == nil {
+		bound = t.defaultBound
+	}
+	for _, di := range byDoc {
+		di.bound = bound(di.counts, di.occ)
+		docs = append(docs, di)
+	}
+	sort.Slice(docs, func(i, j int) bool {
+		if docs[i].bound != docs[j].bound {
+			return docs[i].bound > docs[j].bound
+		}
+		return docs[i].doc < docs[j].doc
+	})
+
+	tk := NewTopK(t.K)
+	kth := func() (float64, bool) {
+		res := tk.Results()
+		if len(res) < t.K {
+			return 0, false
+		}
+		return res[len(res)-1].Score, true
+	}
+	for _, di := range docs {
+		if cut, full := kth(); full && di.bound <= cut {
+			break // no element of any remaining document can displace the k-th
+		}
+		t.DocsEvaluated++
+		// Run the regular TermJoin restricted to this document by slicing
+		// each posting list to the document's range.
+		sub := make([][]index.Posting, len(lists))
+		for i, ps := range lists {
+			lo := sort.Search(len(ps), func(k int) bool { return ps[k].Doc >= di.doc })
+			hi := sort.Search(len(ps), func(k int) bool { return ps[k].Doc > di.doc })
+			sub[i] = ps[lo:hi]
+		}
+		q := t.Query
+		q.PostingLists = sub
+		tj := &TermJoin{
+			Index:       t.Index,
+			Acc:         storage.NewAccessor(t.Index.Store()),
+			Query:       q,
+			ChildCounts: t.ChildCounts,
+		}
+		if err := tj.Run(tk.Emit()); err != nil {
+			return nil, err
+		}
+	}
+	return tk.Results(), nil
+}
+
+// defaultBound upper-bounds any element score in a document.
+func (t *TopKTermJoin) defaultBound(counts []int, totalOcc int) float64 {
+	base := t.Query.Scorer.Simple(counts)
+	if !t.Query.Complex {
+		return base
+	}
+	// Complex score ≤ (base + proximity bonus) × 1; each of the at most
+	// occ-1 adjacent pairs contributes at most 1/(1+minDistance) = 1/2.
+	if totalOcc > 1 {
+		base += 0.5 * float64(totalOcc-1)
+	}
+	return base
+}

@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/storage"
+	"repro/internal/xmltree"
+)
+
+// naiveTwig enumerates twig matches by brute force over the document.
+func naiveTwig(doc *storage.Document, store *storage.Store, root *TwigNode) []TwigMatch {
+	// Preorder pattern states.
+	type pstate struct {
+		n     *TwigNode
+		index int
+		kids  []int
+	}
+	var states []*pstate
+	var build func(n *TwigNode) int
+	build = func(n *TwigNode) int {
+		st := &pstate{n: n, index: len(states)}
+		states = append(states, st)
+		for _, c := range n.Children {
+			st.kids = append(st.kids, build(c))
+		}
+		return st.index
+	}
+	build(root)
+
+	tagOf := func(ord int32) string {
+		return store.Tags.Name(doc.Nodes[ord].Tag)
+	}
+	contains := func(a, d int32) bool {
+		return doc.Nodes[a].Start < doc.Nodes[d].Start && doc.Nodes[d].End <= doc.Nodes[a].End
+	}
+
+	var out []TwigMatch
+	assignment := make([]int32, len(states))
+	var rec func(si int, parentOrd int32, rest func())
+	rec = func(si int, parentOrd int32, rest func()) {
+		st := states[si]
+		for _, ord := range doc.Elements() {
+			if tagOf(ord) != st.n.Tag {
+				continue
+			}
+			if parentOrd >= 0 {
+				if st.n.PC {
+					if doc.Nodes[ord].Parent != parentOrd {
+						continue
+					}
+				} else if !contains(parentOrd, ord) {
+					continue
+				}
+			}
+			assignment[st.index] = ord
+			var kids func(i int)
+			kids = func(i int) {
+				if i == len(st.kids) {
+					rest()
+					return
+				}
+				rec(st.kids[i], ord, func() { kids(i + 1) })
+			}
+			kids(0)
+		}
+	}
+	rec(0, -1, func() {
+		out = append(out, append(TwigMatch(nil), assignment...))
+	})
+	return out
+}
+
+func sortMatches(ms []TwigMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		for k := range ms[i] {
+			if ms[i][k] != ms[j][k] {
+				return ms[i][k] < ms[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func matchesEqual(a, b []TwigMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortMatches(a)
+	sortMatches(b)
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTwigStackOnFixture(t *testing.T) {
+	s := storage.NewStore()
+	id, err := s.AddTree("articles.xml", fixture.Articles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Doc(id)
+
+	cases := []struct {
+		name string
+		twig *TwigNode
+		want int
+	}{
+		{"path", Twig("article", Twig("section", Twig("section-title"))), 3},
+		{"branch", Twig("article", Twig("author", Twig("sname")), Twig("p")), 3},
+		{"chapter-sections", Twig("chapter", Twig("section")), 3},
+		{"deep", Twig("article", Twig("chapter", Twig("section", Twig("p")))), 3},
+		{"nomatch", Twig("review", Twig("rating")), 0},
+		{"unknown-tag", Twig("article", Twig("zzz")), 0},
+	}
+	for _, c := range cases {
+		ts := &TwigStack{Store: s, Doc: doc.ID, Root: c.twig}
+		got, err := ts.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want := naiveTwig(doc, s, c.twig)
+		if len(want) != c.want {
+			t.Fatalf("%s: naive found %d, expected %d — test broken", c.name, len(want), c.want)
+		}
+		if !matchesEqual(got, want) {
+			t.Errorf("%s: TwigStack %d matches, naive %d", c.name, len(got), len(want))
+		}
+	}
+}
+
+func TestTwigStackParentChildPostFilter(t *testing.T) {
+	s := storage.NewStore()
+	id, err := s.AddTree("t.xml", xmltree.MustParse(
+		`<a><b><c/></b><c/><x><c/></x></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Doc(id)
+	// a//c: three matches. a/c (parent-child): one.
+	ad := &TwigStack{Store: s, Doc: doc.ID, Root: Twig("a", Twig("c"))}
+	got, err := ad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("a//c = %d, want 3", len(got))
+	}
+	pc := &TwigStack{Store: s, Doc: doc.ID, Root: Twig("a", TwigChild("c"))}
+	got, err = pc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("a/c = %d, want 1", len(got))
+	}
+}
+
+func TestTwigStackRecursiveTags(t *testing.T) {
+	// Same tag nested within itself: stacks must track multiple open
+	// elements of the same pattern node.
+	s := storage.NewStore()
+	id, err := s.AddTree("t.xml", xmltree.MustParse(
+		`<a><a><b/></a><b/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := s.Doc(id)
+	ts := &TwigStack{Store: s, Doc: doc.ID, Root: Twig("a", Twig("b"))}
+	got, err := ts.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveTwig(doc, s, Twig("a", Twig("b")))
+	if !matchesEqual(got, want) {
+		t.Errorf("recursive tags: %d matches, naive %d", len(got), len(want))
+	}
+	// outer-a//inner-b, outer-a//outer-b, inner-a//inner-b = 3.
+	if len(got) != 3 {
+		t.Errorf("matches = %d, want 3", len(got))
+	}
+}
+
+func TestTwigStackErrors(t *testing.T) {
+	s := storage.NewStore()
+	if _, err := (&TwigStack{Store: s, Doc: 9, Root: Twig("a")}).Run(); err == nil {
+		t.Errorf("unknown doc should error")
+	}
+	id, _ := s.AddTree("t.xml", xmltree.MustParse(`<a/>`))
+	if _, err := (&TwigStack{Store: s, Doc: id}).Run(); err == nil {
+		t.Errorf("nil pattern should error")
+	}
+}
+
+func TestQuickTwigStackMatchesNaive(t *testing.T) {
+	shapes := []*TwigNode{
+		Twig("a", Twig("b")),
+		Twig("a", Twig("b", Twig("c"))),
+		Twig("a", Twig("b"), Twig("c")),
+		Twig("r", Twig("a", Twig("c")), Twig("b")),
+		Twig("a", TwigChild("b"), Twig("c")),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := xmltree.NewElement("r")
+		nodes := []*xmltree.Node{root}
+		for i := 1; i < 2+rng.Intn(40); i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			el := xmltree.NewElement([]string{"a", "b", "c", "r"}[rng.Intn(4)])
+			parent.AppendChild(el)
+			nodes = append(nodes, el)
+		}
+		xmltree.Number(root)
+		s := storage.NewStore()
+		id, err := s.AddTree("t", root)
+		if err != nil {
+			return false
+		}
+		doc := s.Doc(id)
+		for _, shape := range shapes {
+			ts := &TwigStack{Store: s, Doc: id, Root: shape}
+			got, err := ts.Run()
+			if err != nil {
+				return false
+			}
+			want := naiveTwig(doc, s, shape)
+			if !matchesEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwigStackSkipsNonParticipants(t *testing.T) {
+	// TwigStack's optimality: 'a' elements without a 'b' descendant are
+	// never pushed. Verify via store-access accounting that the run is
+	// sub-quadratic: reads scale with input, not input².
+	s := storage.NewStore()
+	root := xmltree.NewElement("r")
+	for i := 0; i < 500; i++ {
+		a := xmltree.NewElement("a")
+		root.AppendChild(a) // childless a's: non-participants
+	}
+	withB := xmltree.NewElement("a")
+	withB.AppendChild(xmltree.NewElement("b"))
+	root.AppendChild(withB)
+	xmltree.Number(root)
+	id, err := s.AddTree("t", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &TwigStack{Store: s, Doc: id, Root: Twig("a", Twig("b"))}
+	got, err := ts.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+	if ts.Stats.NodeReads > 5000 {
+		t.Errorf("node reads = %d; expected linear-ish traffic", ts.Stats.NodeReads)
+	}
+}

@@ -1,0 +1,85 @@
+// Package fixture provides the example XML database of the paper's Figure 1
+// (articles.xml and reviews.xml) and the phrase sets of the three example
+// queries of Figure 2, shared by tests, examples and the integration suite.
+// Node identities from the figure (#a1 … #a20, #r1 … #r12) are recoverable
+// through the helper functions below.
+package fixture
+
+import "repro/internal/xmltree"
+
+// ArticlesXML is the articles.xml document of Figure 1.
+const ArticlesXML = `<article>
+  <article-title>Internet Technologies</article-title>
+  <author id="first">
+    <fname>Jane</fname>
+    <sname>Doe</sname>
+  </author>
+  <chapter>
+    <ct>Caching and Replication</ct>
+  </chapter>
+  <chapter>
+    <ct>Streaming Video</ct>
+  </chapter>
+  <chapter>
+    <ct>Search and Retrieval</ct>
+    <section>
+      <section-title>Search Engine Basics</section-title>
+    </section>
+    <section>
+      <section-title>Information Retrieval Techniques</section-title>
+    </section>
+    <section>
+      <section-title>Examples</section-title>
+      <p>Here are some IR based search engines:</p>
+      <p>search engine NewsInEssence uses a new information retrieval technology</p>
+      <p>semantic information retrieval techniques are also being incorporated into some search engines</p>
+    </section>
+  </chapter>
+</article>`
+
+// ReviewsXML is the reviews.xml document of Figure 1. Its two top-level
+// review elements are wrapped under a synthetic root by the parser.
+const ReviewsXML = `<review id="1">
+  <title>Internet Technologies</title>
+  <reviewer>
+    <fname>John</fname>
+    <sname>Doe</sname>
+  </reviewer>
+  <comments>A thorough survey of internet search technology</comments>
+  <rating>5</rating>
+</review>
+<review id="2">
+  <title>WWW Technologies</title>
+  <reviewer>Anonymous</reviewer>
+  <comments>Dated but solid treatment of the world wide web</comments>
+  <rating>3</rating>
+</review>`
+
+// Query phrases of Figure 2: the primary phrase and the two secondary
+// phrases of Queries 1 and 2 (Query 3 reuses them).
+var (
+	PrimaryPhrases   = []string{"search engine"}
+	SecondaryPhrases = []string{"internet", "information retrieval"}
+)
+
+// Articles parses ArticlesXML. Panics on error (the constant is well-formed).
+func Articles() *xmltree.Node { return xmltree.MustParse(ArticlesXML) }
+
+// Reviews parses ReviewsXML. Panics on error.
+func Reviews() *xmltree.Node { return xmltree.MustParse(ReviewsXML) }
+
+// ThirdChapter returns the node the figure labels #a10 (the "Search and
+// Retrieval" chapter) of a parsed articles tree.
+func ThirdChapter(articles *xmltree.Node) *xmltree.Node {
+	return articles.FindTag("chapter")[2]
+}
+
+// ExamplesSection returns the node labeled #a16 (the "Examples" section).
+func ExamplesSection(articles *xmltree.Node) *xmltree.Node {
+	return articles.FindTag("section")[2]
+}
+
+// Paragraphs returns the nodes labeled #a18, #a19, #a20.
+func Paragraphs(articles *xmltree.Node) []*xmltree.Node {
+	return articles.FindTag("p")
+}

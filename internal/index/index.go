@@ -1,0 +1,243 @@
+// Package index implements the positional inverted index used by every
+// score-generating access method in the paper: TermJoin and its variants
+// scan per-term posting lists ordered by start position; PhraseFinder
+// additionally uses the word offsets kept with each posting to verify phrase
+// adjacency during the intersection itself (Sec. 5.1.2).
+//
+// A posting records one occurrence of a term: the document, the text node
+// that holds it, the absolute word position (which is a key in the same
+// space as the region encoding of internal/xmltree, so containment tests
+// against element regions work directly), and the word offset within the
+// text node.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// Posting is one occurrence of a term.
+type Posting struct {
+	Doc    storage.DocID
+	Node   int32  // ordinal of the containing text node
+	Pos    uint32 // absolute word position (region-encoding key space)
+	Offset uint32 // word offset within the text node
+}
+
+// Less orders postings by (Doc, Pos) — document order.
+func (p Posting) Less(q Posting) bool {
+	if p.Doc != q.Doc {
+		return p.Doc < q.Doc
+	}
+	return p.Pos < q.Pos
+}
+
+// Index is a positional inverted index over every document of a store.
+type Index struct {
+	store    *storage.Store
+	tok      *tokenize.Tokenizer
+	postings map[string][]Posting
+	nodeFreq map[string]int // number of distinct text nodes containing the term
+	total    int64          // total occurrences across all terms
+}
+
+// Build tokenizes every text node of every document in s and returns the
+// index. The same tokenizer must be used later for query phrases.
+func Build(s *storage.Store, tok *tokenize.Tokenizer) *Index {
+	idx := &Index{
+		store:    s,
+		tok:      tok,
+		postings: make(map[string][]Posting),
+		nodeFreq: make(map[string]int),
+	}
+	for _, doc := range s.Docs() {
+		for ord := range doc.Nodes {
+			rec := &doc.Nodes[ord]
+			if rec.Kind != xmltree.Text {
+				continue
+			}
+			seen := map[string]bool{}
+			for _, t := range tok.Tokenize(rec.Text) {
+				idx.postings[t.Term] = append(idx.postings[t.Term], Posting{
+					Doc:    doc.ID,
+					Node:   int32(ord),
+					Pos:    rec.Start + t.Offset,
+					Offset: t.Offset,
+				})
+				idx.total++
+				if !seen[t.Term] {
+					seen[t.Term] = true
+					idx.nodeFreq[t.Term]++
+				}
+			}
+		}
+	}
+	// Text nodes are visited in document order per document and documents in
+	// DocID order, so posting lists are already sorted; assert cheaply in
+	// debug-style by re-sorting only if needed.
+	for term, ps := range idx.postings {
+		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+			idx.postings[term] = ps
+		}
+	}
+	return idx
+}
+
+// Restore reconstitutes an index from previously-built posting lists (the
+// persistence path of internal/db): it validates ordering and recomputes
+// the derived statistics. The posting map is adopted, not copied.
+func Restore(s *storage.Store, tok *tokenize.Tokenizer, postings map[string][]Posting) (*Index, error) {
+	idx := &Index{
+		store:    s,
+		tok:      tok,
+		postings: postings,
+		nodeFreq: make(map[string]int, len(postings)),
+	}
+	for term, ps := range postings {
+		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
+			return nil, fmt.Errorf("index: restored postings for %q are out of order", term)
+		}
+		idx.total += int64(len(ps))
+		lastNode := int32(-1)
+		lastDoc := storage.DocID(-1)
+		for _, p := range ps {
+			if p.Doc != lastDoc || p.Node != lastNode {
+				idx.nodeFreq[term]++
+				lastDoc, lastNode = p.Doc, p.Node
+			}
+		}
+	}
+	return idx, nil
+}
+
+// Store returns the store the index was built over.
+func (idx *Index) Store() *storage.Store { return idx.store }
+
+// Tokenizer returns the tokenizer the index was built with.
+func (idx *Index) Tokenizer() *tokenize.Tokenizer { return idx.tok }
+
+// Postings returns the posting list for term (lowercased exact match),
+// ordered by (Doc, Pos). The returned slice must not be modified.
+func (idx *Index) Postings(term string) []Posting {
+	return idx.postings[term]
+}
+
+// TermFreq returns the total number of occurrences of term.
+func (idx *Index) TermFreq(term string) int {
+	return len(idx.postings[term])
+}
+
+// NodeFreq returns the number of distinct text nodes containing term.
+func (idx *Index) NodeFreq(term string) int {
+	return idx.nodeFreq[term]
+}
+
+// IDF returns the inverse document frequency of term over text nodes:
+// log(1 + N/nf), where N is the total number of indexed text nodes with at
+// least one token and nf the node frequency of the term. Unknown terms get
+// the maximum IDF.
+func (idx *Index) IDF(term string) float64 {
+	totalNodes := idx.totalTextNodes()
+	nf := idx.nodeFreq[term]
+	if nf == 0 {
+		nf = 1
+	}
+	return math.Log(1 + float64(totalNodes)/float64(nf))
+}
+
+func (idx *Index) totalTextNodes() int {
+	n := 0
+	for _, doc := range idx.store.Docs() {
+		for ord := range doc.Nodes {
+			if doc.Nodes[ord].Kind == xmltree.Text {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NumTerms returns the vocabulary size.
+func (idx *Index) NumTerms() int { return len(idx.postings) }
+
+// TotalOccurrences returns the total number of indexed occurrences.
+func (idx *Index) TotalOccurrences() int64 { return idx.total }
+
+// TermsByFreq returns all terms sorted by descending total frequency; ties
+// break lexicographically. Useful for workload construction.
+func (idx *Index) TermsByFreq() []string {
+	terms := make([]string, 0, len(idx.postings))
+	for t := range idx.postings {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		fi, fj := len(idx.postings[terms[i]]), len(idx.postings[terms[j]])
+		if fi != fj {
+			return fi > fj
+		}
+		return terms[i] < terms[j]
+	})
+	return terms
+}
+
+// TermNearFreq returns an indexed term whose total frequency is as close as
+// possible to want, excluding any terms in the exclude set. It returns an
+// error if the index is empty.
+func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error) {
+	best := ""
+	bestDiff := math.MaxFloat64
+	for t, ps := range idx.postings {
+		if exclude[t] {
+			continue
+		}
+		d := math.Abs(float64(len(ps) - want))
+		if d < bestDiff || (d == bestDiff && t < best) {
+			best, bestDiff = t, d
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("index: no candidate term near frequency %d", want)
+	}
+	return best, nil
+}
+
+// Cursor iterates a posting list in document order with one-posting
+// lookahead, as the merge-based access methods need.
+type Cursor struct {
+	list []Posting
+	pos  int
+}
+
+// NewCursor returns a cursor over ps.
+func NewCursor(ps []Posting) *Cursor { return &Cursor{list: ps} }
+
+// Valid reports whether the cursor is positioned on a posting.
+func (c *Cursor) Valid() bool { return c.pos < len(c.list) }
+
+// Cur returns the current posting; it must not be called when !Valid().
+func (c *Cursor) Cur() Posting { return c.list[c.pos] }
+
+// Advance moves to the next posting.
+func (c *Cursor) Advance() { c.pos++ }
+
+// Remaining returns the number of postings at or after the cursor.
+func (c *Cursor) Remaining() int { return len(c.list) - c.pos }
+
+// SeekPos advances the cursor to the first posting in doc with Pos >= pos
+// (or to a later document). Postings before the cursor are never revisited.
+func (c *Cursor) SeekPos(doc storage.DocID, pos uint32) {
+	i := c.pos + sort.Search(len(c.list)-c.pos, func(i int) bool {
+		p := c.list[c.pos+i]
+		if p.Doc != doc {
+			return p.Doc > doc
+		}
+		return p.Pos >= pos
+	})
+	c.pos = i
+}

@@ -1,0 +1,173 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// Formula is the boolean formula F of a scored pattern tree: a boolean
+// combination of predicates applicable to nodes (Definition 2).
+type Formula interface {
+	// Eval evaluates the formula under a complete binding.
+	Eval(b Binding) bool
+	// String renders the formula for diagnostics.
+	String() string
+}
+
+// True is the vacuously-true formula.
+type True struct{}
+
+// Eval always returns true.
+func (True) Eval(Binding) bool { return true }
+
+// String returns "true".
+func (True) String() string { return "true" }
+
+// And is conjunction.
+type And struct{ L, R Formula }
+
+// Eval short-circuits.
+func (a And) Eval(b Binding) bool { return a.L.Eval(b) && a.R.Eval(b) }
+
+// String renders the conjunction.
+func (a And) String() string { return fmt.Sprintf("(%s & %s)", a.L, a.R) }
+
+// Or is disjunction.
+type Or struct{ L, R Formula }
+
+// Eval short-circuits.
+func (o Or) Eval(b Binding) bool { return o.L.Eval(b) || o.R.Eval(b) }
+
+// String renders the disjunction.
+func (o Or) String() string { return fmt.Sprintf("(%s | %s)", o.L, o.R) }
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// Eval negates.
+func (n Not) Eval(b Binding) bool { return !n.F.Eval(b) }
+
+// String renders the negation.
+func (n Not) String() string { return fmt.Sprintf("!(%s)", n.F) }
+
+// Pred is a predicate over a single variable's bound node. Predicates that
+// appear as top-level conjuncts are pushed into candidate enumeration by
+// the matcher.
+type Pred struct {
+	Var  int
+	Test func(*xmltree.Node) bool
+	Desc string
+}
+
+// Eval applies the test to the bound node; an unbound variable fails.
+func (p Pred) Eval(b Binding) bool {
+	n, ok := b[p.Var]
+	return ok && p.Test(n)
+}
+
+// String renders the predicate description.
+func (p Pred) String() string { return fmt.Sprintf("$%d.%s", p.Var, p.Desc) }
+
+// Pred2 is a predicate over two variables (a join condition).
+type Pred2 struct {
+	VarA, VarB int
+	Test       func(a, d *xmltree.Node) bool
+	Desc       string
+}
+
+// Eval applies the test to both bound nodes; unbound variables fail.
+func (p Pred2) Eval(b Binding) bool {
+	a, okA := b[p.VarA]
+	d, okB := b[p.VarB]
+	return okA && okB && p.Test(a, d)
+}
+
+// String renders the join predicate description.
+func (p Pred2) String() string { return fmt.Sprintf("$%d,$%d.%s", p.VarA, p.VarB, p.Desc) }
+
+// Conj folds a list of formulas into a right-nested conjunction; an empty
+// list yields True.
+func Conj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return True{}
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = And{L: fs[i], R: out}
+	}
+	return out
+}
+
+// TagEq matches element nodes with the given tag ($v.tag = tag).
+func TagEq(v int, tag string) Pred {
+	return Pred{
+		Var:  v,
+		Test: func(n *xmltree.Node) bool { return n.Kind == xmltree.Element && n.Tag == tag },
+		Desc: fmt.Sprintf("tag=%q", tag),
+	}
+}
+
+// IsElement matches any element node.
+func IsElement(v int) Pred {
+	return Pred{
+		Var:  v,
+		Test: func(n *xmltree.Node) bool { return n.Kind == xmltree.Element },
+		Desc: "element",
+	}
+}
+
+// ContentEq matches nodes whose whole-subtree text equals s exactly
+// ($v.content = s).
+func ContentEq(v int, s string) Pred {
+	return Pred{
+		Var:  v,
+		Test: func(n *xmltree.Node) bool { return n.AllText() == s },
+		Desc: fmt.Sprintf("content=%q", s),
+	}
+}
+
+// ContentContains matches nodes whose subtree text contains the substring s
+// (case-insensitive).
+func ContentContains(v int, s string) Pred {
+	ls := strings.ToLower(s)
+	return Pred{
+		Var:  v,
+		Test: func(n *xmltree.Node) bool { return strings.Contains(strings.ToLower(n.AllText()), ls) },
+		Desc: fmt.Sprintf("contains=%q", s),
+	}
+}
+
+// HasPhrase matches nodes whose subtree text contains the word phrase at
+// adjacent word offsets (an IR containment predicate).
+func HasPhrase(v int, tok *tokenize.Tokenizer, phrase string) Pred {
+	terms := tok.SplitPhrase(phrase)
+	return Pred{
+		Var: v,
+		Test: func(n *xmltree.Node) bool {
+			switch len(terms) {
+			case 0:
+				return false
+			case 1:
+				return tok.Count(n.AllText(), terms[0]) > 0
+			default:
+				return tok.CountPhrase(n.AllText(), terms) > 0
+			}
+		},
+		Desc: fmt.Sprintf("hasPhrase=%q", phrase),
+	}
+}
+
+// AttrEq matches element nodes with attribute name equal to value.
+func AttrEq(v int, name, value string) Pred {
+	return Pred{
+		Var: v,
+		Test: func(n *xmltree.Node) bool {
+			got, ok := n.Attr(name)
+			return ok && got == value
+		},
+		Desc: fmt.Sprintf("@%s=%q", name, value),
+	}
+}

@@ -1,0 +1,248 @@
+// Package pattern implements TIX scored pattern trees (Definition 2 of the
+// paper) and their matching against data trees.
+//
+// A scored pattern tree is a triple P = (T, F, S): a tree T whose nodes are
+// labeled with distinct integers (the $1, $2, … variables of the paper's
+// figures) and whose edges are labeled pc (parent-child), ad (ancestor-
+// descendant) or ad* (self-or-descendant); a boolean formula F of
+// predicates over the variables; and a set S of scoring rules. This package
+// owns T and F and the matcher; the evaluation of S is performed by the
+// algebra operators in internal/algebra, which own score propagation.
+//
+// Match enumerates every embedding of the pattern into a data tree: an
+// assignment of data nodes to variables that respects the edge labels and
+// satisfies F. Single-variable conjuncts of F are applied during the
+// search; the full formula is verified on each complete candidate
+// embedding.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// EdgeType is the label on a pattern tree edge.
+type EdgeType uint8
+
+const (
+	// PC requires the child variable to bind to a child of the parent
+	// variable's node.
+	PC EdgeType = iota
+	// AD requires a proper descendant.
+	AD
+	// ADStar requires the same node or a descendant (the paper's ad*,
+	// written descendant-or-self::* in the XQuery extension).
+	ADStar
+)
+
+// String returns "pc", "ad" or "ad*".
+func (e EdgeType) String() string {
+	switch e {
+	case PC:
+		return "pc"
+	case AD:
+		return "ad"
+	case ADStar:
+		return "ad*"
+	default:
+		return fmt.Sprintf("EdgeType(%d)", uint8(e))
+	}
+}
+
+// PNode is a node of the pattern tree. Var labels must be distinct within a
+// pattern and positive.
+type PNode struct {
+	Var      int
+	Edge     EdgeType // label of the edge from the parent; ignored on the root
+	Children []*PNode
+}
+
+// Child appends a child pattern node connected by the given edge and
+// returns the receiver for chaining.
+func (p *PNode) Child(v int, edge EdgeType) *PNode {
+	c := &PNode{Var: v, Edge: edge}
+	p.Children = append(p.Children, c)
+	return c
+}
+
+// Binding assigns a data node to each pattern variable.
+type Binding map[int]*xmltree.Node
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Pattern is the (T, F) part of a scored pattern tree; S lives with the
+// algebra (see internal/algebra.ScoreSet).
+type Pattern struct {
+	Root    *PNode
+	Formula Formula
+}
+
+// NewPattern returns a pattern rooted at a node labeled v, with a
+// vacuously-true formula.
+func NewPattern(v int) *Pattern {
+	return &Pattern{Root: &PNode{Var: v}, Formula: True{}}
+}
+
+// Vars returns the sorted variable labels of the pattern tree.
+func (p *Pattern) Vars() []int {
+	var out []int
+	var rec func(*PNode)
+	rec = func(n *PNode) {
+		out = append(out, n.Var)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks that variable labels are distinct and positive.
+func (p *Pattern) Validate() error {
+	seen := map[int]bool{}
+	var rec func(*PNode) error
+	rec = func(n *PNode) error {
+		if n.Var <= 0 {
+			return fmt.Errorf("pattern: variable label %d must be positive", n.Var)
+		}
+		if seen[n.Var] {
+			return fmt.Errorf("pattern: duplicate variable $%d", n.Var)
+		}
+		seen[n.Var] = true
+		for _, c := range n.Children {
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(p.Root)
+}
+
+// String renders the pattern tree structure for diagnostics.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	var rec func(n *PNode, depth int)
+	rec = func(n *PNode, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			fmt.Fprintf(&sb, "-%s- ", n.Edge)
+		}
+		fmt.Fprintf(&sb, "$%d\n", n.Var)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(p.Root, 0)
+	return sb.String()
+}
+
+// Match returns every embedding of p into the data tree rooted at root, in
+// a deterministic order (document order of the bound nodes, outermost
+// variable first). The data tree must be numbered.
+func (p *Pattern) Match(root *xmltree.Node) []Binding {
+	if err := p.Validate(); err != nil {
+		return nil
+	}
+	local := collectLocalPreds(p.Formula)
+	var results []Binding
+	b := Binding{}
+
+	var assign func(pn *PNode, candidates []*xmltree.Node, rest func()) // bind pn then continue
+	assign = func(pn *PNode, candidates []*xmltree.Node, rest func()) {
+		for _, cand := range candidates {
+			if !passesLocal(local[pn.Var], cand) {
+				continue
+			}
+			b[pn.Var] = cand
+			// Bind children left to right, then call rest.
+			var bindKids func(i int)
+			bindKids = func(i int) {
+				if i == len(pn.Children) {
+					rest()
+					return
+				}
+				child := pn.Children[i]
+				assign(child, edgeCandidates(cand, child.Edge), func() { bindKids(i + 1) })
+			}
+			bindKids(0)
+			delete(b, pn.Var)
+		}
+	}
+
+	rootCands := allNodes(root)
+	assign(p.Root, rootCands, func() {
+		if p.Formula == nil || p.Formula.Eval(b) {
+			results = append(results, b.Clone())
+		}
+	})
+	return results
+}
+
+func allNodes(root *xmltree.Node) []*xmltree.Node {
+	return xmltree.Nodes(root)
+}
+
+func edgeCandidates(parent *xmltree.Node, e EdgeType) []*xmltree.Node {
+	switch e {
+	case PC:
+		return parent.Children
+	case AD:
+		var out []*xmltree.Node
+		for _, c := range parent.Children {
+			c.Walk(func(n *xmltree.Node) bool {
+				out = append(out, n)
+				return true
+			})
+		}
+		return out
+	case ADStar:
+		var out []*xmltree.Node
+		parent.Walk(func(n *xmltree.Node) bool {
+			out = append(out, n)
+			return true
+		})
+		return out
+	default:
+		return nil
+	}
+}
+
+func passesLocal(preds []Pred, n *xmltree.Node) bool {
+	for _, p := range preds {
+		if !p.Test(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectLocalPreds gathers single-variable predicates that appear as
+// top-level conjuncts of f; these can be applied during candidate
+// enumeration. Or / Not subtrees are left to the final formula check.
+func collectLocalPreds(f Formula) map[int][]Pred {
+	out := map[int][]Pred{}
+	var rec func(Formula)
+	rec = func(f Formula) {
+		switch t := f.(type) {
+		case And:
+			rec(t.L)
+			rec(t.R)
+		case Pred:
+			out[t.Var] = append(out[t.Var], t)
+		}
+	}
+	rec(f)
+	return out
+}

@@ -1,0 +1,283 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixture"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// query2Pattern builds the scored pattern tree of Figure 3: $1 (article)
+// with a pc child $2 (author) which has a pc child $3 (sname, content
+// "Doe"), and an ad* child $4 (the unit to be scored).
+func query2Pattern() *Pattern {
+	p := NewPattern(1)
+	author := p.Root.Child(2, PC)
+	author.Child(3, PC)
+	p.Root.Child(4, ADStar)
+	p.Formula = Conj(
+		TagEq(1, "article"),
+		TagEq(2, "author"),
+		TagEq(3, "sname"),
+		ContentEq(3, "Doe"),
+	)
+	return p
+}
+
+func TestEdgeTypeString(t *testing.T) {
+	if PC.String() != "pc" || AD.String() != "ad" || ADStar.String() != "ad*" {
+		t.Errorf("edge names wrong: %s %s %s", PC, AD, ADStar)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewPattern(1)
+	p.Root.Child(2, PC)
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	dup := NewPattern(1)
+	dup.Root.Child(1, PC)
+	if err := dup.Validate(); err == nil {
+		t.Errorf("duplicate variable accepted")
+	}
+	neg := NewPattern(0)
+	if err := neg.Validate(); err == nil {
+		t.Errorf("non-positive variable accepted")
+	}
+}
+
+func TestVars(t *testing.T) {
+	p := query2Pattern()
+	got := p.Vars()
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatchQuery2OnFigure1(t *testing.T) {
+	articles := fixture.Articles()
+	p := query2Pattern()
+	matches := p.Match(articles)
+	// $1, $2, $3 are forced; $4 ranges over every node of the article
+	// subtree (ad* from the article root) — one embedding per node.
+	wantEmbeddings := articles.Size()
+	if len(matches) != wantEmbeddings {
+		t.Fatalf("embeddings = %d, want %d", len(matches), wantEmbeddings)
+	}
+	seen := map[*xmltree.Node]bool{}
+	for _, b := range matches {
+		if b[1].Tag != "article" {
+			t.Errorf("$1 bound to %v", b[1])
+		}
+		if b[2].Tag != "author" {
+			t.Errorf("$2 bound to %v", b[2])
+		}
+		if b[3].AllText() != "Doe" {
+			t.Errorf("$3 bound to %v", b[3])
+		}
+		if !b[1].Contains(b[4]) {
+			t.Errorf("$4 %v not within $1", b[4])
+		}
+		seen[b[4]] = true
+	}
+	if len(seen) != wantEmbeddings {
+		t.Errorf("distinct $4 bindings = %d, want %d", len(seen), wantEmbeddings)
+	}
+}
+
+func TestMatchRejectsWrongAuthor(t *testing.T) {
+	doc := xmltree.MustParse(`<article><author><sname>Smith</sname></author><p>x</p></article>`)
+	p := query2Pattern()
+	if got := p.Match(doc); len(got) != 0 {
+		t.Errorf("expected no matches for author Smith, got %d", len(got))
+	}
+}
+
+func TestEdgeSemantics(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><c/></b></a>`)
+	// pc: c is not a child of a.
+	pc := NewPattern(1)
+	pc.Root.Child(2, PC)
+	pc.Formula = Conj(TagEq(1, "a"), TagEq(2, "c"))
+	if got := pc.Match(doc); len(got) != 0 {
+		t.Errorf("pc matched grandchild: %d", len(got))
+	}
+	// ad: c is a proper descendant of a.
+	ad := NewPattern(1)
+	ad.Root.Child(2, AD)
+	ad.Formula = Conj(TagEq(1, "a"), TagEq(2, "c"))
+	if got := ad.Match(doc); len(got) != 1 {
+		t.Errorf("ad embeddings = %d, want 1", len(got))
+	}
+	// ad does not match self.
+	adSelf := NewPattern(1)
+	adSelf.Root.Child(2, AD)
+	adSelf.Formula = Conj(TagEq(1, "a"), TagEq(2, "a"))
+	if got := adSelf.Match(doc); len(got) != 0 {
+		t.Errorf("ad matched self: %d", len(got))
+	}
+	// ad* matches self.
+	adStar := NewPattern(1)
+	adStar.Root.Child(2, ADStar)
+	adStar.Formula = Conj(TagEq(1, "a"), TagEq(2, "a"))
+	if got := adStar.Match(doc); len(got) != 1 {
+		t.Errorf("ad* self embeddings = %d, want 1", len(got))
+	}
+}
+
+func TestFormulaCombinators(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b/><c/></a>`)
+	p := NewPattern(1)
+	p.Formula = Or{L: TagEq(1, "b"), R: TagEq(1, "c")}
+	if got := p.Match(doc); len(got) != 2 {
+		t.Errorf("Or matches = %d, want 2", len(got))
+	}
+	p.Formula = Not{F: Or{L: TagEq(1, "b"), R: TagEq(1, "c")}}
+	// Matches <a> and the zero text nodes.
+	if got := p.Match(doc); len(got) != 1 {
+		t.Errorf("Not matches = %d, want 1", len(got))
+	}
+	if (True{}).Eval(nil) != true {
+		t.Errorf("True failed")
+	}
+	if (And{L: True{}, R: Not{F: True{}}}).Eval(Binding{}) {
+		t.Errorf("And/Not failed")
+	}
+}
+
+func TestPred2JoinCondition(t *testing.T) {
+	doc := xmltree.MustParse(`<r><x>k</x><y>k</y><y>m</y></r>`)
+	p := NewPattern(1)
+	p.Root.Child(2, PC)
+	p.Root.Child(3, PC)
+	p.Formula = Conj(
+		TagEq(1, "r"), TagEq(2, "x"), TagEq(3, "y"),
+		Pred2{VarA: 2, VarB: 3, Desc: "sametext",
+			Test: func(a, b *xmltree.Node) bool { return a.AllText() == b.AllText() }},
+	)
+	got := p.Match(doc)
+	if len(got) != 1 {
+		t.Fatalf("join matches = %d, want 1", len(got))
+	}
+	if got[0][3].AllText() != "k" {
+		t.Errorf("joined wrong node: %v", got[0][3])
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	tok := tokenize.New()
+	doc := xmltree.MustParse(`<a id="5"><p>search engine basics</p></a>`)
+	pNode := doc.FirstTag("p")
+	b := Binding{1: pNode}
+	if !HasPhrase(1, tok, "search engine").Eval(b) {
+		t.Errorf("HasPhrase failed")
+	}
+	if HasPhrase(1, tok, "vector space").Eval(b) {
+		t.Errorf("HasPhrase false positive")
+	}
+	if !ContentContains(1, "ENGINE").Eval(b) {
+		t.Errorf("ContentContains should be case-insensitive")
+	}
+	if !AttrEq(1, "id", "5").Eval(Binding{1: doc}) {
+		t.Errorf("AttrEq failed")
+	}
+	if AttrEq(1, "id", "6").Eval(Binding{1: doc}) {
+		t.Errorf("AttrEq false positive")
+	}
+	if !IsElement(1).Eval(Binding{1: doc}) {
+		t.Errorf("IsElement failed on element")
+	}
+	if IsElement(1).Eval(Binding{1: pNode.Children[0]}) {
+		t.Errorf("IsElement matched a text node")
+	}
+	// Eval with unbound var fails closed.
+	if TagEq(2, "a").Eval(b) {
+		t.Errorf("unbound var must fail")
+	}
+	if (Pred2{VarA: 1, VarB: 2, Test: func(a, b *xmltree.Node) bool { return true }}).Eval(b) {
+		t.Errorf("Pred2 with unbound var must fail")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := query2Pattern()
+	s := p.String()
+	if s == "" {
+		t.Errorf("empty pattern string")
+	}
+	fs := p.Formula.String()
+	if fs == "" {
+		t.Errorf("empty formula string")
+	}
+}
+
+// TestQuickMatchAgainstBruteForce cross-checks the matcher against a naive
+// O(n^2) enumeration for single-edge patterns on random trees.
+func TestQuickMatchAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := randomTree(rng, 2+rng.Intn(25))
+		for _, edge := range []EdgeType{PC, AD, ADStar} {
+			p := NewPattern(1)
+			p.Root.Child(2, edge)
+			p.Formula = Conj(TagEq(1, "a"), TagEq(2, "b"))
+			got := len(p.Match(root))
+			want := 0
+			nodes := xmltree.Nodes(root)
+			for _, x := range nodes {
+				if x.Kind != xmltree.Element || x.Tag != "a" {
+					continue
+				}
+				for _, y := range nodes {
+					if y.Kind != xmltree.Element || y.Tag != "b" {
+						continue
+					}
+					switch edge {
+					case PC:
+						if y.Parent == x {
+							want++
+						}
+					case AD:
+						if x.IsAncestorOf(y) {
+							want++
+						}
+					case ADStar:
+						if x.Contains(y) {
+							want++
+						}
+					}
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTree(rng *rand.Rand, n int) *xmltree.Node {
+	root := xmltree.NewElement("a")
+	nodes := []*xmltree.Node{root}
+	for i := 1; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		el := xmltree.NewElement([]string{"a", "b", "c"}[rng.Intn(3)])
+		parent.AppendChild(el)
+		nodes = append(nodes, el)
+	}
+	xmltree.Number(root)
+	return root
+}

@@ -1,0 +1,106 @@
+package scoring
+
+import (
+	"math"
+
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// This file implements the scoring variants the paper names as the
+// realistic alternatives to its deliberately simple examples:
+//
+//   - Sec. 3.1: "a real function would be more complex, for example,
+//     using vector space cosine similarity" → CosineSim;
+//   - Sec. 3.1: "we can also specify complex conditions. For instance,
+//     that the score of node $4 is 0 unless the term 'search engine'
+//     occurs at least once" → Conditional;
+//   - Sec. 3.1: "in many IR systems, the range of a scoring function is
+//     restricted to be [0,1]" → Normalized.
+
+// CosineSim computes the vector-space cosine similarity between the direct
+// text of two nodes, with raw term-frequency weights — the join-condition
+// scoring the paper suggests in place of ScoreSim's count-same.
+func CosineSim(tok *tokenize.Tokenizer, a, b *xmltree.Node) float64 {
+	va := termVector(tok, directText(a))
+	vb := termVector(tok, directText(b))
+	return cosine(va, vb)
+}
+
+// CosineSimText is CosineSim over raw strings.
+func CosineSimText(tok *tokenize.Tokenizer, a, b string) float64 {
+	return cosine(termVector(tok, a), termVector(tok, b))
+}
+
+func termVector(tok *tokenize.Tokenizer, s string) map[string]float64 {
+	v := map[string]float64{}
+	for _, t := range tok.Terms(s) {
+		v[t]++
+	}
+	return v
+}
+
+func cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	dot := 0.0
+	for t, wa := range a {
+		if wb, ok := b[t]; ok {
+			dot += wa * wb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	na, nb := 0.0, 0.0
+	for _, w := range a {
+		na += w * w
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// ConditionalScorer wraps a base simple scorer with the paper's complex
+// condition: the score is 0 unless every term in Required (indices into
+// the count vector) occurs at least once.
+type ConditionalScorer struct {
+	Base     SimpleScorer
+	Required []int
+}
+
+// Score applies the condition, then the base scorer.
+func (c ConditionalScorer) Score(counts []int) float64 {
+	for _, i := range c.Required {
+		if i >= len(counts) || counts[i] == 0 {
+			return 0
+		}
+	}
+	return c.Base.Score(counts)
+}
+
+// NormalizedScorer maps another scorer's output into [0, 1) with the
+// saturating transform s/(s+h), where h is the half-point score (the raw
+// score that maps to 0.5). The transform is strictly monotone, so rankings
+// are unchanged — only the range restriction the paper notes many IR
+// systems impose is added.
+type NormalizedScorer struct {
+	Base interface{ Score(counts []int) float64 }
+	// Half is the raw score mapped to 0.5; 0 defaults to 1.
+	Half float64
+}
+
+// Score applies the saturating normalization.
+func (n NormalizedScorer) Score(counts []int) float64 {
+	h := n.Half
+	if h <= 0 {
+		h = 1
+	}
+	s := n.Base.Score(counts)
+	if s <= 0 {
+		return 0
+	}
+	return s / (s + h)
+}

@@ -1,0 +1,127 @@
+package scoring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+func TestCosineSim(t *testing.T) {
+	tok := tokenize.New()
+	a := xmltree.MustParse(`<t>internet search technology</t>`)
+	b := xmltree.MustParse(`<t>internet search technology</t>`)
+	c := xmltree.MustParse(`<t>internet cats</t>`)
+	d := xmltree.MustParse(`<t>quantum physics</t>`)
+	if got := CosineSim(tok, a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical = %f, want 1", got)
+	}
+	partial := CosineSim(tok, a, c)
+	if partial <= 0 || partial >= 1 {
+		t.Errorf("partial = %f, want in (0,1)", partial)
+	}
+	if got := CosineSim(tok, a, d); got != 0 {
+		t.Errorf("disjoint = %f, want 0", got)
+	}
+	empty := xmltree.MustParse(`<t><u>nested only</u></t>`)
+	if got := CosineSim(tok, a, empty); got != 0 {
+		t.Errorf("empty direct text = %f, want 0", got)
+	}
+}
+
+func TestCosineSimSymmetricAndBounded(t *testing.T) {
+	tok := tokenize.New()
+	words := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() string {
+			out := ""
+			for i := 0; i < rng.Intn(12); i++ {
+				if out != "" {
+					out += " "
+				}
+				out += words[rng.Intn(len(words))]
+			}
+			return out
+		}
+		x, y := gen(), gen()
+		sxy := CosineSimText(tok, x, y)
+		syx := CosineSimText(tok, y, x)
+		if math.Abs(sxy-syx) > 1e-12 {
+			return false
+		}
+		if sxy < 0 || sxy > 1+1e-12 {
+			return false
+		}
+		if x != "" && CosineSimText(tok, x, x) < 1-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionalScorer(t *testing.T) {
+	base := SimpleScorer{Weights: []float64{0.8, 0.6}}
+	c := ConditionalScorer{Base: base, Required: []int{0}}
+	// Primary term absent: zero regardless of secondary occurrences.
+	if got := c.Score([]int{0, 5}); got != 0 {
+		t.Errorf("missing required term should zero: %f", got)
+	}
+	// Primary present: base score.
+	if got := c.Score([]int{2, 3}); math.Abs(got-(1.6+1.8)) > 1e-9 {
+		t.Errorf("score = %f", got)
+	}
+	// Required index beyond counts fails closed.
+	c2 := ConditionalScorer{Base: base, Required: []int{5}}
+	if got := c2.Score([]int{9, 9}); got != 0 {
+		t.Errorf("out-of-range requirement should zero: %f", got)
+	}
+	// No requirements behaves like the base.
+	c3 := ConditionalScorer{Base: base}
+	if c3.Score([]int{1, 1}) != base.Score([]int{1, 1}) {
+		t.Errorf("no requirements should match base")
+	}
+}
+
+func TestNormalizedScorer(t *testing.T) {
+	base := SimpleScorer{}
+	n := NormalizedScorer{Base: base, Half: 2}
+	if got := n.Score([]int{0}); got != 0 {
+		t.Errorf("zero stays zero: %f", got)
+	}
+	if got := n.Score([]int{2}); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half-point = %f, want 0.5", got)
+	}
+	if got := n.Score([]int{1000000}); got >= 1 {
+		t.Errorf("normalized score must stay below 1: %f", got)
+	}
+	// Default half.
+	d := NormalizedScorer{Base: base}
+	if got := d.Score([]int{1}); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("default half = %f", got)
+	}
+}
+
+func TestNormalizedScorerMonotone(t *testing.T) {
+	n := NormalizedScorer{Base: SimpleScorer{}, Half: 3}
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		sx, sy := n.Score([]int{x}), n.Score([]int{y})
+		if x < y && sx >= sy {
+			return false
+		}
+		if x == y && sx != sy {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

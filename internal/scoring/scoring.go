@@ -1,0 +1,244 @@
+// Package scoring implements the scoring functions of the paper: the user-
+// defined functions of Fig. 9 (ScoreFoo, ScoreSim, ScoreBar, PickFoo) used
+// by the TIX algebra examples, and the two scoring functions of the
+// experimental evaluation (Sec. 6.1) used by the TermJoin family — the
+// simple weighted-sum function and the complex function that rewards term
+// proximity and scales by the fraction of relevant children. A tf·idf
+// scorer is provided as the "more representative of what an IR system would
+// do" option the paper mentions.
+package scoring
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+// Occ is one term occurrence inside the subtree of the node being scored,
+// as accumulated by TermJoin's per-stack-entry buffer (the "BufferAndList"
+// of Fig. 11). Term is the query-term index, Pos the absolute word position
+// and Node the ordinal of the containing text node.
+type Occ struct {
+	Term int
+	Pos  uint32
+	Node int32
+}
+
+// SimpleScorer is the simple scoring function of Sec. 6.1: "a weighted sum
+// of the occurrences of each term under a given ancestor."
+type SimpleScorer struct {
+	// Weights holds one weight per query term; a nil entry set defaults
+	// every term to weight 1.
+	Weights []float64
+}
+
+// weight returns the weight of term i.
+func (s SimpleScorer) weight(i int) float64 {
+	if i < len(s.Weights) {
+		return s.Weights[i]
+	}
+	return 1
+}
+
+// Score computes the weighted sum over per-term occurrence counts.
+func (s SimpleScorer) Score(counts []int) float64 {
+	total := 0.0
+	for i, c := range counts {
+		total += s.weight(i) * float64(c)
+	}
+	return total
+}
+
+// ComplexScorer is the complex scoring function of Sec. 6.1: it "examines
+// the term distribution among child nodes", assigning higher scores when
+// distances between terms are smaller, and multiplies by the ratio of
+// non-zero-scored children to total children.
+type ComplexScorer struct {
+	// Weights as in SimpleScorer.
+	Weights []float64
+	// NodeDistance is the distance charged per node-to-node hop when two
+	// occurrences are in different text nodes (the paper: "multiples of
+	// node-to-node distance"). Defaults to 16 when zero.
+	NodeDistance float64
+}
+
+func (s ComplexScorer) weight(i int) float64 {
+	if i < len(s.Weights) {
+		return s.Weights[i]
+	}
+	return 1
+}
+
+func (s ComplexScorer) nodeDistance() float64 {
+	if s.NodeDistance == 0 {
+		return 16
+	}
+	return s.NodeDistance
+}
+
+// Score combines the weighted term sum with a proximity bonus over the
+// occurrence buffer and the relevant-children ratio. occ must be sorted by
+// Pos (TermJoin's buffers naturally are; Score sorts defensively when not).
+// totalChildren == 0 (a leaf) leaves the ratio at 1.
+func (s ComplexScorer) Score(counts []int, occ []Occ, nonZeroChildren, totalChildren int) float64 {
+	base := 0.0
+	for i, c := range counts {
+		base += s.weight(i) * float64(c)
+	}
+	if base == 0 {
+		return 0
+	}
+	if !sort.SliceIsSorted(occ, func(i, j int) bool { return occ[i].Pos < occ[j].Pos }) {
+		occ = append([]Occ(nil), occ...)
+		sort.Slice(occ, func(i, j int) bool { return occ[i].Pos < occ[j].Pos })
+	}
+	prox := 0.0
+	for i := 1; i < len(occ); i++ {
+		a, b := occ[i-1], occ[i]
+		if a.Term == b.Term {
+			continue
+		}
+		var dist float64
+		if a.Node == b.Node {
+			dist = float64(b.Pos - a.Pos)
+		} else {
+			hops := b.Node - a.Node
+			if hops < 0 {
+				hops = -hops
+			}
+			dist = s.nodeDistance() * float64(hops)
+		}
+		prox += 1 / (1 + dist)
+	}
+	ratio := 1.0
+	if totalChildren > 0 {
+		ratio = float64(nonZeroChildren) / float64(totalChildren)
+	}
+	return (base + prox) * ratio
+}
+
+// TFIDFScorer scores by sum over terms of tf × idf, the measure the paper
+// names as the realistic choice for score generation (Sec. 5.1).
+type TFIDFScorer struct {
+	// IDF holds the inverse document frequency per query term.
+	IDF []float64
+}
+
+// Score computes Σ tf_i × idf_i over per-term counts.
+func (s TFIDFScorer) Score(counts []int) float64 {
+	total := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		idf := 1.0
+		if i < len(s.IDF) {
+			idf = s.IDF[i]
+		}
+		total += (1 + math.Log(float64(c))) * idf
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// The user-defined functions of Fig. 9, operating on xmltree nodes. These
+// are the algebra-level (logical) counterparts used by the worked examples
+// of Sec. 3 and the XQuery extension of Sec. 4.
+
+// ScoreFoo implements Fig. 9's ScoreFoo: each phrase in primary contributes
+// 0.8 per occurrence in the node's alltext(), each phrase in secondary 0.6.
+// Multi-word phrases are matched as adjacent-word phrases.
+func ScoreFoo(tok *tokenize.Tokenizer, n *xmltree.Node, primary, secondary []string) float64 {
+	text := n.AllText()
+	score := 0.0
+	for _, a := range primary {
+		score += 0.8 * float64(countPhrase(tok, text, a))
+	}
+	for _, b := range secondary {
+		score += 0.6 * float64(countPhrase(tok, text, b))
+	}
+	return score
+}
+
+func countPhrase(tok *tokenize.Tokenizer, text, phrase string) int {
+	terms := tok.SplitPhrase(phrase)
+	switch len(terms) {
+	case 0:
+		return 0
+	case 1:
+		return tok.Count(text, terms[0])
+	default:
+		return tok.CountPhrase(text, terms)
+	}
+}
+
+// ScoreSim implements Fig. 9's ScoreSim: the number of distinct words that
+// occur in the direct text of both nodes (count-same of $a/text() and
+// $b/text()). Only immediate text children are compared, per the XQuery
+// text() step.
+func ScoreSim(tok *tokenize.Tokenizer, a, b *xmltree.Node) float64 {
+	return float64(countSame(tok, directText(a), directText(b)))
+}
+
+func directText(n *xmltree.Node) string {
+	out := ""
+	for _, c := range n.Children {
+		if c.Kind == xmltree.Text {
+			if out != "" {
+				out += " "
+			}
+			out += c.Text
+		}
+	}
+	return out
+}
+
+func countSame(tok *tokenize.Tokenizer, a, b string) int {
+	set := map[string]bool{}
+	for _, t := range tok.Terms(a) {
+		set[t] = true
+	}
+	seen := map[string]bool{}
+	n := 0
+	for _, t := range tok.Terms(b) {
+		if set[t] && !seen[t] {
+			seen[t] = true
+			n++
+		}
+	}
+	return n
+}
+
+// ScoreBar implements Fig. 9's ScoreBar: score1+score2 if score2 > 0, else 0.
+func ScoreBar(score1, score2 float64) float64 {
+	if score2 > 0 {
+		return score1 + score2
+	}
+	return 0
+}
+
+// PickFoo implements Fig. 9's PickFoo worth-determination: a node is worth
+// returning when more than half of its children have score above the
+// relevance threshold (0.8 in the paper's example). The parent-not-picked
+// condition is enforced by the Pick algorithm itself (internal/exec), which
+// consults DetWorth-style callbacks; PickFoo is the DetWorth instance.
+func PickFoo(n *xmltree.Node, score func(*xmltree.Node) float64, threshold float64) bool {
+	if len(n.Children) == 0 {
+		return score(n) >= threshold
+	}
+	relevant := 0
+	for _, c := range n.Children {
+		if score(c) >= threshold {
+			relevant++
+		}
+	}
+	return float64(relevant)/float64(len(n.Children)) > 0.5
+}
+
+// SameParity is the IsSameClass instance from Sec. 5.3's example: two nodes
+// are in the same return class when their levels have equal parity.
+func SameParity(a, b *xmltree.Node) bool {
+	return a.Level%2 == b.Level%2
+}

@@ -1,0 +1,250 @@
+package scoring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+func TestSimpleScorer(t *testing.T) {
+	s := SimpleScorer{Weights: []float64{0.8, 0.6}}
+	if got := s.Score([]int{2, 3}); math.Abs(got-(0.8*2+0.6*3)) > 1e-9 {
+		t.Errorf("Score = %f", got)
+	}
+	if got := s.Score([]int{0, 0}); got != 0 {
+		t.Errorf("zero counts should score 0, got %f", got)
+	}
+	// Missing weights default to 1.
+	s2 := SimpleScorer{}
+	if got := s2.Score([]int{1, 2}); got != 3 {
+		t.Errorf("default weights: %f", got)
+	}
+}
+
+func TestComplexScorerZeroBase(t *testing.T) {
+	s := ComplexScorer{}
+	if got := s.Score([]int{0, 0}, nil, 0, 4); got != 0 {
+		t.Errorf("zero counts must score 0, got %f", got)
+	}
+}
+
+func TestComplexScorerProximity(t *testing.T) {
+	s := ComplexScorer{Weights: []float64{1, 1}}
+	// Same counts; adjacent occurrences must beat distant ones.
+	near := []Occ{{Term: 0, Pos: 10, Node: 1}, {Term: 1, Pos: 11, Node: 1}}
+	far := []Occ{{Term: 0, Pos: 10, Node: 1}, {Term: 1, Pos: 90, Node: 1}}
+	sNear := s.Score([]int{1, 1}, near, 1, 1)
+	sFar := s.Score([]int{1, 1}, far, 1, 1)
+	if sNear <= sFar {
+		t.Errorf("proximity should raise score: near %f, far %f", sNear, sFar)
+	}
+	// Cross-node occurrences are charged node distance.
+	cross := []Occ{{Term: 0, Pos: 10, Node: 1}, {Term: 1, Pos: 11, Node: 5}}
+	if got := s.Score([]int{1, 1}, cross, 1, 1); got >= sNear {
+		t.Errorf("cross-node should not beat same-node adjacency: %f vs %f", got, sNear)
+	}
+	// Same-term neighbours contribute no proximity.
+	sameTerm := []Occ{{Term: 0, Pos: 10, Node: 1}, {Term: 0, Pos: 11, Node: 1}}
+	if got := s.Score([]int{2, 0}, sameTerm, 1, 1); got != 2 {
+		t.Errorf("same-term pair should add no bonus: %f", got)
+	}
+}
+
+func TestComplexScorerChildRatio(t *testing.T) {
+	s := ComplexScorer{}
+	occ := []Occ{{Term: 0, Pos: 5, Node: 1}}
+	full := s.Score([]int{1}, occ, 4, 4)
+	half := s.Score([]int{1}, occ, 2, 4)
+	leaf := s.Score([]int{1}, occ, 0, 0)
+	if math.Abs(half-full/2) > 1e-9 {
+		t.Errorf("half ratio: %f vs full %f", half, full)
+	}
+	if math.Abs(leaf-full) > 1e-9 {
+		t.Errorf("leaf should use ratio 1: %f vs %f", leaf, full)
+	}
+}
+
+func TestComplexScorerUnsortedOccs(t *testing.T) {
+	s := ComplexScorer{}
+	sorted := []Occ{{Term: 0, Pos: 1, Node: 1}, {Term: 1, Pos: 2, Node: 1}}
+	unsorted := []Occ{{Term: 1, Pos: 2, Node: 1}, {Term: 0, Pos: 1, Node: 1}}
+	if a, b := s.Score([]int{1, 1}, sorted, 1, 1), s.Score([]int{1, 1}, unsorted, 1, 1); a != b {
+		t.Errorf("order sensitivity: %f vs %f", a, b)
+	}
+	// The defensive sort must not mutate the caller's slice.
+	if unsorted[0].Pos != 2 {
+		t.Errorf("caller slice mutated")
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	s := TFIDFScorer{IDF: []float64{2, 0.5}}
+	rare := s.Score([]int{3, 0})
+	common := s.Score([]int{0, 3})
+	if rare <= common {
+		t.Errorf("rare term should dominate: %f vs %f", rare, common)
+	}
+	if got := s.Score([]int{0, 0}); got != 0 {
+		t.Errorf("zero = %f", got)
+	}
+	// tf growth is sublinear (1 + log tf).
+	if s.Score([]int{10, 0}) >= 10*s.Score([]int{1, 0}) {
+		t.Errorf("tf should be sublinear")
+	}
+}
+
+func TestScoreFooPaperExample(t *testing.T) {
+	// Paragraph #a18 of Fig. 1: one occurrence of "search engines" — the
+	// singular phrase "search engine" does not occur, but ScoreFoo with the
+	// paper's plural-insensitive reading scores on phrase matches; the
+	// paper's own numbers (Fig. 5) treat "search engines:" in #a18 as an
+	// occurrence. Use the exact token sequences to verify the arithmetic.
+	tok := tokenize.New()
+	p := xmltree.MustParse(`<p>Here are some IR based search engine examples</p>`)
+	got := ScoreFoo(tok, p, []string{"search engine"}, []string{"internet", "information retrieval"})
+	if math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("ScoreFoo = %f, want 0.8", got)
+	}
+	p2 := xmltree.MustParse(`<p>search engine uses a new information retrieval technology on the internet</p>`)
+	got2 := ScoreFoo(tok, p2, []string{"search engine"}, []string{"internet", "information retrieval"})
+	if math.Abs(got2-(0.8+0.6+0.6)) > 1e-9 {
+		t.Errorf("ScoreFoo = %f, want 2.0", got2)
+	}
+	// Subtree aggregation: alltext() spans descendants.
+	parent := xmltree.MustParse(`<sec><p>search engine</p><p>search engine again</p></sec>`)
+	got3 := ScoreFoo(tok, parent, []string{"search engine"}, nil)
+	if math.Abs(got3-1.6) > 1e-9 {
+		t.Errorf("ScoreFoo(subtree) = %f, want 1.6", got3)
+	}
+}
+
+func TestScoreSim(t *testing.T) {
+	tok := tokenize.New()
+	a := xmltree.MustParse(`<title>Internet Technologies</title>`)
+	b := xmltree.MustParse(`<title>Internet Technologies</title>`)
+	c := xmltree.MustParse(`<title>WWW Technologies</title>`)
+	d := xmltree.MustParse(`<title>Databases</title>`)
+	if got := ScoreSim(tok, a, b); got != 2 {
+		t.Errorf("identical titles = %f, want 2", got)
+	}
+	if got := ScoreSim(tok, a, c); got != 1 {
+		t.Errorf("one shared word = %f, want 1", got)
+	}
+	if got := ScoreSim(tok, a, d); got != 0 {
+		t.Errorf("disjoint = %f, want 0", got)
+	}
+	// Repeated shared words count once (distinct words).
+	e := xmltree.MustParse(`<t>web web web</t>`)
+	f := xmltree.MustParse(`<t>web web</t>`)
+	if got := ScoreSim(tok, e, f); got != 1 {
+		t.Errorf("repeat = %f, want 1", got)
+	}
+	// Only direct text counts, not descendants.
+	g := xmltree.MustParse(`<t><sub>internet</sub></t>`)
+	if got := ScoreSim(tok, a, g); got != 0 {
+		t.Errorf("descendant text must not count: %f", got)
+	}
+}
+
+func TestScoreBar(t *testing.T) {
+	if got := ScoreBar(2, 0.8); got != 2.8 {
+		t.Errorf("ScoreBar(2,0.8) = %f", got)
+	}
+	if got := ScoreBar(2, 0); got != 0 {
+		t.Errorf("ScoreBar(2,0) = %f, want 0", got)
+	}
+	if got := ScoreBar(2, -1); got != 0 {
+		t.Errorf("ScoreBar(2,-1) = %f, want 0", got)
+	}
+}
+
+func TestPickFoo(t *testing.T) {
+	// Build a node with 3 children, scores 1.0, 1.0, 0.1: 2/3 > 50% → worth.
+	n := xmltree.NewElement("sec")
+	c1, c2, c3 := xmltree.NewElement("p"), xmltree.NewElement("p"), xmltree.NewElement("p")
+	n.AppendChild(c1)
+	n.AppendChild(c2)
+	n.AppendChild(c3)
+	xmltree.Number(n)
+	scores := map[*xmltree.Node]float64{c1: 1.0, c2: 1.0, c3: 0.1}
+	score := func(m *xmltree.Node) float64 { return scores[m] }
+	if !PickFoo(n, score, 0.8) {
+		t.Errorf("2/3 relevant children should be worth returning")
+	}
+	scores[c2] = 0.1
+	if PickFoo(n, score, 0.8) {
+		t.Errorf("1/3 relevant children should not be worth returning")
+	}
+	// Leaf falls back to its own score.
+	leaf := xmltree.NewElement("p")
+	xmltree.Number(leaf)
+	if !PickFoo(leaf, func(*xmltree.Node) float64 { return 0.9 }, 0.8) {
+		t.Errorf("relevant leaf should be worth returning")
+	}
+}
+
+func TestSameParity(t *testing.T) {
+	root := xmltree.MustParse(`<a><b><c/></b></a>`)
+	b := root.FirstTag("b")
+	c := root.FirstTag("c")
+	if SameParity(root, b) {
+		t.Errorf("levels 0 and 1 differ in parity")
+	}
+	if !SameParity(root, c) {
+		t.Errorf("levels 0 and 2 share parity")
+	}
+}
+
+func TestQuickSimpleScorerLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 2
+		}
+		s := SimpleScorer{Weights: w}
+		a := make([]int, n)
+		b := make([]int, n)
+		sum := make([]int, n)
+		for i := range a {
+			a[i], b[i] = rng.Intn(10), rng.Intn(10)
+			sum[i] = a[i] + b[i]
+		}
+		return math.Abs(s.Score(sum)-(s.Score(a)+s.Score(b))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComplexScoreNonNegativeAndMonotoneRatio(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := ComplexScorer{}
+		n := 1 + rng.Intn(3)
+		counts := make([]int, n)
+		var occ []Occ
+		pos := uint32(0)
+		for i := range counts {
+			counts[i] = rng.Intn(4)
+			for j := 0; j < counts[i]; j++ {
+				pos += uint32(1 + rng.Intn(20))
+				occ = append(occ, Occ{Term: i, Pos: pos, Node: int32(rng.Intn(4))})
+			}
+		}
+		total := 1 + rng.Intn(6)
+		lo := rng.Intn(total + 1)
+		hi := lo + rng.Intn(total-lo+1)
+		sLo := s.Score(counts, occ, lo, total)
+		sHi := s.Score(counts, occ, hi, total)
+		return sLo >= 0 && sHi >= sLo-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package server exposes a TIX database over HTTP with a small JSON API —
+// the front end a downstream user would put in front of the engine:
+//
+//	GET  /stats                      database statistics
+//	POST /query    {"query": "..."}  extended-XQuery evaluation
+//	POST /terms    {"terms": [...], "topK": 10, "complex": false}
+//	POST /phrase   {"phrase": [...]}
+//
+// Results carry scores and the serialized XML of the matched components.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/xmltree"
+)
+
+// Server wraps a database with HTTP handlers. The database must be fully
+// loaded before serving; handlers only read, so concurrent requests are
+// safe.
+type Server struct {
+	DB *db.DB
+	// MaxResults caps the number of results returned per request
+	// (default 100).
+	MaxResults int
+}
+
+// New returns a server over d.
+func New(d *db.DB) *Server { return &Server{DB: d, MaxResults: 100} }
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /terms", s.handleTerms)
+	mux.HandleFunc("POST /phrase", s.handlePhrase)
+	return mux
+}
+
+// ListenAndServe serves on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+func (s *Server) maxResults() int {
+	if s.MaxResults <= 0 {
+		return 100
+	}
+	return s.MaxResults
+}
+
+// errorJSON writes a JSON error payload.
+func errorJSON(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Documents   int   `json:"documents"`
+	Nodes       int   `json:"nodes"`
+	Elements    int   `json:"elements"`
+	Terms       int   `json:"terms"`
+	Occurrences int64 `json:"occurrences"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.DB.Stats()
+	writeJSON(w, StatsResponse{
+		Documents:   st.Documents,
+		Nodes:       st.Nodes,
+		Elements:    st.Elements,
+		Terms:       st.Terms,
+		Occurrences: st.Occurrences,
+	})
+}
+
+// QueryRequest is the /query payload.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResult is one result of /query.
+type QueryResult struct {
+	Tag   string  `json:"tag"`
+	Score float64 `json:"score"`
+	Sim   float64 `json:"sim,omitempty"`
+	XML   string  `json:"xml"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+	results, err := s.DB.Query(req.Query)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]QueryResult, 0, len(results))
+	for i, res := range results {
+		if i >= s.maxResults() {
+			break
+		}
+		out = append(out, QueryResult{
+			Tag:   res.Node.Tag,
+			Score: res.Score,
+			Sim:   res.Sim,
+			XML:   xmltree.XMLString(res.Node),
+		})
+	}
+	writeJSON(w, map[string]interface{}{"count": len(results), "results": out})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+	plan, err := s.DB.Explain(req.Query)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, map[string]string{"plan": plan})
+}
+
+// TermsRequest is the /terms payload.
+type TermsRequest struct {
+	Terms    []string `json:"terms"`
+	TopK     int      `json:"topK"`
+	Complex  bool     `json:"complex"`
+	Parallel int      `json:"parallel"`
+}
+
+// TermResult is one result of /terms.
+type TermResult struct {
+	Tag   string  `json:"tag"`
+	Doc   int32   `json:"doc"`
+	Ord   int32   `json:"ord"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
+	var req TermsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Terms) == 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("no terms"))
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 || topK > s.maxResults() {
+		topK = s.maxResults()
+	}
+	results, err := s.DB.TermSearch(req.Terms, db.TermSearchOptions{
+		TopK: topK, Complex: req.Complex, Parallel: req.Parallel,
+	})
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]TermResult, 0, len(results))
+	for _, n := range results {
+		out = append(out, TermResult{
+			Tag: s.DB.NameOf(n), Doc: int32(n.Doc), Ord: n.Ord, Score: n.Score,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"count": len(out), "results": out})
+}
+
+// PhraseRequest is the /phrase payload.
+type PhraseRequest struct {
+	Phrase []string `json:"phrase"`
+}
+
+// PhraseResult is one phrase occurrence.
+type PhraseResult struct {
+	Doc  int32  `json:"doc"`
+	Node int32  `json:"node"`
+	Pos  uint32 `json:"pos"`
+	Text string `json:"text"`
+}
+
+func (s *Server) handlePhrase(w http.ResponseWriter, r *http.Request) {
+	var req PhraseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Phrase) == 0 {
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty phrase"))
+		return
+	}
+	ms, err := s.DB.PhraseSearch(req.Phrase)
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := make([]PhraseResult, 0, len(ms))
+	for i, m := range ms {
+		if i >= s.maxResults() {
+			break
+		}
+		text := ""
+		if n := s.DB.Materialize(m.Doc, m.Node); n != nil {
+			text = n.AllText()
+		}
+		out = append(out, PhraseResult{Doc: int32(m.Doc), Node: m.Node, Pos: m.Pos, Text: text})
+	}
+	writeJSON(w, map[string]interface{}{"count": len(ms), "results": out})
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/fixture"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	d := db.New(db.Options{Stemming: true})
+	if err := d.LoadString("articles.xml", fixture.ArticlesXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadString("reviews.xml", fixture.ReviewsXML); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(d).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, out
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 2 || st.Nodes == 0 || st.Terms == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/query", QueryRequest{Query: `
+		For $a in document("articles.xml")//article/descendant-or-self::*
+		Score $a using ScoreFoo($a, {"search engine"}, {"internet", "information retrieval"})
+		Pick $a using PickFoo($a)
+		Sortby(score)
+		Threshold $a/@score > 4 stop after 5
+	`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out["error"])
+	}
+	var results []QueryResult
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Tag != "chapter" || results[0].Score != 5.0 {
+		t.Errorf("results = %+v", results)
+	}
+	if !strings.Contains(results[0].XML, "Search and Retrieval") {
+		t.Errorf("XML payload missing content")
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/query", QueryRequest{Query: "garbage !!"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad query status = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/query", QueryRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query status = %d", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", r2.StatusCode)
+	}
+	// Wrong method.
+	r3, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", r3.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/explain", QueryRequest{Query: `
+		For $a in document("articles.xml")//article/descendant-or-self::*
+		Score $a using ScoreFoo($a, {"search engine"}, {})
+	`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var plan string
+	if err := json.Unmarshal(out["plan"], &plan); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "TermJoin") || !strings.Contains(plan, "PhraseFinder") {
+		t.Errorf("plan = %q", plan)
+	}
+	resp, _ = postJSON(t, ts.URL+"/explain", QueryRequest{Query: "nope"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad query status = %d", resp.StatusCode)
+	}
+}
+
+func TestTermsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/terms", TermsRequest{Terms: []string{"search", "engine"}, TopK: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var results []TermResult
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Tag != "article" {
+		t.Errorf("best tag = %s", results[0].Tag)
+	}
+	resp, _ = postJSON(t, ts.URL+"/terms", TermsRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no terms status = %d", resp.StatusCode)
+	}
+}
+
+func TestPhraseEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/phrase", PhraseRequest{Phrase: []string{"information", "retrieval"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var count int
+	if err := json.Unmarshal(out["count"], &count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	var results []PhraseResult
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !strings.Contains(strings.ToLower(r.Text), "information retrieval") {
+			t.Errorf("result text %q lacks the phrase", r.Text)
+		}
+	}
+	resp, _ = postJSON(t, ts.URL+"/phrase", PhraseRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty phrase status = %d", resp.StatusCode)
+	}
+}
+
+func TestMaxResultsCap(t *testing.T) {
+	d := db.New(db.Options{Stemming: true})
+	if err := d.LoadString("articles.xml", fixture.ArticlesXML); err != nil {
+		t.Fatal(err)
+	}
+	s := New(d)
+	s.MaxResults = 2
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, out := postJSON(t, ts.URL+"/query", QueryRequest{Query: `
+		For $a in document("articles.xml")//article/descendant-or-self::*
+		Score $a using ScoreFoo($a, {"search engine"}, {"internet", "information retrieval"})
+		Sortby(score)
+	`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var results []QueryResult
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Errorf("capped results = %d, want 2", len(results))
+	}
+	var count int
+	if err := json.Unmarshal(out["count"], &count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 11 {
+		t.Errorf("total count = %d, want 11", count)
+	}
+}

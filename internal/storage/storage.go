@@ -1,0 +1,286 @@
+// Package storage implements the node store that plays the role of the
+// Timber back-end in the paper's experiments: a column-oriented, document-
+// order array of node records per document, with the auxiliary indexes the
+// access methods in internal/exec need — parent pointers, a child-count
+// index (for Enhanced TermJoin), per-tag element extents (for structural
+// joins and the Comp2 baseline), and subtree/text retrieval.
+//
+// The store is in-memory, but every retrieval goes through an access-
+// accounting layer that counts node and page touches. The proposed access
+// methods (TermJoin, PhraseFinder, Pick) touch the store rarely; the
+// composite baselines touch it per intermediate result, which is what
+// produces the cost separation the paper reports.
+//
+// A Store is not safe for concurrent mutation; concurrent readers are safe
+// once loading is complete, provided access accounting is disabled or each
+// goroutine uses its own Accessor.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// DocID identifies a loaded document within a Store.
+type DocID int32
+
+// TagID is an interned element tag.
+type TagID int32
+
+// NoNode marks an absent node reference (e.g. the root's parent).
+const NoNode int32 = -1
+
+// NodeRec is the flat record stored for every node of a document. Records
+// are stored in document (preorder) order, so a node's ordinal is also its
+// index and Start keys are strictly increasing with the ordinal.
+type NodeRec struct {
+	Start uint32
+	End   uint32
+	Level uint16
+	Kind  xmltree.Kind
+	Tag   TagID  // valid for element nodes
+	Text  string // valid for text nodes
+
+	Parent      int32 // ordinal of the parent, NoNode for the root
+	FirstChild  int32 // ordinal of the first child, NoNode if leaf
+	NextSibling int32 // ordinal of the next sibling, NoNode if last
+	ChildCount  int32 // number of children (elements and text nodes)
+}
+
+// Document is one loaded XML document.
+type Document struct {
+	ID    DocID
+	Name  string
+	Root  *xmltree.Node // retained for result materialization
+	Nodes []NodeRec     // document order; index == ordinal
+
+	tagExtent map[TagID][]int32 // element ordinals per tag, document order
+	elements  []int32           // all element ordinals, document order
+	ordToNode []*xmltree.Node   // lazy ordinal → tree node map
+}
+
+// TagDict interns element tag names store-wide.
+type TagDict struct {
+	byName map[string]TagID
+	names  []string
+}
+
+// NewTagDict returns an empty dictionary.
+func NewTagDict() *TagDict {
+	return &TagDict{byName: make(map[string]TagID)}
+}
+
+// Intern returns the TagID for name, assigning a fresh one if needed.
+func (d *TagDict) Intern(name string) TagID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := TagID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the TagID for name and whether it is known.
+func (d *TagDict) Lookup(name string) (TagID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the tag name for id.
+func (d *TagDict) Name(id TagID) string {
+	if int(id) < 0 || int(id) >= len(d.names) {
+		return fmt.Sprintf("tag#%d", id)
+	}
+	return d.names[id]
+}
+
+// Len returns the number of interned tags.
+func (d *TagDict) Len() int { return len(d.names) }
+
+// AccessStats counts store touches. The baselines in internal/exec report
+// these so experiments can show *why* they are slow, not only that they are.
+type AccessStats struct {
+	NodeReads  int64 // individual node record fetches
+	PageReads  int64 // distinct-page transitions (sequential locality is cheap)
+	TextReads  int64 // text payload fetches
+	NavSteps   int64 // child/sibling navigation steps
+	lastPage   int64
+	lastPageOK bool
+}
+
+// Reset zeroes the counters.
+func (s *AccessStats) Reset() { *s = AccessStats{} }
+
+// Add accumulates o into s.
+func (s *AccessStats) Add(o AccessStats) {
+	s.NodeReads += o.NodeReads
+	s.PageReads += o.PageReads
+	s.TextReads += o.TextReads
+	s.NavSteps += o.NavSteps
+}
+
+// String formats the counters compactly.
+func (s *AccessStats) String() string {
+	return fmt.Sprintf("nodes=%d pages=%d texts=%d nav=%d", s.NodeReads, s.PageReads, s.TextReads, s.NavSteps)
+}
+
+// PageSize is the number of node records per simulated page for page-touch
+// accounting.
+const PageSize = 128
+
+// Store holds a set of loaded documents and the shared tag dictionary.
+type Store struct {
+	Tags   *TagDict
+	docs   []*Document
+	byName map[string]DocID
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{Tags: NewTagDict(), byName: make(map[string]DocID)}
+}
+
+// AddTree loads a numbered xmltree into the store under the given document
+// name and returns its DocID. The tree must already be numbered (Parse does
+// this); AddTree renumbers defensively if the root looks unnumbered.
+func (s *Store) AddTree(name string, root *xmltree.Node) (DocID, error) {
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("storage: document %q already loaded", name)
+	}
+	if root.End == 0 && len(root.Children) > 0 {
+		xmltree.Number(root)
+	}
+	id := DocID(len(s.docs))
+	doc := &Document{
+		ID:        id,
+		Name:      name,
+		Root:      root,
+		tagExtent: make(map[TagID][]int32),
+	}
+	nodes := xmltree.Nodes(root)
+	doc.Nodes = make([]NodeRec, len(nodes))
+	ordOf := make(map[*xmltree.Node]int32, len(nodes))
+	for i, n := range nodes {
+		if n.Ord != int32(i) {
+			return 0, fmt.Errorf("storage: node ordinals not preorder-contiguous (got %d at %d); tree not numbered?", n.Ord, i)
+		}
+		ordOf[n] = int32(i)
+	}
+	for i, n := range nodes {
+		rec := NodeRec{
+			Start:       n.Start,
+			End:         n.End,
+			Level:       n.Level,
+			Kind:        n.Kind,
+			Parent:      NoNode,
+			FirstChild:  NoNode,
+			NextSibling: NoNode,
+			ChildCount:  int32(len(n.Children)),
+		}
+		if n.Parent != nil {
+			rec.Parent = ordOf[n.Parent]
+		}
+		if len(n.Children) > 0 {
+			rec.FirstChild = ordOf[n.Children[0]]
+		}
+		if n.Kind == xmltree.Element {
+			rec.Tag = s.Tags.Intern(n.Tag)
+		} else {
+			rec.Text = n.Text
+		}
+		doc.Nodes[i] = rec
+	}
+	// Next-sibling links.
+	for _, n := range nodes {
+		for ci := 0; ci+1 < len(n.Children); ci++ {
+			doc.Nodes[ordOf[n.Children[ci]]].NextSibling = ordOf[n.Children[ci+1]]
+		}
+	}
+	// Tag extents.
+	for i := range doc.Nodes {
+		if doc.Nodes[i].Kind == xmltree.Element {
+			tid := doc.Nodes[i].Tag
+			doc.tagExtent[tid] = append(doc.tagExtent[tid], int32(i))
+			doc.elements = append(doc.elements, int32(i))
+		}
+	}
+	s.docs = append(s.docs, doc)
+	s.byName[name] = id
+	return id, nil
+}
+
+// Doc returns the document with the given id, or nil.
+func (s *Store) Doc(id DocID) *Document {
+	if int(id) < 0 || int(id) >= len(s.docs) {
+		return nil
+	}
+	return s.docs[id]
+}
+
+// DocByName returns the document loaded under name, or nil.
+func (s *Store) DocByName(name string) *Document {
+	id, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	return s.docs[id]
+}
+
+// Docs returns all loaded documents in load order.
+func (s *Store) Docs() []*Document { return s.docs }
+
+// NumNodes returns the total number of node records across all documents.
+func (s *Store) NumNodes() int {
+	n := 0
+	for _, d := range s.docs {
+		n += len(d.Nodes)
+	}
+	return n
+}
+
+// TagExtent returns the ordinals of all elements with the given tag in doc,
+// in document order. The returned slice must not be modified.
+func (d *Document) TagExtent(tag TagID) []int32 { return d.tagExtent[tag] }
+
+// Elements returns the ordinals of all element nodes in document order. The
+// returned slice must not be modified.
+func (d *Document) Elements() []int32 { return d.elements }
+
+// OrdByStart returns the ordinal of the node whose Start equals start, or
+// NoNode. Because ordinals are preorder, Start keys are strictly increasing
+// and a binary search suffices.
+func (d *Document) OrdByStart(start uint32) int32 {
+	i := sort.Search(len(d.Nodes), func(i int) bool { return d.Nodes[i].Start >= start })
+	if i < len(d.Nodes) && d.Nodes[i].Start == start {
+		return int32(i)
+	}
+	return NoNode
+}
+
+// SubtreeEnd returns the ordinal one past the last descendant of ord; the
+// subtree of ord is the contiguous ordinal range [ord, SubtreeEnd).
+func (d *Document) SubtreeEnd(ord int32) int32 {
+	end := d.Nodes[ord].End
+	i := sort.Search(len(d.Nodes), func(i int) bool { return d.Nodes[i].Start > end })
+	return int32(i)
+}
+
+// TreeNode returns the xmltree node with the given ordinal (for result
+// materialization). It costs a subtree walk on first use per document, after
+// which lookups are O(1).
+func (d *Document) TreeNode(ord int32) *xmltree.Node {
+	if d.ordToNode == nil {
+		d.ordToNode = make([]*xmltree.Node, len(d.Nodes))
+		d.Root.Walk(func(n *xmltree.Node) bool {
+			d.ordToNode[n.Ord] = n
+			return true
+		})
+	}
+	if int(ord) < 0 || int(ord) >= len(d.ordToNode) {
+		return nil
+	}
+	return d.ordToNode[ord]
+}

@@ -1,0 +1,325 @@
+// Package synth generates the synthetic stand-in for the INEX corpus used
+// in the paper's evaluation (Sec. 6: IEEE Transactions articles, 18M
+// elements, 500 MB). The INEX collection is licensed and unavailable, so
+// this generator reproduces the properties the access methods are sensitive
+// to:
+//
+//   - deep, article/front-matter/body/section/subsection/paragraph nesting
+//     with text concentrated in the leaves (cost of ancestor expansion and
+//     stack depth);
+//   - a Zipfian background vocabulary (realistic posting-list skew);
+//   - control terms planted at *exact* total frequencies (every table in
+//     the evaluation sweeps term frequency on its x-axis); and
+//   - control phrases planted with an exact number of adjacent
+//     co-occurrences (Table 5's result-size column).
+//
+// Generation is fully deterministic given Config.Seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// PhraseSpec plants a two-term phrase: Together adjacent occurrences of
+// T1 immediately followed by T2. Planted pairs count toward each term's
+// total frequency in Config.ControlTerms.
+type PhraseSpec struct {
+	T1, T2   string
+	Together int
+}
+
+// Config controls corpus shape and the planted workload.
+type Config struct {
+	// Articles is the number of <article> elements.
+	Articles int
+	// SectionsPerArticle, SubsecsPerSection and ParasPerUnit bound the
+	// uniform random counts of nested units ([min,max], inclusive).
+	SectionsPerArticle [2]int
+	SubsecsPerSection  [2]int
+	ParasPerUnit       [2]int
+	// WordsPerPara bounds the uniform random paragraph length in words.
+	WordsPerPara [2]int
+	// VocabSize is the background vocabulary size; background words are
+	// named w000001… and drawn from a Zipf(s=1.1) distribution.
+	VocabSize int
+	// Seed makes generation deterministic.
+	Seed int64
+	// ControlTerms maps a control term to its exact total frequency in the
+	// generated corpus. Control terms should not collide with background
+	// words (any name not matching w\d+ is safe).
+	ControlTerms map[string]int
+	// Phrases plants adjacent co-occurrences; each term's planted pairs
+	// must not exceed its ControlTerms budget.
+	Phrases []PhraseSpec
+}
+
+// DefaultConfig returns a corpus configuration sized for tests and
+// interactive use (~10k elements). Benchmarks scale it up.
+func DefaultConfig() Config {
+	return Config{
+		Articles:           40,
+		SectionsPerArticle: [2]int{3, 6},
+		SubsecsPerSection:  [2]int{0, 3},
+		ParasPerUnit:       [2]int{1, 4},
+		WordsPerPara:       [2]int{20, 60},
+		VocabSize:          4000,
+		Seed:               1,
+	}
+}
+
+// Corpus is the generated document plus bookkeeping about the planted
+// workload.
+type Corpus struct {
+	Root *xmltree.Node
+	// Paragraphs is the number of <p> leaves generated.
+	Paragraphs int
+	// Words is the total number of words of character data.
+	Words int
+	// PlantedFreq records the exact planted frequency of each control term.
+	PlantedFreq map[string]int
+}
+
+type slot struct {
+	para int
+	word int
+}
+
+// Generate builds the corpus. It returns an error if the planted workload
+// does not fit (too few word slots) or is inconsistent (phrase pairs exceed
+// a term's frequency budget).
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.Articles <= 0 {
+		return nil, fmt.Errorf("synth: Articles must be positive")
+	}
+	if cfg.VocabSize <= 0 {
+		return nil, fmt.Errorf("synth: VocabSize must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.1, 1.0, uint64(cfg.VocabSize-1))
+
+	// Validate phrase budgets.
+	pairBudget := map[string]int{}
+	for _, ph := range cfg.Phrases {
+		if ph.Together < 0 {
+			return nil, fmt.Errorf("synth: phrase %q %q: negative Together", ph.T1, ph.T2)
+		}
+		pairBudget[ph.T1] += ph.Together
+		pairBudget[ph.T2] += ph.Together
+	}
+	for t, need := range pairBudget {
+		if have, ok := cfg.ControlTerms[t]; !ok || have < need {
+			return nil, fmt.Errorf("synth: term %q needs frequency >= %d for its phrases, have %d", t, need, cfg.ControlTerms[t])
+		}
+	}
+
+	// Phase 1: generate the document skeleton with paragraph word arrays.
+	gen := &generator{cfg: cfg, rng: rng, zipf: zipf}
+	root := xmltree.NewElement("corpus")
+	for i := 0; i < cfg.Articles; i++ {
+		root.AppendChild(gen.article(i))
+	}
+
+	totalWords := 0
+	for _, p := range gen.paras {
+		totalWords += len(p)
+	}
+
+	// Phase 2: plant control phrases (pairs of adjacent slots), then control
+	// term singles, by overwriting background words.
+	need := 0
+	for _, f := range cfg.ControlTerms {
+		need += f
+	}
+	if need > totalWords/2 {
+		return nil, fmt.Errorf("synth: planted workload (%d occurrences) exceeds half the corpus (%d words); enlarge the corpus", need, totalWords)
+	}
+
+	used := make(map[slot]bool)
+	pickSlot := func(minRun int) (slot, bool) {
+		// Rejection-sample an unused slot with minRun consecutive free words.
+		for tries := 0; tries < 10000; tries++ {
+			pi := rng.Intn(len(gen.paras))
+			para := gen.paras[pi]
+			if len(para) < minRun {
+				continue
+			}
+			wi := rng.Intn(len(para) - minRun + 1)
+			ok := true
+			for k := 0; k < minRun; k++ {
+				if used[slot{pi, wi + k}] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return slot{pi, wi}, true
+			}
+		}
+		return slot{}, false
+	}
+
+	planted := map[string]int{}
+	for _, ph := range cfg.Phrases {
+		for n := 0; n < ph.Together; n++ {
+			s, ok := pickSlot(2)
+			if !ok {
+				return nil, fmt.Errorf("synth: could not place phrase %q %q; corpus too small", ph.T1, ph.T2)
+			}
+			gen.paras[s.para][s.word] = ph.T1
+			gen.paras[s.para][s.word+1] = ph.T2
+			used[s] = true
+			used[slot{s.para, s.word + 1}] = true
+			planted[ph.T1]++
+			planted[ph.T2]++
+		}
+	}
+	for term, freq := range cfg.ControlTerms {
+		for planted[term] < freq {
+			s, ok := pickSlot(1)
+			if !ok {
+				return nil, fmt.Errorf("synth: could not place term %q; corpus too small", term)
+			}
+			gen.paras[s.para][s.word] = term
+			used[s] = true
+			planted[term]++
+		}
+	}
+
+	// Phase 3: flush paragraph word arrays into text nodes and number.
+	for i, words := range gen.paras {
+		gen.paraNodes[i].AppendChild(xmltree.NewText(strings.Join(words, " ")))
+	}
+	xmltree.Number(root)
+
+	return &Corpus{
+		Root:        root,
+		Paragraphs:  len(gen.paras),
+		Words:       totalWords,
+		PlantedFreq: planted,
+	}, nil
+}
+
+type generator struct {
+	cfg       Config
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	paras     [][]string
+	paraNodes []*xmltree.Node
+}
+
+func (g *generator) between(b [2]int) int {
+	if b[1] <= b[0] {
+		return b[0]
+	}
+	return b[0] + g.rng.Intn(b[1]-b[0]+1)
+}
+
+func (g *generator) word() string {
+	return fmt.Sprintf("w%06d", g.zipf.Uint64())
+}
+
+func (g *generator) shortText(n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = g.word()
+	}
+	return strings.Join(words, " ")
+}
+
+// para creates a <p> element whose text is filled in later, so control terms
+// can be planted into the word array first.
+func (g *generator) para() *xmltree.Node {
+	p := xmltree.NewElement("p")
+	n := g.between(g.cfg.WordsPerPara)
+	if n < 1 {
+		n = 1
+	}
+	words := make([]string, n)
+	for i := range words {
+		words[i] = g.word()
+	}
+	g.paras = append(g.paras, words)
+	g.paraNodes = append(g.paraNodes, p)
+	return p
+}
+
+// article mirrors the INEX IEEE article structure: front matter with title
+// and authors, a body of sections with optional subsections, and a back
+// matter bibliography.
+func (g *generator) article(i int) *xmltree.Node {
+	art := xmltree.NewElement("article")
+	art.SetAttr("id", fmt.Sprintf("a%05d", i))
+
+	fm := xmltree.NewElement("fm")
+	atl := xmltree.NewElement("atl")
+	atl.AppendChild(xmltree.NewText(g.shortText(3 + g.rng.Intn(6))))
+	fm.AppendChild(atl)
+	for a := 0; a <= g.rng.Intn(3); a++ {
+		au := xmltree.NewElement("au")
+		fnm := xmltree.NewElement("fnm")
+		fnm.AppendChild(xmltree.NewText(g.shortText(1)))
+		snm := xmltree.NewElement("snm")
+		snm.AppendChild(xmltree.NewText(g.shortText(1)))
+		au.AppendChild(fnm)
+		au.AppendChild(snm)
+		fm.AppendChild(au)
+	}
+	abs := xmltree.NewElement("abs")
+	abs.AppendChild(g.para())
+	fm.AppendChild(abs)
+	art.AppendChild(fm)
+
+	bdy := xmltree.NewElement("bdy")
+	for s := 0; s < g.between(g.cfg.SectionsPerArticle); s++ {
+		sec := xmltree.NewElement("sec")
+		st := xmltree.NewElement("st")
+		st.AppendChild(xmltree.NewText(g.shortText(2 + g.rng.Intn(4))))
+		sec.AppendChild(st)
+		for p := 0; p < g.between(g.cfg.ParasPerUnit); p++ {
+			sec.AppendChild(g.para())
+		}
+		for ss := 0; ss < g.between(g.cfg.SubsecsPerSection); ss++ {
+			ss1 := xmltree.NewElement("ss1")
+			sst := xmltree.NewElement("st")
+			sst.AppendChild(xmltree.NewText(g.shortText(2 + g.rng.Intn(3))))
+			ss1.AppendChild(sst)
+			for p := 0; p < g.between(g.cfg.ParasPerUnit); p++ {
+				ss1.AppendChild(g.para())
+			}
+			sec.AppendChild(ss1)
+		}
+		bdy.AppendChild(sec)
+	}
+	art.AppendChild(bdy)
+
+	bm := xmltree.NewElement("bm")
+	bib := xmltree.NewElement("bib")
+	for b := 0; b < 2+g.rng.Intn(6); b++ {
+		bb := xmltree.NewElement("bb")
+		batl := xmltree.NewElement("atl")
+		batl.AppendChild(xmltree.NewText(g.shortText(3 + g.rng.Intn(5))))
+		bb.AppendChild(batl)
+		bib.AppendChild(bb)
+	}
+	bm.AppendChild(bib)
+	art.AppendChild(bm)
+	return art
+}
+
+// ScaleToElements returns a Config tuned to produce roughly the requested
+// number of XML elements with the default shape parameters, preserving the
+// seed and planted workload of base.
+func ScaleToElements(base Config, elements int) Config {
+	cfg := base
+	// With default shape parameters one article yields ~90 elements on
+	// average (sections × (paras + subsections × paras) plus front/back
+	// matter); solve for the article count.
+	perArticle := 90.0
+	cfg.Articles = int(math.Max(1, float64(elements)/perArticle))
+	return cfg
+}

@@ -1,0 +1,171 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/tokenize"
+	"repro/internal/xmltree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	c1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmltree.XMLString(c1.Root) != xmltree.XMLString(c2.Root) {
+		t.Errorf("same seed produced different corpora")
+	}
+	cfg.Seed = 2
+	c3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmltree.XMLString(c1.Root) == xmltree.XMLString(c3.Root) {
+		t.Errorf("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmltree.Validate(c.Root); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	if got := len(c.Root.FindTag("article")); got != cfg.Articles {
+		t.Errorf("articles = %d, want %d", got, cfg.Articles)
+	}
+	if len(c.Root.FindTag("sec")) == 0 || len(c.Root.FindTag("p")) == 0 {
+		t.Errorf("missing sections or paragraphs")
+	}
+	if c.Paragraphs != len(c.Root.FindTag("p")) {
+		t.Errorf("Paragraphs = %d, actual p count = %d", c.Paragraphs, len(c.Root.FindTag("p")))
+	}
+	if c.Words <= 0 {
+		t.Errorf("Words = %d", c.Words)
+	}
+	// Depth: a paragraph under a subsection sits at level ≥ 4.
+	maxLevel := uint16(0)
+	c.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+		return true
+	})
+	if maxLevel < 4 {
+		t.Errorf("max level = %d, want nesting >= 4", maxLevel)
+	}
+}
+
+func TestControlTermsExactFrequency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ControlTerms = map[string]int{"ctla": 20, "ctlb": 100, "ctlc": 7}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := storage.NewStore()
+	if _, err := s.AddTree("corpus", c.Root); err != nil {
+		t.Fatal(err)
+	}
+	idx := index.Build(s, tokenize.New())
+	for term, want := range cfg.ControlTerms {
+		if got := idx.TermFreq(term); got != want {
+			t.Errorf("TermFreq(%s) = %d, want %d", term, got, want)
+		}
+		if c.PlantedFreq[term] != want {
+			t.Errorf("PlantedFreq[%s] = %d, want %d", term, c.PlantedFreq[term], want)
+		}
+	}
+}
+
+func TestControlPhrases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ControlTerms = map[string]int{"pha": 50, "phb": 40}
+	cfg.Phrases = []PhraseSpec{{T1: "pha", T2: "phb", Together: 30}}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := storage.NewStore()
+	if _, err := s.AddTree("corpus", c.Root); err != nil {
+		t.Fatal(err)
+	}
+	idx := index.Build(s, tokenize.New())
+	if got := idx.TermFreq("pha"); got != 50 {
+		t.Errorf("TermFreq(pha) = %d, want 50", got)
+	}
+	if got := idx.TermFreq("phb"); got != 40 {
+		t.Errorf("TermFreq(phb) = %d, want 40", got)
+	}
+	// Count adjacent co-occurrences by brute force; planting guarantees at
+	// least Together (random singles may add more by chance, but singles
+	// never overwrite planted pairs).
+	tok := tokenize.New()
+	adj := 0
+	c.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Kind == xmltree.Text {
+			adj += tok.CountPhrase(n.Text, []string{"pha", "phb"})
+		}
+		return true
+	})
+	if adj < 30 {
+		t.Errorf("adjacent co-occurrences = %d, want >= 30", adj)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Articles = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Errorf("Articles=0 should error")
+	}
+	cfg = DefaultConfig()
+	cfg.VocabSize = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Errorf("VocabSize=0 should error")
+	}
+	cfg = DefaultConfig()
+	cfg.ControlTerms = map[string]int{"x": 1}
+	cfg.Phrases = []PhraseSpec{{T1: "x", T2: "y", Together: 5}}
+	if _, err := Generate(cfg); err == nil {
+		t.Errorf("phrase budget overflow should error")
+	}
+	cfg = DefaultConfig()
+	cfg.Articles = 1
+	cfg.SectionsPerArticle = [2]int{1, 1}
+	cfg.SubsecsPerSection = [2]int{0, 0}
+	cfg.ParasPerUnit = [2]int{1, 1}
+	cfg.WordsPerPara = [2]int{5, 5}
+	cfg.ControlTerms = map[string]int{"big": 100000}
+	if _, err := Generate(cfg); err == nil {
+		t.Errorf("oversized workload should error")
+	}
+}
+
+func TestScaleToElements(t *testing.T) {
+	cfg := ScaleToElements(DefaultConfig(), 20000)
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	c.Root.Walk(func(m *xmltree.Node) bool {
+		if m.Kind == xmltree.Element {
+			n++
+		}
+		return true
+	})
+	if n < 10000 || n > 40000 {
+		t.Errorf("elements = %d, want within 2x of 20000", n)
+	}
+}

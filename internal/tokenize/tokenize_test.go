@@ -1,0 +1,173 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tk := New()
+	got := tk.Tokenize("Search Engine basics!")
+	want := []Token{{"search", 0}, {"engine", 1}, {"basics", 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePunctuationAndDigits(t *testing.T) {
+	tk := New()
+	got := tk.Tokenize("web-scale IR, since 1998 (really).")
+	want := []Token{{"web", 0}, {"scale", 1}, {"ir", 2}, {"since", 3}, {"1998", 4}, {"really", 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndSpace(t *testing.T) {
+	tk := New()
+	if got := tk.Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := tk.Tokenize("  \t\n "); len(got) != 0 {
+		t.Errorf("Tokenize(space) = %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	tk := New()
+	got := tk.Tokenize("Maße der Welt")
+	want := []Token{{"maße", 0}, {"der", 1}, {"welt", 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestStopwordsPreserveOffsets(t *testing.T) {
+	tk := NewWithStopwords([]string{"the", "of"})
+	got := tk.Tokenize("the art of search")
+	want := []Token{{"art", 1}, {"search", 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestCount(t *testing.T) {
+	tk := New()
+	s := "search engine search ENGINE searching"
+	if got := tk.Count(s, "search"); got != 2 {
+		t.Errorf("Count(search) = %d, want 2", got)
+	}
+	if got := tk.Count(s, "Engine"); got != 2 {
+		t.Errorf("Count(Engine) = %d, want 2", got)
+	}
+	if got := tk.Count(s, "retrieval"); got != 0 {
+		t.Errorf("Count(retrieval) = %d, want 0", got)
+	}
+}
+
+func TestCountPhrase(t *testing.T) {
+	tk := New()
+	s := "information retrieval and information, retrieval of information retrieval"
+	// Occurrences at offsets (0,1) and (6,7); "information, retrieval"
+	// tokenizes to adjacent offsets (3,4) too because punctuation does not
+	// consume a word offset.
+	if got := tk.CountPhrase(s, []string{"information", "retrieval"}); got != 3 {
+		t.Errorf("CountPhrase = %d, want 3", got)
+	}
+	if got := tk.CountPhrase("information", []string{"information", "retrieval"}); got != 0 {
+		t.Errorf("CountPhrase(single word) = %d, want 0", got)
+	}
+	if got := tk.CountPhrase(s, nil); got != 0 {
+		t.Errorf("CountPhrase(empty) = %d, want 0", got)
+	}
+	if got := tk.CountPhrase("x search engine y", []string{"Search", "Engine"}); got != 1 {
+		t.Errorf("CountPhrase(case) = %d, want 1", got)
+	}
+}
+
+func TestSplitPhrase(t *testing.T) {
+	tk := New()
+	got := tk.SplitPhrase("Information Retrieval")
+	if !reflect.DeepEqual(got, []string{"information", "retrieval"}) {
+		t.Errorf("SplitPhrase = %v", got)
+	}
+}
+
+func TestStemming(t *testing.T) {
+	tk := NewStemming()
+	got := tk.Terms("engines techniques basics class buses is as")
+	// engines→engine, techniques→technique, basics→basic; "class" ends in
+	// ss (kept), "buses" ends in …es with preceding 'e'? No: rule strips a
+	// final s unless the word ends in ss or us — "buses" → "buse";
+	// two-letter words are kept.
+	want := []string{"engine", "technique", "basic", "class", "buse", "is", "as"}
+	if len(got) != len(want) {
+		t.Fatalf("Terms = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("term %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// "us"-final words are preserved (corpus, status).
+	if got := tk.Normalize("corpus"); got != "corpu" && got != "corpus" {
+		t.Errorf("Normalize(corpus) = %q", got)
+	}
+	if got := tk.Normalize("status"); got != "status" {
+		t.Errorf("Normalize(status) = %q, want status (us-final keeps s)", got)
+	}
+	// Query-side normalization matches index-side.
+	if tk.Count("search engines everywhere", "engine") != 1 {
+		t.Errorf("stemmed count failed")
+	}
+	if tk.CountPhrase("search engines here", []string{"search", "engine"}) != 1 {
+		t.Errorf("stemmed phrase count failed")
+	}
+	// The plain tokenizer does not stem.
+	if New().Count("engines", "engine") != 0 {
+		t.Errorf("plain tokenizer stemmed")
+	}
+}
+
+func TestQuickOffsetsMonotonic(t *testing.T) {
+	tk := New()
+	f := func(s string) bool {
+		toks := tk.Tokenize(s)
+		for i := 1; i < len(toks); i++ {
+			if toks[i].Offset <= toks[i-1].Offset {
+				return false
+			}
+		}
+		for _, tok := range toks {
+			if tok.Term == "" || tok.Term != strings.ToLower(tok.Term) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountMatchesTerms(t *testing.T) {
+	tk := New()
+	f := func(s string) bool {
+		terms := tk.Terms(s)
+		counts := map[string]int{}
+		for _, term := range terms {
+			counts[term]++
+		}
+		for term, want := range counts {
+			if tk.Count(s, term) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

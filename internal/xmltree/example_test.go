@@ -1,0 +1,45 @@
+package xmltree_test
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+func ExampleParseString() {
+	root, err := xmltree.ParseString(`<article><title>TIX</title><p>scored trees</p></article>`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(root.Tag, root.Size())
+	fmt.Println(root.FirstTag("title").AllText())
+	// Output:
+	// article 5
+	// TIX
+}
+
+func ExampleNode_IsAncestorOf() {
+	root := xmltree.MustParse(`<a><b><c/></b><d/></a>`)
+	b := root.FirstTag("b")
+	c := root.FirstTag("c")
+	d := root.FirstTag("d")
+	fmt.Println(b.IsAncestorOf(c), b.IsAncestorOf(d), root.Contains(root))
+	// Output: true false true
+}
+
+func ExampleNode_AllText() {
+	root := xmltree.MustParse(`<sec><title>One</title><p>two three</p></sec>`)
+	fmt.Println(root.AllText())
+	// Output: One two three
+}
+
+func ExampleNumber() {
+	root := xmltree.NewElement("a")
+	root.AppendChild(xmltree.NewText("two words"))
+	xmltree.Number(root)
+	// The region encoding is word-granular: the text node's words occupy
+	// consecutive positions inside the parent's region.
+	text := root.Children[0]
+	fmt.Printf("a=[%d,%d] text=[%d,%d]\n", root.Start, root.End, text.Start, text.End)
+	// Output: a=[0,4] text=[1,3]
+}

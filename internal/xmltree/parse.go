@@ -1,0 +1,143 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads one XML document from r and returns its numbered tree. If the
+// input contains multiple top-level elements (as reviews.xml in the paper's
+// Fig. 1 does), they are wrapped under a synthetic root element named
+// wrapper, mirroring what an XML database's document node would do.
+//
+// Character data is whitespace-trimmed; whitespace-only text nodes are
+// dropped. Comments and processing instructions are ignored.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var roots []*Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].AppendChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element </%s>", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				roots = append(roots, top)
+			}
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // ignore top-level whitespace
+			}
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			stack[len(stack)-1].AppendChild(NewText(text))
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unclosed element <%s>", stack[len(stack)-1].Tag)
+	}
+	var root *Node
+	switch len(roots) {
+	case 0:
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	case 1:
+		root = roots[0]
+	default:
+		root = NewElement("wrapper")
+		for _, r := range roots {
+			root.AppendChild(r)
+		}
+	}
+	Number(root)
+	return root, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse is ParseString that panics on error; intended for tests and
+// examples with literal documents.
+func MustParse(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// WriteXML serializes the subtree rooted at n as XML to w. Output is
+// indented with two spaces per level when indent is true.
+func WriteXML(w io.Writer, n *Node, indent bool) error {
+	return writeXML(w, n, 0, indent)
+}
+
+func writeXML(w io.Writer, n *Node, depth int, indent bool) error {
+	pad := ""
+	nl := ""
+	if indent {
+		pad = strings.Repeat("  ", depth)
+		nl = "\n"
+	}
+	if n.Kind == Text {
+		var b strings.Builder
+		if err := xml.EscapeText(&b, []byte(n.Text)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s%s%s", pad, b.String(), nl)
+		return err
+	}
+	var attrs strings.Builder
+	for _, a := range n.Attrs {
+		attrs.WriteByte(' ')
+		attrs.WriteString(a.Name)
+		attrs.WriteString(`="`)
+		_ = xml.EscapeText(&attrs, []byte(a.Value))
+		attrs.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		_, err := fmt.Fprintf(w, "%s<%s%s/>%s", pad, n.Tag, attrs.String(), nl)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s%s>%s", pad, n.Tag, attrs.String(), nl); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeXML(w, c, depth+1, indent); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>%s", pad, n.Tag, nl)
+	return err
+}
+
+// XMLString serializes the subtree rooted at n to a string.
+func XMLString(n *Node) string {
+	var sb strings.Builder
+	_ = WriteXML(&sb, n, true)
+	return sb.String()
+}

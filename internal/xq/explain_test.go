@@ -1,0 +1,60 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainSingle(t *testing.T) {
+	e := newEngine(t)
+	out, err := e.Explain(query2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"extent scan //article (1 elements)",
+		"filter",
+		"descendant-or-self",
+		"TermJoin",
+		`phrase "search engine": PhraseFinder over 2 terms`,
+		`term "internet": 3 postings, weight 0.6`,
+		"pick: StackPick, relevance threshold 0.8",
+		"threshold: score > 4",
+		"sort: by score",
+		"limit: stop after 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainJoin(t *testing.T) {
+	e := newEngine(t)
+	out, err := e.Explain(query3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"join plan:",
+		`left  $a: document("articles.xml")`,
+		`right $b: document("reviews.xml")`,
+		"ScoreSim($a/article-title, $b/title) filtered to > 1",
+		"components $d",
+		"combine: ScoreBar($sim, $d)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Explain("garbage"); err == nil {
+		t.Errorf("garbage should error")
+	}
+	if _, err := e.Explain(`For $a in document("missing.xml")//x`); err == nil {
+		t.Errorf("missing document should error")
+	}
+}

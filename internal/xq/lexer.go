@@ -1,0 +1,219 @@
+// Package xq implements the extended-XQuery dialect of Sec. 4 of the
+// paper: XQuery FLWR syntax augmented with Score, Pick, Sortby and
+// Threshold clauses, as in Fig. 10. The dialect covers all three example
+// queries: the single-For shape of Queries 1 and 2, and the multi-For
+// similarity-join shape of Query 3 (Let/ScoreSim, Where, ScoreBar).
+//
+// Grammar (case-insensitive keywords):
+//
+//	query     := for+ let? where? for* scorefoo? pick? scorebar?
+//	             return? sortby? threshold?
+//	for       := "For" Var ("in" | ":=") path
+//	path      := ("document" "(" STRING ")" | Var) step+
+//	step      := "//" name | "/" name | "/descendant-or-self::*" | pred
+//	pred      := "[" relpath ("=" STRING)? "]"
+//	relpath   := "/"? name ("/" name)* ("/text()")?  |  "@" name
+//	let       := "Let" Var ":=" "ScoreSim" "(" Var "/" name "," Var "/" name ")"
+//	where     := "Where" Var ">" NUMBER
+//	scorefoo  := "Score" Var "using" "ScoreFoo" "(" Var "," set "," set ")"
+//	set       := "{" (STRING ("," STRING)*)? "}" ("weight" NUMBER)?
+//	pick      := "Pick" Var "using" "PickFoo" "(" Var ("," NUMBER)? ")"
+//	scorebar  := "Score" Var "using" "ScoreBar" "(" Var "," Var ")"
+//	return    := "Return" <raw template until Sortby/Threshold/EOF>
+//	sortby    := "Sortby" "(" "score" ")"
+//	threshold := "Threshold" Var "/@score" (">" NUMBER)? ("stop" "after" NUMBER)?
+package xq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar    // $name
+	tokString // "…" or '…' (typographic quotes accepted)
+	tokNumber
+	tokSlash      // /
+	tokSlashSlash // //
+	tokLParen     // (
+	tokRParen     // )
+	tokLBracket   // [
+	tokRBracket   // ]
+	tokLBrace     // {
+	tokRBrace     // }
+	tokComma      // ,
+	tokEq         // =
+	tokGt         // >
+	tokLt         // <
+	tokAt         // @
+	tokColonColon // ::
+	tokStar       // *
+	tokAssign     // :=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token. Quoted strings accept straight single and
+// double quotes as well as the doubled typographic quotes the paper's
+// figures use (‘‘…’’).
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	// Typographic quote pairs.
+	for _, q := range []struct{ open, close string }{
+		{"‘‘", "’’"}, {"“", "”"},
+	} {
+		if strings.HasPrefix(l.src[l.pos:], q.open) {
+			end := strings.Index(l.src[l.pos+len(q.open):], q.close)
+			if end < 0 {
+				return token{}, fmt.Errorf("xq: unterminated string at offset %d", start)
+			}
+			text := l.src[l.pos+len(q.open) : l.pos+len(q.open)+end]
+			l.pos += len(q.open) + end + len(q.close)
+			return token{kind: tokString, text: text, pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '"', '\'':
+		end := strings.IndexByte(l.src[l.pos+1:], c)
+		if end < 0 {
+			return token{}, fmt.Errorf("xq: unterminated string at offset %d", start)
+		}
+		text := l.src[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return token{kind: tokString, text: text, pos: start}, nil
+	case '$':
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		if l.pos == s {
+			return token{}, fmt.Errorf("xq: empty variable name at offset %d", start)
+		}
+		return token{kind: tokVar, text: l.src[s:l.pos], pos: start}, nil
+	case '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{kind: tokSlashSlash, text: "//", pos: start}, nil
+		}
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case ':':
+		if strings.HasPrefix(l.src[l.pos:], "::") {
+			l.pos += 2
+			return token{kind: tokColonColon, text: "::", pos: start}, nil
+		}
+		if strings.HasPrefix(l.src[l.pos:], ":=") {
+			l.pos += 2
+			return token{kind: tokAssign, text: ":=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("xq: unexpected ':' at offset %d", start)
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", pos: start}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '>':
+		l.pos++
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case '<':
+		l.pos++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case '@':
+		l.pos++
+		return token{kind: tokAt, text: "@", pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	}
+	if unicode.IsDigit(rune(c)) {
+		s := l.pos
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[s:l.pos], pos: start}, nil
+	}
+	if isIdentStart(rune(c)) {
+		s := l.pos
+		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[s:l.pos], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("xq: unexpected character %q at offset %d", c, start)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// rest returns the raw remaining input from offset on (for the Return
+// template), without tokenizing it.
+func (l *lexer) rest() string { return l.src[l.pos:] }
+
+// skipTo advances the raw position to off.
+func (l *lexer) skipTo(off int) { l.pos = off }

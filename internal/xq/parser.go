@@ -1,0 +1,708 @@
+package xq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one extended-XQuery query.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("xq: trailing input at offset %d: %q", p.cur.pos, p.cur.text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lx  *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// keyword reports whether the current token is the given case-insensitive
+// keyword identifier.
+func (p *parser) keyword(kw string) bool {
+	return p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, kw)
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, fmt.Errorf("xq: expected %s at offset %d, found %q", what, p.cur.pos, p.cur.text)
+	}
+	t := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("xq: expected %q at offset %d, found %q", kw, p.cur.pos, p.cur.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for p.keyword("for") {
+		fc, err := p.parseFor()
+		if err != nil {
+			return nil, err
+		}
+		q.Fors = append(q.Fors, fc)
+	}
+	if len(q.Fors) == 0 {
+		return nil, fmt.Errorf("xq: query must start with a For clause")
+	}
+	if p.keyword("let") {
+		lc, err := p.parseLet()
+		if err != nil {
+			return nil, err
+		}
+		q.Let = lc
+	}
+	if p.keyword("where") {
+		wc, err := p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = wc
+	}
+	// A third For may follow the join condition (the paper's Query 3
+	// binds $d after the product is thresholded).
+	for p.keyword("for") {
+		fc, err := p.parseFor()
+		if err != nil {
+			return nil, err
+		}
+		q.Fors = append(q.Fors, fc)
+	}
+	if p.keyword("score") {
+		sc, cb, err := p.parseScoreDispatch()
+		if err != nil {
+			return nil, err
+		}
+		if cb != nil {
+			q.Combine = cb
+		} else {
+			q.Score = sc
+		}
+	}
+	if p.keyword("pick") {
+		pk, err := p.parsePick()
+		if err != nil {
+			return nil, err
+		}
+		q.Pick = pk
+	}
+	// The Query 3 shape has a second Score clause (ScoreBar) after Pick.
+	if p.keyword("score") {
+		sc, cb, err := p.parseScoreDispatch()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case cb != nil && q.Combine == nil:
+			q.Combine = cb
+		case sc != nil && q.Score == nil:
+			q.Score = sc
+		default:
+			return nil, fmt.Errorf("xq: duplicate Score clause")
+		}
+	}
+	if p.keyword("return") {
+		rc, err := p.parseReturn()
+		if err != nil {
+			return nil, err
+		}
+		q.Return = rc
+	}
+	if p.keyword("sortby") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		if !p.keyword("score") {
+			return nil, fmt.Errorf("xq: only Sortby(score) is supported, found %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		q.SortBy = true
+	}
+	if p.keyword("threshold") {
+		th, err := p.parseThreshold()
+		if err != nil {
+			return nil, err
+		}
+		q.Threshold = th
+	}
+	return q, nil
+}
+
+// parseFor parses `For $v (in|:=) path`.
+func (p *parser) parseFor() (ForClause, error) {
+	var fc ForClause
+	if err := p.advance(); err != nil { // consume "For"
+		return fc, err
+	}
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return fc, err
+	}
+	fc.Var = v.text
+	// Accept both "in" and ":=" (the paper's Query 2 uses :=).
+	if p.cur.kind == tokAssign {
+		if err := p.advance(); err != nil {
+			return fc, err
+		}
+	} else if err := p.expectKeyword("in"); err != nil {
+		return fc, err
+	}
+	fc.Path, err = p.parsePath()
+	return fc, err
+}
+
+// parseLet parses `Let $v := ScoreSim($a/key, $b/key)`.
+func (p *parser) parseLet() (*LetClause, error) {
+	if err := p.advance(); err != nil { // consume "Let"
+		return nil, err
+	}
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, ":="); err != nil {
+		return nil, err
+	}
+	if !p.keyword("scoresim") {
+		return nil, fmt.Errorf("xq: only ScoreSim is supported in Let, found %q", p.cur.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	lv, lk, err := p.parseVarKey()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	rv, rk, err := p.parseVarKey()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return &LetClause{Var: v.text, LeftVar: lv, LeftKey: lk, RightVar: rv, RightKey: rk}, nil
+}
+
+// parseVarKey parses `$v/name`.
+func (p *parser) parseVarKey() (string, string, error) {
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(tokSlash, "/"); err != nil {
+		return "", "", err
+	}
+	name, err := p.expect(tokIdent, "element name")
+	if err != nil {
+		return "", "", err
+	}
+	return v.text, name.text, nil
+}
+
+// parseWhere parses `Where $v > N`.
+func (p *parser) parseWhere() (*WhereClause, error) {
+	if err := p.advance(); err != nil { // consume "Where"
+		return nil, err
+	}
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokGt, ">"); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(tokNumber, "comparison value")
+	if err != nil {
+		return nil, err
+	}
+	min, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("xq: bad Where value %q: %v", num.text, err)
+	}
+	return &WhereClause{Var: v.text, Min: min}, nil
+}
+
+func (p *parser) parsePath() (PathExpr, error) {
+	var out PathExpr
+	if p.cur.kind == tokVar {
+		out.BaseVar = p.cur.text
+		if err := p.advance(); err != nil {
+			return out, err
+		}
+	} else {
+		if err := p.expectKeyword("document"); err != nil {
+			return out, err
+		}
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return out, err
+		}
+		doc, err := p.expect(tokString, "document name")
+		if err != nil {
+			return out, err
+		}
+		out.Document = doc.text
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return out, err
+		}
+	}
+	for {
+		switch p.cur.kind {
+		case tokSlashSlash:
+			if err := p.advance(); err != nil {
+				return out, err
+			}
+			name, err := p.parseNameTest()
+			if err != nil {
+				return out, err
+			}
+			out.Steps = append(out.Steps, Step{Kind: StepDescendant, Name: name})
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return out, err
+			}
+			if p.keyword("descendant-or-self") {
+				if err := p.advance(); err != nil {
+					return out, err
+				}
+				if _, err := p.expect(tokColonColon, "::"); err != nil {
+					return out, err
+				}
+				if _, err := p.expect(tokStar, "*"); err != nil {
+					return out, err
+				}
+				out.Steps = append(out.Steps, Step{Kind: StepDescendantOrSelf})
+				continue
+			}
+			name, err := p.parseNameTest()
+			if err != nil {
+				return out, err
+			}
+			out.Steps = append(out.Steps, Step{Kind: StepChild, Name: name})
+		case tokLBracket:
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return out, err
+			}
+			out.Steps = append(out.Steps, Step{Kind: StepPredicate, Pred: pred})
+		default:
+			if len(out.Steps) == 0 {
+				return out, fmt.Errorf("xq: path after document(...) must have at least one step")
+			}
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseNameTest() (string, error) {
+	if p.cur.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		return "*", nil
+	}
+	t, err := p.expect(tokIdent, "element name")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	if _, err := p.expect(tokLBracket, "["); err != nil {
+		return nil, err
+	}
+	pred := &Predicate{}
+	if p.cur.kind == tokAt {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		pred.Attr = name.text
+	} else {
+		// Optional leading slash.
+		if p.cur.kind == tokSlash {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			if p.keyword("text") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokLParen, "("); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokRParen, ")"); err != nil {
+					return nil, err
+				}
+				pred.Text = true
+				break
+			}
+			name, err := p.expect(tokIdent, "element name")
+			if err != nil {
+				return nil, err
+			}
+			pred.Names = append(pred.Names, name.text)
+			if p.cur.kind != tokSlash {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if len(pred.Names) == 0 {
+			return nil, fmt.Errorf("xq: empty predicate path")
+		}
+	}
+	if p.cur.kind == tokEq {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(tokString, "comparison literal")
+		if err != nil {
+			return nil, err
+		}
+		pred.Value = val.text
+	} else {
+		pred.Exists = true
+	}
+	if _, err := p.expect(tokRBracket, "]"); err != nil {
+		return nil, err
+	}
+	return pred, nil
+}
+
+// parseScoreDispatch parses `Score $v using FN(...)`, dispatching on the
+// scoring function: ScoreFoo yields a ScoreClause, ScoreBar a
+// CombineClause.
+func (p *parser) parseScoreDispatch() (*ScoreClause, *CombineClause, error) {
+	if err := p.advance(); err != nil { // consume "Score"
+		return nil, nil, err
+	}
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expectKeyword("using"); err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case p.keyword("scorefoo"):
+		sc, err := p.parseScoreFooArgs(v.text)
+		return sc, nil, err
+	case p.keyword("scorebar"):
+		cb, err := p.parseScoreBarArgs(v.text)
+		return nil, cb, err
+	default:
+		return nil, nil, fmt.Errorf("xq: unsupported scoring function %q (ScoreFoo and ScoreBar are supported)", p.cur.text)
+	}
+}
+
+// parseScoreBarArgs parses `ScoreBar($sim, $comp)` after the keyword.
+func (p *parser) parseScoreBarArgs(v string) (*CombineClause, error) {
+	if err := p.advance(); err != nil { // consume "ScoreBar"
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	sim, err := p.expect(tokVar, "join-score variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	comp, err := p.expect(tokVar, "component variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return &CombineClause{Var: v, SimVar: sim.text, CompVar: comp.text}, nil
+}
+
+// parseScoreFooArgs parses `ScoreFoo($a, {…}, {…})` after the keyword.
+func (p *parser) parseScoreFooArgs(v string) (*ScoreClause, error) {
+	if err := p.advance(); err != nil { // consume "ScoreFoo"
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	arg, err := p.expect(tokVar, "variable argument")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, ","); err != nil {
+		return nil, err
+	}
+	primary, wPrimary, err := p.parsePhraseSet(0.8)
+	if err != nil {
+		return nil, err
+	}
+	secondary := []string{}
+	wSecondary := 0.6
+	if p.cur.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		secondary, wSecondary, err = p.parsePhraseSet(0.6)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return &ScoreClause{
+		Var: v, ArgVar: arg.text,
+		Primary: primary, Secondary: secondary,
+		PrimaryWeight: wPrimary, SecondaryWeight: wSecondary,
+	}, nil
+}
+
+// parsePhraseSet parses "{phrase, …}" with an optional trailing
+// "weight N" that overrides the set's default weight.
+func (p *parser) parsePhraseSet(defaultWeight float64) ([]string, float64, error) {
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, 0, err
+	}
+	var out []string
+	for p.cur.kind == tokString {
+		out = append(out, p.cur.text)
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		if p.cur.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if _, err := p.expect(tokRBrace, "}"); err != nil {
+		return nil, 0, err
+	}
+	weight := defaultWeight
+	if p.keyword("weight") {
+		if err := p.advance(); err != nil {
+			return nil, 0, err
+		}
+		num, err := p.expect(tokNumber, "weight value")
+		if err != nil {
+			return nil, 0, err
+		}
+		w, err := strconv.ParseFloat(num.text, 64)
+		if err != nil || w < 0 {
+			return nil, 0, fmt.Errorf("xq: bad weight %q", num.text)
+		}
+		weight = w
+	}
+	return out, weight, nil
+}
+
+func (p *parser) parsePick() (*PickClause, error) {
+	if err := p.advance(); err != nil { // consume "Pick"
+		return nil, err
+	}
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("using"); err != nil {
+		return nil, err
+	}
+	if !p.keyword("pickfoo") {
+		return nil, fmt.Errorf("xq: only the PickFoo pick criterion is supported, found %q", p.cur.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	arg, err := p.expect(tokVar, "variable argument")
+	if err != nil {
+		return nil, err
+	}
+	out := &PickClause{Var: v.text, ArgVar: arg.text}
+	if p.cur.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber, "threshold")
+		if err != nil {
+			return nil, err
+		}
+		th, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("xq: bad threshold %q: %v", num.text, err)
+		}
+		out.Threshold = th
+		out.HasThresh = true
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	// Tolerate the stray extra ')' that appears in the paper's Fig. 10
+	// ("Pick $a using PickFoo($a))").
+	if p.cur.kind == tokRParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parseReturn captures the raw template: everything from after the Return
+// keyword up to (but excluding) a top-level Sortby or Threshold keyword.
+func (p *parser) parseReturn() (*ReturnClause, error) {
+	// The current token is "Return"; the raw template starts at the raw
+	// lexer position. Scan forward for a stop keyword outside angle
+	// brackets and braces.
+	rest := p.lx.rest()
+	stop := len(rest)
+	depth := 0
+	lower := strings.ToLower(rest)
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '<', '{':
+			depth++
+		case '>', '}':
+			if depth > 0 {
+				depth--
+			}
+		}
+		if depth == 0 && (hasKeywordAt(lower, i, "sortby") || hasKeywordAt(lower, i, "threshold")) {
+			stop = i
+			break
+		}
+	}
+	raw := rest[:stop]
+	p.lx.skipTo(p.lx.pos + stop)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &ReturnClause{Raw: strings.TrimSpace(raw)}, nil
+}
+
+func hasKeywordAt(lower string, i int, kw string) bool {
+	if !strings.HasPrefix(lower[i:], kw) {
+		return false
+	}
+	if i > 0 && isIdentRune(rune(lower[i-1])) {
+		return false
+	}
+	end := i + len(kw)
+	if end < len(lower) && isIdentRune(rune(lower[end])) {
+		return false
+	}
+	return true
+}
+
+func (p *parser) parseThreshold() (*ThresholdClause, error) {
+	if err := p.advance(); err != nil { // consume "Threshold"
+		return nil, err
+	}
+	v, err := p.expect(tokVar, "variable")
+	if err != nil {
+		return nil, err
+	}
+	out := &ThresholdClause{Var: v.text}
+	if _, err := p.expect(tokSlash, "/"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAt, "@"); err != nil {
+		return nil, err
+	}
+	if !p.keyword("score") {
+		return nil, fmt.Errorf("xq: threshold must reference @score, found %q", p.cur.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind == tokGt {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber, "threshold value")
+		if err != nil {
+			return nil, err
+		}
+		val, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("xq: bad threshold value %q: %v", num.text, err)
+		}
+		out.MinScore = val
+		out.HasMin = true
+	}
+	if p.keyword("stop") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("after"); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber, "stop-after count")
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(num.text)
+		if err != nil {
+			return nil, fmt.Errorf("xq: bad stop-after count %q: %v", num.text, err)
+		}
+		out.StopK = k
+		out.HasStopK = true
+	}
+	if !out.HasMin && !out.HasStopK {
+		return nil, fmt.Errorf("xq: threshold clause needs > V and/or stop after K")
+	}
+	return out, nil
+}

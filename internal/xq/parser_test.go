@@ -1,0 +1,220 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+const query1Src = `
+For $a in document("articles.xml")//article/descendant-or-self::*
+Score $a using ScoreFoo($a, {"search engine"}, {"internet", "information retrieval"})
+Pick $a using PickFoo($a)
+Return
+  <result>
+    <score>$a/@score</score>
+    { $a }
+  </result>
+Sortby(score)
+Threshold $a/@score > 4 stop after 5
+`
+
+const query2Src = `
+For $a := document("articles.xml")//article[/author/sname/text()="Doe"]/descendant-or-self::*
+Score $a using ScoreFoo($a, {"search engine"}, {"internet", "information retrieval"})
+Pick $a using PickFoo($a))
+Return <result><score>$a/@score</score>{ $a }</result>
+Sortby(score)
+Threshold $a/@score > 4 stop after 5
+`
+
+func TestParseQuery1(t *testing.T) {
+	q, err := Parse(query1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Fors[0].Var != "a" {
+		t.Errorf("For var = %q", q.Fors[0].Var)
+	}
+	if q.Fors[0].Path.Document != "articles.xml" {
+		t.Errorf("document = %q", q.Fors[0].Path.Document)
+	}
+	if len(q.Fors[0].Path.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2: %v", len(q.Fors[0].Path.Steps), q.Fors[0].Path.Steps)
+	}
+	if q.Fors[0].Path.Steps[0].Kind != StepDescendant || q.Fors[0].Path.Steps[0].Name != "article" {
+		t.Errorf("step0 = %v", q.Fors[0].Path.Steps[0])
+	}
+	if q.Fors[0].Path.Steps[1].Kind != StepDescendantOrSelf {
+		t.Errorf("step1 = %v", q.Fors[0].Path.Steps[1])
+	}
+	if q.Score == nil || q.Score.Var != "a" || q.Score.ArgVar != "a" {
+		t.Fatalf("score clause = %+v", q.Score)
+	}
+	if len(q.Score.Primary) != 1 || q.Score.Primary[0] != "search engine" {
+		t.Errorf("primary = %v", q.Score.Primary)
+	}
+	if len(q.Score.Secondary) != 2 || q.Score.Secondary[1] != "information retrieval" {
+		t.Errorf("secondary = %v", q.Score.Secondary)
+	}
+	if q.Pick == nil || q.Pick.HasThresh {
+		t.Errorf("pick clause = %+v", q.Pick)
+	}
+	if q.Return == nil || !strings.Contains(q.Return.Raw, "<result>") {
+		t.Errorf("return clause = %+v", q.Return)
+	}
+	if !q.SortBy {
+		t.Errorf("sortby missing")
+	}
+	if q.Threshold == nil || !q.Threshold.HasMin || q.Threshold.MinScore != 4 ||
+		!q.Threshold.HasStopK || q.Threshold.StopK != 5 {
+		t.Errorf("threshold = %+v", q.Threshold)
+	}
+}
+
+func TestParseQuery2WithPredicate(t *testing.T) {
+	q, err := Parse(query2Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// //article [pred] /descendant-or-self::*
+	if len(q.Fors[0].Path.Steps) != 3 {
+		t.Fatalf("steps = %d: %v", len(q.Fors[0].Path.Steps), q.Fors[0].Path.Steps)
+	}
+	pred := q.Fors[0].Path.Steps[1].Pred
+	if pred == nil {
+		t.Fatalf("predicate missing")
+	}
+	if len(pred.Names) != 2 || pred.Names[0] != "author" || pred.Names[1] != "sname" {
+		t.Errorf("pred names = %v", pred.Names)
+	}
+	if !pred.Text || pred.Value != "Doe" || pred.Exists {
+		t.Errorf("pred = %+v", pred)
+	}
+}
+
+func TestParseScoreWeights(t *testing.T) {
+	q, err := Parse(`For $a in document("d")//p Score $a using ScoreFoo($a, {"x"} weight 0.9, {"y"} weight 0.3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Score.PrimaryWeight != 0.9 || q.Score.SecondaryWeight != 0.3 {
+		t.Errorf("weights = %v / %v", q.Score.PrimaryWeight, q.Score.SecondaryWeight)
+	}
+	// Defaults are ScoreFoo's 0.8 / 0.6.
+	q, err = Parse(`For $a in document("d")//p Score $a using ScoreFoo($a, {"x"}, {"y"})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Score.PrimaryWeight != 0.8 || q.Score.SecondaryWeight != 0.6 {
+		t.Errorf("default weights = %v / %v", q.Score.PrimaryWeight, q.Score.SecondaryWeight)
+	}
+	// Weighted clauses round-trip through String().
+	q, err = Parse(`For $a in document("d")//p Score $a using ScoreFoo($a, {"x"} weight 0.9, {})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.Score.PrimaryWeight != 0.9 {
+		t.Errorf("weight lost in round trip")
+	}
+	// Negative weight rejected.
+	if _, err := Parse(`For $a in document("d")//p Score $a using ScoreFoo($a, {"x"} weight bad, {})`); err == nil {
+		t.Errorf("bad weight accepted")
+	}
+}
+
+func TestParsePickThresholdArg(t *testing.T) {
+	q, err := Parse(`For $a in document("d")//p Score $a using ScoreFoo($a, {"x"}, {}) Pick $a using PickFoo($a, 1.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Pick.HasThresh || q.Pick.Threshold != 1.5 {
+		t.Errorf("pick = %+v", q.Pick)
+	}
+}
+
+func TestParseTypographicQuotes(t *testing.T) {
+	q, err := Parse("For $a in document(‘‘articles.xml’’)//article Score $a using ScoreFoo($a, {‘‘search engine’’}, {})")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Fors[0].Path.Document != "articles.xml" {
+		t.Errorf("document = %q", q.Fors[0].Path.Document)
+	}
+	if q.Score.Primary[0] != "search engine" {
+		t.Errorf("primary = %v", q.Score.Primary)
+	}
+}
+
+func TestParseAttributePredicate(t *testing.T) {
+	q, err := Parse(`For $r in document("reviews.xml")//review[@id="1"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := q.Fors[0].Path.Steps[1].Pred
+	if pred == nil || pred.Attr != "id" || pred.Value != "1" {
+		t.Errorf("pred = %+v", pred)
+	}
+}
+
+func TestParseExistencePredicate(t *testing.T) {
+	q, err := Parse(`For $r in document("d")//review[rating]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := q.Fors[0].Path.Steps[1].Pred
+	if pred == nil || !pred.Exists || len(pred.Names) != 1 {
+		t.Errorf("pred = %+v", pred)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`Score $a using ScoreFoo($a, {})`, // no For
+		`For $a in //article`,             // missing document()
+		`For $a in document("d")`,         // no steps
+		`For $a in document("d")//a Score $a using Other($a)`, // unknown fn
+		`For $a in document("d")//a Sortby(rank)`,             // unsupported sort key
+		`For $a in document("d")//a Threshold $a/@score`,      // empty threshold
+		`For $a in document("d")//a Threshold $a/@rank > 1`,   // wrong attr
+		`For $a in document("d")//a[`,                         // broken predicate
+		`For $a in document("d")//a "trailing"`,               // trailing junk
+		`For $a in document("d)//a`,                           // unterminated string
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	q, err := Parse(query1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := q.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", rendered, err)
+	}
+	if q2.String() != rendered {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", rendered, q2.String())
+	}
+}
+
+func TestParseDescendantOrSelfNotLastRejected(t *testing.T) {
+	// Parser accepts it; the engine rejects at evaluation. Parse-level we
+	// only check it doesn't crash.
+	q, err := Parse(`For $a in document("d")//article/descendant-or-self::*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fors[0].Path.Steps[len(q.Fors[0].Path.Steps)-1].Kind != StepDescendantOrSelf {
+		t.Errorf("ad* step missing")
+	}
+}

@@ -1,0 +1,96 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Render instantiates the query's Return template for one result, as the
+// Fig. 10 queries do: `{ $var }` splices the bound element's XML,
+// `$var/@score` (inside or outside an element) becomes the score, and
+// `$var/@sim` the similarity component of join results. A query without a
+// Return clause renders the canonical shape
+// <result><score>…</score>…</result>.
+func (q *Query) Render(r Result) string {
+	tmpl := ""
+	if q.Return != nil {
+		tmpl = q.Return.Raw
+	}
+	if strings.TrimSpace(tmpl) == "" {
+		var sb strings.Builder
+		sb.WriteString("<result>\n")
+		fmt.Fprintf(&sb, "  <score>%g</score>\n", r.Score)
+		sb.WriteString(indent(xmltree.XMLString(r.Node), "  "))
+		if r.Right != nil {
+			sb.WriteString(indent(xmltree.XMLString(r.Right), "  "))
+		}
+		sb.WriteString("</result>\n")
+		return sb.String()
+	}
+	out := tmpl
+	for _, v := range q.boundVars() {
+		// Score and sim references first (they contain the variable name).
+		out = strings.ReplaceAll(out, "$"+v+"/@score", fmt.Sprintf("%g", r.Score))
+		out = strings.ReplaceAll(out, "$"+v+"/@sim", fmt.Sprintf("%g", r.Sim))
+	}
+	// Element splices: { $var } with optional inner spacing. The component
+	// variable splices the result subtree; in join queries the right-side
+	// For variable splices the joined element.
+	compVar, rightVar := q.spliceVars()
+	out = spliceVar(out, compVar, r.Node)
+	if rightVar != "" {
+		out = spliceVar(out, rightVar, r.Right)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		out += "\n"
+	}
+	return out
+}
+
+// boundVars lists every variable the query binds or defines.
+func (q *Query) boundVars() []string {
+	var out []string
+	for _, f := range q.Fors {
+		out = append(out, f.Var)
+	}
+	if q.Let != nil {
+		out = append(out, q.Let.Var)
+	}
+	if q.Combine != nil {
+		out = append(out, q.Combine.Var)
+	}
+	return out
+}
+
+// spliceVars returns the variable whose binding is the result component,
+// and (for joins) the right-side variable.
+func (q *Query) spliceVars() (comp, right string) {
+	if len(q.Fors) >= 3 {
+		return q.Fors[2].Var, q.Fors[1].Var
+	}
+	return q.Fors[0].Var, ""
+}
+
+func spliceVar(tmpl, v string, n *xmltree.Node) string {
+	if v == "" {
+		return tmpl
+	}
+	xml := ""
+	if n != nil {
+		xml = strings.TrimRight(xmltree.XMLString(n), "\n")
+	}
+	for _, form := range []string{"{ $" + v + " }", "{$" + v + "}", "{ $" + v + "}", "{$" + v + " }"} {
+		tmpl = strings.ReplaceAll(tmpl, form, xml)
+	}
+	return tmpl
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,86 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderWithTemplate(t *testing.T) {
+	e := newEngine(t)
+	q, err := Parse(query2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	out := q.Render(results[0])
+	if !strings.Contains(out, "<result>") || !strings.Contains(out, "</result>") {
+		t.Errorf("template structure lost:\n%s", out)
+	}
+	if !strings.Contains(out, "<score>5</score>") {
+		t.Errorf("score not substituted:\n%s", out)
+	}
+	if !strings.Contains(out, "<chapter>") || !strings.Contains(out, "Search and Retrieval") {
+		t.Errorf("element not spliced:\n%s", out)
+	}
+	if strings.Contains(out, "$a") {
+		t.Errorf("unresolved variable remains:\n%s", out)
+	}
+}
+
+func TestRenderCanonicalWithoutTemplate(t *testing.T) {
+	e := newEngine(t)
+	src := `
+		For $a in document("articles.xml")//article/descendant-or-self::*
+		Score $a using ScoreFoo($a, {"search engine"}, {})
+		Sortby(score)
+		Threshold $a/@score stop after 1`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.Render(results[0])
+	if !strings.HasPrefix(out, "<result>") {
+		t.Errorf("canonical shape missing:\n%s", out)
+	}
+	if !strings.Contains(out, "<score>") {
+		t.Errorf("score missing:\n%s", out)
+	}
+}
+
+func TestRenderJoinTemplate(t *testing.T) {
+	e := newEngine(t)
+	q, err := Parse(query3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	out := q.Render(results[0])
+	if !strings.Contains(out, "<tix_prod_root>") {
+		t.Errorf("join template lost:\n%s", out)
+	}
+	if !strings.Contains(out, "<chapter>") {
+		t.Errorf("component not spliced:\n%s", out)
+	}
+	if !strings.Contains(out, "<review") {
+		t.Errorf("right side not spliced:\n%s", out)
+	}
+	if !strings.Contains(out, "<score>7</score>") {
+		t.Errorf("combined score not substituted:\n%s", out)
+	}
+}

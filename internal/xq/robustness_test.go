@@ -1,0 +1,90 @@
+package xq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup and random
+// recombinations of real query fragments; it must always return (possibly
+// an error), never panic.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"For", "$a", "in", "document", `("articles.xml")`, "//article",
+		"/descendant-or-self::*", `[/author/sname/text()="Doe"]`, "Score",
+		"using", "ScoreFoo", "($a,", `{"search engine"}`, ",", "{})",
+		"Pick", "PickFoo($a)", "Return", "<result>{$a}</result>",
+		"Sortby(score)", "Threshold", "$a/@score", ">", "4", "stop after 5",
+		"weight", "0.9", "‘‘odd’’", "{", "}", "[", "]", "(", ")", ":=",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < rng.Intn(30); i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRandomBytes(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalNeverPanicsOnValidParses runs any fragment soup that happens to
+// parse through the engine; errors are fine, panics are not.
+func TestEvalNeverPanicsOnValidParses(t *testing.T) {
+	e := newEngine(t)
+	fragments := []string{
+		`For $a in document("articles.xml")//article`,
+		`For $a in document("articles.xml")//p`,
+		`For $a in document("articles.xml")//article/descendant-or-self::*`,
+		`For $a in document("nope.xml")//x`,
+		`For $a in document("articles.xml")//article[/author/sname/text()="Doe"]`,
+	}
+	suffixes := []string{
+		``,
+		` Score $a using ScoreFoo($a, {"search engine"}, {})`,
+		` Score $a using ScoreFoo($a, {"search engine"}, {"internet"}) Pick $a using PickFoo($a)`,
+		` Score $a using ScoreFoo($a, {""}, {})`,
+		` Sortby(score)`,
+		` Score $a using ScoreFoo($a, {"x"}, {}) Threshold $a/@score > 0 stop after 2`,
+	}
+	for _, f := range fragments {
+		for _, s := range suffixes {
+			src := f + s
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on %q: %v", src, r)
+					}
+				}()
+				_, _ = e.EvalString(src)
+			}()
+		}
+	}
+}

@@ -1,0 +1,27 @@
+# The canonical check: what CI runs, and what a change must pass before
+# merging. `make check` == vet + build + race-enabled tests.
+
+GO ?= go
+
+.PHONY: check vet build test race bench fmt-check
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick perf snapshot in the machine-readable format (see README).
+bench:
+	$(GO) run ./cmd/tixbench -small -table 1 -runs 1 -json
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

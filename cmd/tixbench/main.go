@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	tixbench [-table all|1|2|3|4|5|pick] [-articles N] [-seed S] [-runs R]
+//	tixbench [-table all|1|2|3|4|5|pick] [-articles N] [-seed S] [-runs R] [-json]
+//
+// With -json, the selected tables are emitted to stdout as one JSON array
+// of table objects (id, caption, columns, rows with per-cell seconds,
+// result counts, and store access stats) — the machine-readable record a
+// perf trajectory is diffed against.
 //
 // Absolute seconds are machine-dependent; the shapes to compare against
 // the paper are the orderings and ratios (see EXPERIMENTS.md).
@@ -28,10 +33,12 @@ func main() {
 		runs     = flag.Int("runs", 3, "timed runs per cell (trimmed mean)")
 		small    = flag.Bool("small", false, "use the reduced test-scale configuration")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table layout")
+		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of the aligned table layout")
 		access   = flag.Bool("access", false, "also print per-cell store node-read counts")
 	)
 	flag.Parse()
 	csvOut = *csv
+	jsonOut = *jsonF
 	accessOut = *access
 	if err := run(*table, *articles, *seed, *runs, *small); err != nil {
 		fmt.Fprintln(os.Stderr, "tixbench:", err)
@@ -72,6 +79,7 @@ func run(table string, articles int, seed int64, runs int, small bool) error {
 }
 
 func writeTables(c *bench.Corpus, which []string, seed int64) error {
+	var jsonTables []*bench.Table
 	for _, w := range which {
 		var t *bench.Table
 		var err error
@@ -96,6 +104,10 @@ func writeTables(c *bench.Corpus, which []string, seed int64) error {
 		if err != nil {
 			return err
 		}
+		if jsonOut {
+			jsonTables = append(jsonTables, t)
+			continue
+		}
 		if csvOut {
 			fmt.Printf("# %s: %s\n", t.ID, t.Caption)
 			if err := t.WriteCSV(os.Stdout); err != nil {
@@ -113,12 +125,16 @@ func writeTables(c *bench.Corpus, which []string, seed int64) error {
 		}
 		printShape(t)
 	}
+	if jsonOut {
+		return bench.WriteAllJSON(os.Stdout, jsonTables)
+	}
 	return nil
 }
 
 // Rendering modes (set from flags).
 var (
 	csvOut    bool
+	jsonOut   bool
 	accessOut bool
 )
 

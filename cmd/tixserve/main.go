@@ -8,13 +8,23 @@
 //
 //	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/terms -d '{"terms":["search","engine"],"topK":5}'
+//	curl -s localhost:8080/metrics
+//
+// The server exposes per-query metrics on /metrics, a liveness probe on
+// /healthz, and (with -pprof) the net/http/pprof profiling endpoints. It
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight queries.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/server"
@@ -33,19 +43,23 @@ func main() {
 	var loads multiFlag
 	flag.Var(&loads, "load", "XML file to load (repeatable)")
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		open = flag.String("open", "", "database file written by tixdb -save")
-		stem = flag.Bool("stem", true, "index with the light plural stemmer")
-		maxR = flag.Int("max-results", 100, "per-request result cap")
+		addr    = flag.String("addr", ":8080", "listen address")
+		open    = flag.String("open", "", "database file written by tixdb -save")
+		stem    = flag.Bool("stem", true, "index with the light plural stemmer")
+		maxR    = flag.Int("max-results", 100, "per-request result cap")
+		maxBody = flag.Int64("max-body", 1<<20, "per-request body size cap in bytes")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		quiet   = flag.Bool("quiet", false, "disable per-request logging")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
-	if err := run(loads, *addr, *open, *stem, *maxR); err != nil {
+	if err := run(loads, *addr, *open, *stem, *maxR, *maxBody, *pprofOn, *quiet, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "tixserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads []string, addr, open string, stem bool, maxResults int) error {
+func run(loads []string, addr, open string, stem bool, maxResults int, maxBody int64, pprofOn, quiet bool, drain time.Duration) error {
 	var d *db.DB
 	if open != "" {
 		var err error
@@ -69,5 +83,17 @@ func run(loads []string, addr, open string, stem bool, maxResults int) error {
 		st.Documents, st.Nodes, st.Terms, addr)
 	s := server.New(d)
 	s.MaxResults = maxResults
-	return s.ListenAndServe(addr)
+	s.MaxBodyBytes = maxBody
+	s.EnablePprof = pprofOn
+	if !quiet {
+		s.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := s.ListenAndServeContext(ctx, addr, drain)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tixserve: signal received, drained and stopped")
+	}
+	return err
 }

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tab := &Table{
+		ID:      "table1",
+		Caption: "demo",
+		Columns: []Method{MTermJoin, MComp1},
+		Rows: []Row{{
+			Label: "1000",
+			Extra: "results=5",
+			Cells: []Cell{
+				{Method: MTermJoin, M: Measurement{
+					Method: MTermJoin, Seconds: 0.125, Results: 5,
+					Stats: storage.AccessStats{NodeReads: 42, PageReads: 7, TextReads: 3, NavSteps: 1},
+				}},
+				{Method: MComp1, Err: errors.New("boom")},
+			},
+		}},
+	}
+	var b bytes.Buffer
+	if err := WriteAllJSON(&b, []*Table{tab}); err != nil {
+		t.Fatal(err)
+	}
+	var got []TableJSON
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatalf("output is not parseable JSON: %v\n%s", err, b.String())
+	}
+	if len(got) != 1 || got[0].ID != "table1" || len(got[0].Rows) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	cells := got[0].Rows[0].Cells
+	if cells[0].Seconds != 0.125 || cells[0].Results != 5 || cells[0].Stats.NodeReads != 42 {
+		t.Errorf("measurement cell = %+v", cells[0])
+	}
+	if cells[1].Error != "boom" {
+		t.Errorf("error cell = %+v", cells[1])
+	}
+}

@@ -10,10 +10,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/pattern"
 	"repro/internal/scoring"
 	"repro/internal/storage"
@@ -39,6 +41,10 @@ type Options struct {
 	// Stopwords, when non-empty, are dropped from the index (they still
 	// consume word offsets so phrase adjacency is preserved).
 	Stopwords []string
+	// Metrics, when non-nil, receives the per-query instrumentation
+	// (latency histograms, result counts, store-access counters) instead
+	// of the process-wide metrics.Default registry.
+	Metrics *metrics.Registry
 }
 
 // New creates an empty database.
@@ -157,20 +163,28 @@ func (d *DB) Stats() Stats {
 
 // Query parses and evaluates an extended-XQuery query (the Sec. 4 dialect).
 func (d *DB) Query(src string) ([]xq.Result, error) {
-	e := &xq.Engine{Store: d.store, Index: d.Index()}
-	return e.EvalString(src)
+	start := time.Now()
+	var stats storage.AccessStats
+	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats}
+	results, err := e.EvalString(src)
+	d.observe(opQuery, start, len(results), stats, err)
+	return results, err
 }
 
 // QueryRendered evaluates a query and renders each result through the
 // query's Return template (or the canonical <result> shape when the query
 // has none).
 func (d *DB) QueryRendered(src string) ([]string, []xq.Result, error) {
+	start := time.Now()
 	q, err := xq.Parse(src)
 	if err != nil {
+		d.observe(opQuery, start, 0, storage.AccessStats{}, err)
 		return nil, nil, err
 	}
-	e := &xq.Engine{Store: d.store, Index: d.Index()}
+	var stats storage.AccessStats
+	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats}
 	results, err := e.Eval(q)
+	d.observe(opQuery, start, len(results), stats, err)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,8 +197,11 @@ func (d *DB) QueryRendered(src string) ([]string, []xq.Result, error) {
 
 // Explain renders the physical plan for a query without executing it.
 func (d *DB) Explain(src string) (string, error) {
+	start := time.Now()
 	e := &xq.Engine{Store: d.store, Index: d.Index()}
-	return e.Explain(src)
+	plan, err := e.Explain(src)
+	d.observe(opExplain, start, 0, storage.AccessStats{}, err)
+	return plan, err
 }
 
 // TermSearchOptions configures TermSearch.
@@ -205,7 +222,7 @@ type TermSearchOptions struct {
 
 // TermSearch scores every element containing at least one of the terms,
 // using the TermJoin access method, and returns results best-first.
-func (d *DB) TermSearch(terms []string, opts TermSearchOptions) ([]exec.ScoredNode, error) {
+func (d *DB) TermSearch(terms []string, opts TermSearchOptions) (results []exec.ScoredNode, err error) {
 	mode := exec.ChildCountNavigate
 	if opts.Enhanced {
 		mode = exec.ChildCountIndexed
@@ -218,20 +235,32 @@ func (d *DB) TermSearch(terms []string, opts TermSearchOptions) ([]exec.ScoredNo
 			ComplexFn: scoring.ComplexScorer{Weights: opts.Weights},
 		},
 	}
+	start := time.Now()
+	var reporter exec.AccessReporter
+	defer func() {
+		var stats storage.AccessStats
+		if reporter != nil {
+			stats = reporter.AccessStats()
+		}
+		d.observe(opTerms, start, len(results), stats, err)
+	}()
 	run := func(emit exec.Emit) error {
 		if opts.Parallel > 0 {
 			p := &exec.ParallelTermJoin{Index: d.Index(), Query: q, Workers: opts.Parallel, ChildCounts: mode}
+			reporter = p
 			return p.Run(emit)
 		}
 		tj := &exec.TermJoin{Index: d.Index(), Acc: storage.NewAccessor(d.store), Query: q, ChildCounts: mode}
+		reporter = tj
 		return tj.Run(emit)
 	}
 	if opts.TopK > 0 {
 		tk := exec.NewTopK(opts.TopK)
-		if err := run(tk.Emit()); err != nil {
+		if err = run(tk.Emit()); err != nil {
 			return nil, err
 		}
-		return tk.Results(), nil
+		results = tk.Results()
+		return results, nil
 	}
 	out, err := exec.Collect(run)
 	if err != nil {
@@ -241,13 +270,17 @@ func (d *DB) TermSearch(terms []string, opts TermSearchOptions) ([]exec.ScoredNo
 	for _, n := range out {
 		tk.Offer(n)
 	}
-	return tk.Results(), nil
+	results = tk.Results()
+	return results, nil
 }
 
 // PhraseSearch returns every occurrence of the phrase via PhraseFinder.
 func (d *DB) PhraseSearch(phrase []string) ([]exec.PhraseMatch, error) {
+	start := time.Now()
 	pf := &exec.PhraseFinder{Index: d.Index(), Phrase: phrase}
-	return exec.CollectPhrase(pf.Run)
+	ms, err := exec.CollectPhrase(pf.Run)
+	d.observe(opPhrase, start, len(ms), pf.AccessStats(), err)
+	return ms, err
 }
 
 // Materialize returns the xmltree subtree for a result element.
@@ -269,11 +302,15 @@ func (d *DB) NameOf(n exec.ScoredNode) string {
 // materialized subtrees of the pattern root's bindings, deduplicated and
 // in document order. Use exec.Twig / exec.TwigChild to build the pattern.
 func (d *DB) TwigSearch(pattern *exec.TwigNode) ([]*xmltree.Node, error) {
+	start := time.Now()
 	var out []*xmltree.Node
+	var stats storage.AccessStats
 	for _, doc := range d.store.Docs() {
 		ts := &exec.TwigStack{Store: d.store, Doc: doc.ID, Root: pattern}
 		matches, err := ts.Run()
+		stats.Add(ts.AccessStats())
 		if err != nil {
+			d.observe(opTwig, start, 0, stats, err)
 			return nil, err
 		}
 		seen := map[int32]bool{}
@@ -286,6 +323,7 @@ func (d *DB) TwigSearch(pattern *exec.TwigNode) ([]*xmltree.Node, error) {
 			out = append(out, doc.TreeNode(root))
 		}
 	}
+	d.observe(opTwig, start, len(out), stats, nil)
 	return out, nil
 }
 
@@ -322,7 +360,11 @@ type JoinedResult struct {
 
 // SimilarityJoin evaluates a Query 3-style join through the TIX algebra,
 // best-first.
-func (d *DB) SimilarityJoin(spec SimilarityJoinSpec) ([]JoinedResult, error) {
+func (d *DB) SimilarityJoin(spec SimilarityJoinSpec) (results []JoinedResult, err error) {
+	start := time.Now()
+	// The algebra path evaluates over xmltree values directly, so there is
+	// no accounting accessor; latency and result counts still record.
+	defer func() { d.observe(opJoin, start, len(results), storage.AccessStats{}, err) }()
 	left := d.store.DocByName(spec.LeftDoc)
 	right := d.store.DocByName(spec.RightDoc)
 	if left == nil || right == nil {

@@ -1,0 +1,61 @@
+package db
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Per-query metric families recorded by the DB facade. Every engine entry
+// point (Query, TermSearch, PhraseSearch, SimilarityJoin, TwigSearch)
+// records under its op label:
+//
+//	tix_query_seconds{op=...}            latency histogram (log-scale buckets)
+//	tix_queries_total{op=...}            evaluations started
+//	tix_query_errors_total{op=...}       evaluations that returned an error
+//	tix_query_results_total{op=...}      results returned
+//	tix_access_node_reads_total{op=...}  store node-record fetches
+//	tix_access_page_reads_total{op=...}  distinct-page transitions
+//	tix_access_text_reads_total{op=...}  text payload fetches
+//	tix_access_nav_steps_total{op=...}   child/sibling navigation steps
+//
+// The access-stat counters are the paper's cost-accounting (the numbers
+// behind Tables 1–5) surfaced as a runtime feature: a scrape after a
+// production query shows *why* it was expensive, not only that it was.
+const (
+	opQuery   = "query"
+	opExplain = "explain"
+	opTerms   = "terms"
+	opPhrase  = "phrase"
+	opJoin    = "join"
+	opTwig    = "twig"
+)
+
+// MetricsRegistry returns the registry this database records per-query
+// metrics into: Options.Metrics when set, else the process-wide
+// metrics.Default.
+func (d *DB) MetricsRegistry() *metrics.Registry {
+	if d.opts.Metrics != nil {
+		return d.opts.Metrics
+	}
+	return metrics.Default
+}
+
+// observe records one engine operation: latency, outcome, result count,
+// and the operator's store-access statistics.
+func (d *DB) observe(op string, start time.Time, results int, stats storage.AccessStats, err error) {
+	reg := d.MetricsRegistry()
+	lbl := `{op="` + op + `"}`
+	reg.Histogram("tix_query_seconds" + lbl).Observe(time.Since(start).Seconds())
+	reg.Counter("tix_queries_total" + lbl).Inc()
+	if err != nil {
+		reg.Counter("tix_query_errors_total" + lbl).Inc()
+		return
+	}
+	reg.Counter("tix_query_results_total" + lbl).Add(int64(results))
+	reg.Counter("tix_access_node_reads_total" + lbl).Add(stats.NodeReads)
+	reg.Counter("tix_access_page_reads_total" + lbl).Add(stats.PageReads)
+	reg.Counter("tix_access_text_reads_total" + lbl).Add(stats.TextReads)
+	reg.Counter("tix_access_nav_steps_total" + lbl).Add(stats.NavSteps)
+}

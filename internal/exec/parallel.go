@@ -22,15 +22,20 @@ type ParallelTermJoin struct {
 	// Workers is the number of goroutines; 0 uses GOMAXPROCS.
 	Workers     int
 	ChildCounts ChildCountMode
-	// Stats accumulates the workers' combined store-access statistics
-	// after a Run.
+	// Stats holds the workers' combined store-access statistics of the
+	// most recent Run. It is reset at Run entry, so successive Runs do
+	// not accumulate; it is written without synchronization, so a
+	// ParallelTermJoin must not be shared by concurrent Run calls — use
+	// one value per running query (they are cheap).
 	Stats storage.AccessStats
 }
 
 // Run executes the partitions and emits the merged result. Each worker
 // uses its own storage accessor; per-worker access statistics are summed
-// into Stats.
+// into Stats after the workers join. Run is single-use at a time: see
+// Stats for the (non-)reuse contract.
 func (p *ParallelTermJoin) Run(emit Emit) error {
+	p.Stats.Reset()
 	nDocs := len(p.Index.Store().Docs())
 	if nDocs == 0 {
 		return nil

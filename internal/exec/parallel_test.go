@@ -61,6 +61,46 @@ func TestParallelTermJoinMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelTermJoinRerunStats is the regression test for the Stats
+// accumulation bug: successive Runs on a reused struct must report the
+// stats of the last Run only, not the running total. It also exercises
+// concurrent independent joins so `go test -race` verifies the per-worker
+// accessors never share state.
+func TestParallelTermJoinRerunStats(t *testing.T) {
+	idx := buildMultiDocIndex(t, 5)
+	q := TermQuery{Terms: []string{"ctla", "ctlb"}, Scorer: DefaultScorer{}}
+	p := &ParallelTermJoin{Index: idx, Query: q, Workers: 3}
+	if _, err := Collect(p.Run); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Stats
+	if first.NodeReads == 0 {
+		t.Fatal("first run recorded no node reads")
+	}
+	if _, err := Collect(p.Run); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats != first {
+		t.Errorf("rerun stats = %+v, want the single-run %+v (Stats must reset at Run entry)", p.Stats, first)
+	}
+
+	done := make(chan storage.AccessStats, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			pp := &ParallelTermJoin{Index: idx, Query: q, Workers: 3}
+			if _, err := Collect(pp.Run); err != nil {
+				t.Error(err)
+			}
+			done <- pp.Stats
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if st := <-done; st != first {
+			t.Errorf("concurrent join stats = %+v, want %+v", st, first)
+		}
+	}
+}
+
 func TestParallelTermJoinEmptyStore(t *testing.T) {
 	idx := index.Build(storage.NewStore(), tokenize.New())
 	p := &ParallelTermJoin{Index: idx, Query: TermQuery{Terms: []string{"x"}, Scorer: DefaultScorer{}}}

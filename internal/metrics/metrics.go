@@ -1,0 +1,288 @@
+// Package metrics is a lock-cheap metrics registry for the TIX runtime:
+// atomic counters, gauges, and fixed-bucket log-scale latency histograms,
+// with a Prometheus-compatible text exposition format.
+//
+// The hot path (Inc/Add/Set/Observe) is a single atomic operation once the
+// instrument exists; instrument lookup takes a read lock only. Instruments
+// are identified by name, optionally with baked-in labels in the
+// conventional brace syntax:
+//
+//	reg.Counter(`tix_queries_total{op="query"}`).Inc()
+//	reg.Histogram(`tix_query_seconds{op="terms"}`).Observe(0.0041)
+//
+// Instruments sharing a family name (the part before '{') are grouped
+// under one # TYPE line in the exposition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry used when no explicit registry is
+// configured. internal/db and internal/server record here by default, so a
+// plain `tixserve` exposes query metrics with zero wiring.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistogramBuckets is the fixed log-scale bucket layout shared by every
+// histogram: upper bounds doubling from 1µs to ~8.4s (24 buckets), plus an
+// implicit +Inf bucket. Latencies are recorded in seconds.
+var HistogramBuckets = func() []float64 {
+	b := make([]float64, 24)
+	ub := 1e-6
+	for i := range b {
+		b[i] = ub
+		ub *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket log-scale histogram of float64 observations
+// (by convention, seconds). All updates are atomic; Observe is wait-free.
+type Histogram struct {
+	counts  []atomic.Int64 // one per bucket in HistogramBuckets, +Inf last
+	sumBits atomic.Uint64  // float64 bits of the running sum
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(HistogramBuckets)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(HistogramBuckets, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// family returns the metric family name: the instrument name up to the
+// label block, if any.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labeled splits an instrument name into family and label block ("" when
+// unlabeled, otherwise `key="v",...` without braces).
+func labeled(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// WriteText writes every instrument in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one # TYPE line per
+// family, instruments of a family sorted by label block. Histograms expand
+// into cumulative _bucket series plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	type inst struct {
+		name string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	fams := map[string][]inst{}
+	for n, c := range r.counters {
+		fams[family(n)] = append(fams[family(n)], inst{name: n, c: c})
+	}
+	for n, g := range r.gauges {
+		fams[family(n)] = append(fams[family(n)], inst{name: n, g: g})
+	}
+	for n, h := range r.histograms {
+		fams[family(n)] = append(fams[family(n)], inst{name: n, h: h})
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(fams))
+	for f := range fams {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+
+	for _, f := range names {
+		insts := fams[f]
+		sort.Slice(insts, func(i, j int) bool { return insts[i].name < insts[j].name })
+		typ := "counter"
+		switch {
+		case insts[0].g != nil:
+			typ = "gauge"
+		case insts[0].h != nil:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, typ); err != nil {
+			return err
+		}
+		for _, in := range insts {
+			var err error
+			switch {
+			case in.c != nil:
+				_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.c.Value())
+			case in.g != nil:
+				_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.g.Value())
+			case in.h != nil:
+				err = writeHistogram(w, in.name, in.h)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	fam, labels := labeled(name)
+	series := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`%s_bucket{le=%q}`, fam, le)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le=%q}`, fam, labels, le)
+	}
+	cum := int64(0)
+	for i, ub := range HistogramBuckets {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(fmt.Sprintf("%g", ub)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(HistogramBuckets)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", series("+Inf"), cum); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", fam, suffix, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, cum)
+	return err
+}

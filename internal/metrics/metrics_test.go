@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("Counter is not idempotent per name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds")
+	h.Observe(1e-6) // exactly the first bound → first bucket (le semantics)
+	h.Observe(3e-6) // between 2µs and 4µs
+	h.Observe(1e9)  // beyond the last bound → +Inf
+	h.Observe(5e-7) // below the first bound
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got, want := h.Sum(), 1e-6+3e-6+1e9+5e-7; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if got := h.counts[0].Load(); got != 2 { // 5e-7 and 1e-6 both land in le=1e-06
+		t.Errorf("first bucket = %d, want 2", got)
+	}
+	if got := h.counts[len(HistogramBuckets)].Load(); got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total").Inc()
+				r.Histogram("h_seconds").Observe(0.001)
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Errorf("gauge = %d, want 8000", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`q_total{op="query"}`).Add(3)
+	r.Counter(`q_total{op="terms"}`).Add(1)
+	r.Gauge("in_flight").Set(2)
+	r.Histogram(`lat_seconds{op="query"}`).Observe(0.01)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE q_total counter\n",
+		"q_total{op=\"query\"} 3\n",
+		"q_total{op=\"terms\"} 1\n",
+		"# TYPE in_flight gauge\n",
+		"in_flight 2\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{op="query",le="+Inf"} 1` + "\n",
+		`lat_seconds_count{op="query"} 1` + "\n",
+		`lat_seconds_sum{op="query"} 0.01` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families must appear sorted, with labeled instruments grouped under
+	// one TYPE line.
+	if strings.Count(out, "# TYPE q_total") != 1 {
+		t.Errorf("q_total family emitted more than one TYPE line\n%s", out)
+	}
+	if strings.Index(out, "# TYPE in_flight") > strings.Index(out, "# TYPE lat_seconds") {
+		t.Errorf("families not sorted\n%s", out)
+	}
+	// Cumulative bucket counts: every bucket at or above 0.01 holds the
+	// observation.
+	if !strings.Contains(out, `lat_seconds_bucket{op="query",le="0.016384"} 1`) {
+		t.Errorf("cumulative bucket missing\n%s", out)
+	}
+}
+
+func TestHistogramBucketsShape(t *testing.T) {
+	if len(HistogramBuckets) != 24 {
+		t.Fatalf("bucket count = %d, want 24", len(HistogramBuckets))
+	}
+	if HistogramBuckets[0] != 1e-6 {
+		t.Errorf("first bound = %g, want 1e-6", HistogramBuckets[0])
+	}
+	for i := 1; i < len(HistogramBuckets); i++ {
+		if HistogramBuckets[i] != HistogramBuckets[i-1]*2 {
+			t.Errorf("bounds not doubling at %d: %g vs %g", i, HistogramBuckets[i], HistogramBuckets[i-1])
+		}
+	}
+}

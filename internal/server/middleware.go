@@ -1,0 +1,106 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler wrote, for
+// the logging/metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// knownRoutes bounds the cardinality of the path label: anything else
+// (404s, probe scans, pprof) aggregates under "other".
+var knownRoutes = map[string]bool{
+	"/stats":   true,
+	"/query":   true,
+	"/explain": true,
+	"/terms":   true,
+	"/phrase":  true,
+	"/metrics": true,
+	"/healthz": true,
+}
+
+func routeLabel(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// withObservability wraps the handler tree with the request logging and
+// HTTP metrics layer: every request records a latency histogram, a
+// (method, path, status) counter, response bytes, and an in-flight gauge;
+// when a Logger is configured, each request also emits one log line
+// (method, path, status, duration, bytes, remote).
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg := s.registry()
+		inflight := reg.Gauge("tix_http_in_flight_requests")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		path := routeLabel(r.URL.Path)
+		lbl := `{method="` + r.Method + `",path="` + path + `"}`
+		reg.Histogram("tix_http_request_seconds" + lbl).Observe(elapsed.Seconds())
+		reg.Counter("tix_http_response_bytes_total" + lbl).Add(sw.bytes)
+		reg.Counter(`tix_http_requests_total{method="` + r.Method + `",path="` + path +
+			`",status="` + itoa(sw.status) + `"}`).Inc()
+
+		if s.Logger != nil {
+			s.Logger.Printf("%s %s %d %s %dB %s",
+				r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond), sw.bytes, r.RemoteAddr)
+		}
+	})
+}
+
+// itoa formats a status code without pulling strconv into the hot path's
+// allocation profile for the common codes.
+func itoa(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 413:
+		return "413"
+	case 422:
+		return "422"
+	case 500:
+		return "500"
+	}
+	b := [3]byte{byte('0' + code/100%10), byte('0' + code/10%10), byte('0' + code%10)}
+	return string(b[:])
+}

@@ -2,20 +2,30 @@
 // the front end a downstream user would put in front of the engine:
 //
 //	GET  /stats                      database statistics
+//	GET  /healthz                    liveness/readiness probe
+//	GET  /metrics                    Prometheus-format metrics exposition
 //	POST /query    {"query": "..."}  extended-XQuery evaluation
 //	POST /terms    {"terms": [...], "topK": 10, "complex": false}
 //	POST /phrase   {"phrase": [...]}
 //
 // Results carry scores and the serialized XML of the matched components.
+// Every handler runs behind a logging/metrics middleware; request bodies
+// are bounded, JSON decoding is strict, and the listener applies full
+// read/write/idle timeouts with graceful shutdown support.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/metrics"
 	"repro/internal/xmltree"
 )
 
@@ -27,30 +37,97 @@ type Server struct {
 	// MaxResults caps the number of results returned per request
 	// (default 100).
 	MaxResults int
+	// MaxBodyBytes bounds every request body; oversized bodies are
+	// rejected with 413 before decoding (default 1 MiB).
+	MaxBodyBytes int64
+	// Metrics overrides the registry the HTTP middleware records into and
+	// /metrics exposes. When nil, the database's registry is used, so
+	// engine and HTTP metrics share one exposition.
+	Metrics *metrics.Registry
+	// Logger, when non-nil, receives one line per request (method, path,
+	// status, duration, bytes, remote address).
+	Logger *log.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (wired to the
+	// tixserve -pprof flag; off by default — profiling endpoints should
+	// not be open on a production port unasked).
+	EnablePprof bool
+
+	started time.Time
 }
 
 // New returns a server over d.
-func New(d *db.DB) *Server { return &Server{DB: d, MaxResults: 100} }
+func New(d *db.DB) *Server {
+	return &Server{DB: d, MaxResults: 100, started: time.Now()}
+}
 
-// Handler returns the HTTP handler tree.
+// registry returns the metrics registry this server records into.
+func (s *Server) registry() *metrics.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	if s.DB != nil {
+		return s.DB.MetricsRegistry()
+	}
+	return metrics.Default
+}
+
+// Handler returns the HTTP handler tree, wrapped in the observability
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /terms", s.handleTerms)
 	mux.HandleFunc("POST /phrase", s.handlePhrase)
-	return mux
+	if s.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withObservability(mux)
+}
+
+// httpServer builds the hardened listener configuration.
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 }
 
 // ListenAndServe serves on addr until the listener fails.
 func (s *Server) ListenAndServe(addr string) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	return s.httpServer(addr).ListenAndServe()
+}
+
+// ListenAndServeContext serves on addr until the listener fails or ctx is
+// cancelled; on cancellation, in-flight requests drain gracefully for up
+// to the given timeout before the server is forced closed.
+func (s *Server) ListenAndServeContext(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	srv := s.httpServer(addr)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		<-errc // always http.ErrServerClosed after a clean Shutdown
+		return nil
 	}
-	return srv.ListenAndServe()
 }
 
 func (s *Server) maxResults() int {
@@ -58,6 +135,33 @@ func (s *Server) maxResults() int {
 		return 100
 	}
 	return s.MaxResults
+}
+
+func (s *Server) maxBodyBytes() int64 {
+	if s.MaxBodyBytes <= 0 {
+		return 1 << 20
+	}
+	return s.MaxBodyBytes
+}
+
+// decodeJSON decodes a bounded, strict JSON request body into v. On
+// failure it writes the error response (413 for oversized bodies, 400
+// otherwise) and returns false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes())
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			errorJSON(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
 }
 
 // errorJSON writes a JSON error payload.
@@ -92,6 +196,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// HealthzResponse is the /healthz payload.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	Documents     int     `json:"documents"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// handleHealthz is the liveness/readiness probe: cheap (no index forcing),
+// always 200 once the process serves, with the loaded-document count so
+// orchestration can distinguish "up" from "up and serving data".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthzResponse{
+		Status:        "ok",
+		Documents:     len(s.DB.Store().Docs()),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// handleMetrics exposes the registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.registry().WriteText(w)
+}
+
 // QueryRequest is the /query payload.
 type QueryRequest struct {
 	Query string `json:"query"`
@@ -107,8 +235,7 @@ type QueryResult struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Query == "" {
@@ -137,8 +264,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Query == "" {
@@ -171,8 +297,7 @@ type TermResult struct {
 
 func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
 	var req TermsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Terms) == 0 {
@@ -214,8 +339,7 @@ type PhraseResult struct {
 
 func (s *Server) handlePhrase(w http.ResponseWriter, r *http.Request) {
 	var req PhraseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		errorJSON(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Phrase) == 0 {

@@ -20,6 +20,19 @@ import (
 type Engine struct {
 	Store *storage.Store
 	Index *index.Index
+	// Stats, when non-nil, accumulates the store-access statistics of
+	// every evaluation run through this engine (structural navigation,
+	// TermJoin scoring, and result materialization all read through one
+	// accounting accessor per Eval).
+	Stats *storage.AccessStats
+}
+
+// noteStats folds an evaluation accessor's counters into the engine's
+// optional Stats sink.
+func (e *Engine) noteStats(acc *storage.Accessor) {
+	if e.Stats != nil {
+		e.Stats.Add(acc.Stats)
+	}
 }
 
 // Result is one query result: the scored element and its materialized
@@ -66,6 +79,7 @@ func (e *Engine) evalSingle(q *Query) ([]Result, error) {
 		return nil, fmt.Errorf("xq: document %q not loaded", q.Fors[0].Path.Document)
 	}
 	acc := storage.NewAccessor(e.Store)
+	defer e.noteStats(acc)
 
 	anchors, expand, err := e.evalSteps(acc, doc, q.Fors[0].Path.Steps)
 	if err != nil {

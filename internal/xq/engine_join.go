@@ -67,6 +67,7 @@ func (e *Engine) evalJoin(q *Query) ([]Result, error) {
 		return nil, fmt.Errorf("xq: document %q not loaded", right.Path.Document)
 	}
 	acc := storage.NewAccessor(e.Store)
+	defer e.noteStats(acc)
 
 	leftAnchors, leftExpand, err := e.evalSteps(acc, leftDoc, left.Path.Steps)
 	if err != nil {

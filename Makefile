@@ -1,11 +1,13 @@
 # The canonical check: what CI runs, and what a change must pass before
-# merging. `make check` == vet + build + race-enabled tests.
+# merging. `make check` == vet + build + race-enabled tests + a
+# cancellation/fault stress pass + a short fuzz smoke over the snapshot
+# loader.
 
 GO ?= go
 
-.PHONY: check vet build test race bench fmt-check
+.PHONY: check vet build test race bench fmt-check stress fuzz-smoke
 
-check: vet build race
+check: vet build race stress fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +20,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Re-run the cancellation, resource-limit and fault-injection suites a few
+# times under the race detector: these tests coordinate goroutines through
+# the shared Guard, so repetition shakes out scheduling-dependent bugs.
+stress:
+	$(GO) test -race -count=3 -run 'Cancel|Deadline|Limit|Fault|Guard' \
+		./internal/exec ./internal/db ./internal/server
+
+# Ten seconds of coverage-guided fuzzing over db.Load: enough to catch
+# regressions in the loader's corrupted-input handling without slowing CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/db
 
 # Quick perf snapshot in the machine-readable format (see README).
 bench:

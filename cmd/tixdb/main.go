@@ -9,15 +9,24 @@
 //	tixdb -load a.xml -phrase "information retrieval"
 //	tixdb -load a.xml -stats
 //	tixdb -demo                # run the paper's Query 2 on the Fig. 1 data
+//
+// With -timeout, evaluation is abandoned cooperatively once the deadline
+// passes and the process exits with status 2 (distinct from status 1 for
+// ordinary errors), so scripts can tell "query too slow" from "query
+// wrong".
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/db"
+	"repro/internal/exec"
 	"repro/internal/fixture"
 )
 
@@ -45,15 +54,25 @@ func main() {
 		save    = flag.String("save", "", "write the database (with its index) to this file")
 		open    = flag.String("open", "", "open a database file written with -save")
 		explain = flag.Bool("explain", false, "print the physical plan for -query instead of running it")
+		timeout = flag.Duration("timeout", 0, "abandon evaluation after this duration and exit with status 2 (0 = none)")
 	)
 	flag.Parse()
-	if err := run(loads, *query, *terms, *phrase, *topk, *complex, *stats, *demo, *stem, *save, *open, *explain); err != nil {
+	if err := run(loads, *query, *terms, *phrase, *topk, *complex, *stats, *demo, *stem, *save, *open, *explain, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tixdb:", err)
+		if errors.Is(err, exec.ErrDeadlineExceeded) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(loads []string, query, terms, phrase string, topk int, complex, stats, demo, stem bool, save, open string, explain bool) error {
+func run(loads []string, query, terms, phrase string, topk int, complex, stats, demo, stem bool, save, open string, explain bool, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	var d *db.DB
 	if open != "" {
 		var err error
@@ -119,7 +138,7 @@ Threshold $a/@score > 4 stop after 5`
 		return nil
 	}
 	if query != "" {
-		rendered, results, err := d.QueryRendered(query)
+		rendered, results, err := d.QueryRenderedContext(ctx, query)
 		if err != nil {
 			return err
 		}
@@ -135,7 +154,7 @@ Threshold $a/@score > 4 stop after 5`
 		for i := range list {
 			list[i] = strings.TrimSpace(list[i])
 		}
-		results, err := d.TermSearch(list, db.TermSearchOptions{TopK: topk, Complex: complex})
+		results, err := d.TermSearchContext(ctx, list, db.TermSearchOptions{TopK: topk, Complex: complex})
 		if err != nil {
 			return err
 		}
@@ -147,7 +166,7 @@ Threshold $a/@score > 4 stop after 5`
 
 	if phrase != "" {
 		words := strings.Fields(phrase)
-		ms, err := d.PhraseSearch(words)
+		ms, err := d.PhraseSearchContext(ctx, words)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,13 @@
 // The server exposes per-query metrics on /metrics, a liveness probe on
 // /healthz, and (with -pprof) the net/http/pprof profiling endpoints. It
 // shuts down gracefully on SIGINT/SIGTERM, draining in-flight queries.
+//
+// Queries run under per-request resource budgets: -query-timeout bounds
+// wall-clock evaluation time (408 on expiry), -max-accesses bounds store
+// reads per query (422 on exhaustion), and a client disconnect cancels the
+// scan. The -fault-every/-fault-latency flags inject deterministic storage
+// faults and latency for resilience testing; injected faults surface as
+// 503 responses, never crashes.
 package main
 
 import (
@@ -27,7 +34,9 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/exec"
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 type multiFlag []string
@@ -39,59 +48,96 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// options gathers the parsed flags.
+type options struct {
+	loads        []string
+	addr         string
+	open         string
+	stem         bool
+	maxResults   int
+	maxBody      int64
+	pprofOn      bool
+	quiet        bool
+	drain        time.Duration
+	queryTimeout time.Duration
+	maxAccesses  int64
+	faultEvery   int64
+	faultLatency time.Duration
+	faultLatEvry int64
+	faultSeed    int64
+}
+
 func main() {
+	var o options
 	var loads multiFlag
 	flag.Var(&loads, "load", "XML file to load (repeatable)")
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		open    = flag.String("open", "", "database file written by tixdb -save")
-		stem    = flag.Bool("stem", true, "index with the light plural stemmer")
-		maxR    = flag.Int("max-results", 100, "per-request result cap")
-		maxBody = flag.Int64("max-body", 1<<20, "per-request body size cap in bytes")
-		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		quiet   = flag.Bool("quiet", false, "disable per-request logging")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-	)
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.open, "open", "", "database file written by tixdb -save")
+	flag.BoolVar(&o.stem, "stem", true, "index with the light plural stemmer")
+	flag.IntVar(&o.maxResults, "max-results", 100, "per-request result cap")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "per-request body size cap in bytes")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&o.quiet, "quiet", false, "disable per-request logging")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.DurationVar(&o.queryTimeout, "query-timeout", 0, "per-query evaluation deadline (0 = none); expiry returns 408")
+	flag.Int64Var(&o.maxAccesses, "max-accesses", 0, "per-query store-access budget (0 = none); exhaustion returns 422")
+	flag.Int64Var(&o.faultEvery, "fault-every", 0, "inject a storage fault every k-th store access (0 = off; testing)")
+	flag.DurationVar(&o.faultLatency, "fault-latency", 0, "injected latency per matching store access (testing)")
+	flag.Int64Var(&o.faultLatEvry, "fault-latency-every", 0, "apply -fault-latency every k-th store access (0 = off)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "offset for the deterministic fault schedule")
 	flag.Parse()
-	if err := run(loads, *addr, *open, *stem, *maxR, *maxBody, *pprofOn, *quiet, *drain); err != nil {
+	o.loads = loads
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tixserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads []string, addr, open string, stem bool, maxResults int, maxBody int64, pprofOn, quiet bool, drain time.Duration) error {
+func run(o options) error {
 	var d *db.DB
-	if open != "" {
+	if o.open != "" {
 		var err error
-		d, err = db.LoadDBFile(open)
+		d, err = db.LoadDBFile(o.open)
 		if err != nil {
 			return err
 		}
 	} else {
-		d = db.New(db.Options{Stemming: stem})
+		d = db.New(db.Options{Stemming: o.stem})
 	}
-	for _, path := range loads {
+	d.SetLimits(exec.Limits{MaxAccesses: o.maxAccesses})
+	for _, path := range o.loads {
 		if err := d.LoadFile(path); err != nil {
 			return err
 		}
 	}
-	if len(loads) == 0 && open == "" {
+	if len(o.loads) == 0 && o.open == "" {
 		return fmt.Errorf("nothing to serve; use -load or -open")
 	}
 	st := d.Stats() // force index construction before serving
+	if o.faultEvery > 0 || (o.faultLatency > 0 && o.faultLatEvry > 0) {
+		d.Store().SetFaults(&storage.FaultInjector{
+			FailEvery:    o.faultEvery,
+			Latency:      o.faultLatency,
+			LatencyEvery: o.faultLatEvry,
+			Seed:         o.faultSeed,
+		})
+		fmt.Fprintf(os.Stderr, "fault injection armed: every=%d latency=%s/%d seed=%d\n",
+			o.faultEvery, o.faultLatency, o.faultLatEvry, o.faultSeed)
+	}
 	fmt.Fprintf(os.Stderr, "serving %d document(s), %d nodes, %d terms on %s\n",
-		st.Documents, st.Nodes, st.Terms, addr)
+		st.Documents, st.Nodes, st.Terms, o.addr)
 	s := server.New(d)
-	s.MaxResults = maxResults
-	s.MaxBodyBytes = maxBody
-	s.EnablePprof = pprofOn
-	if !quiet {
+	s.MaxResults = o.maxResults
+	s.MaxBodyBytes = o.maxBody
+	s.EnablePprof = o.pprofOn
+	s.QueryTimeout = o.queryTimeout
+	if !o.quiet {
 		s.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := s.ListenAndServeContext(ctx, addr, drain)
+	err := s.ListenAndServeContext(ctx, o.addr, o.drain)
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "tixserve: signal received, drained and stopped")
 	}

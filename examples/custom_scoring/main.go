@@ -22,7 +22,11 @@ import (
 
 func main() {
 	store := storage.NewStore()
-	if _, err := store.AddTree("articles.xml", fixture.Articles()); err != nil {
+	articles, err := fixture.Articles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.AddTree("articles.xml", articles); err != nil {
 		log.Fatal(err)
 	}
 	tok := tokenize.NewStemming()
@@ -69,9 +73,9 @@ func main() {
 	}
 
 	// Join-condition scoring: count-same (ScoreSim) vs cosine similarity.
-	a := xmltree.MustParse(`<t>Internet Technologies</t>`)
-	b := xmltree.MustParse(`<t>Internet Technologies</t>`)
-	c := xmltree.MustParse(`<t>WWW Technologies and more besides</t>`)
+	a := parse(`<t>Internet Technologies</t>`)
+	b := parse(`<t>Internet Technologies</t>`)
+	c := parse(`<t>WWW Technologies and more besides</t>`)
 	fmt.Println()
 	fmt.Printf("ScoreSim(identical) = %.0f   CosineSim(identical) = %.2f\n",
 		scoring.ScoreSim(tok, a, b), scoring.CosineSim(tok, a, b))
@@ -79,6 +83,14 @@ func main() {
 		scoring.ScoreSim(tok, a, c), scoring.CosineSim(tok, a, c))
 	fmt.Println("\ncount-same grows with shared words; cosine also discounts length,")
 	fmt.Println("so the partial match scores much lower under cosine.")
+}
+
+func parse(src string) *xmltree.Node {
+	n, err := xmltree.ParseString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
 }
 
 // Adapters: the exec.Scorer interface carries both scoring modes; these

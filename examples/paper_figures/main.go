@@ -47,7 +47,10 @@ func query2Scores() *algebra.ScoreSet {
 }
 
 func main() {
-	articles := fixture.Articles()
+	articles, err := fixture.Articles()
+	if err != nil {
+		log.Fatal(err)
+	}
 	c := algebra.FromXML(articles)
 	p := query2Pattern()
 	s := query2Scores()
@@ -78,7 +81,10 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("=== Figure 7: one result of the Query 3 join ===")
-	reviews := fixture.Reviews()
+	reviews, err := fixture.Reviews()
+	if err != nil {
+		log.Fatal(err)
+	}
 	jp := pattern.NewPattern(1)
 	art := jp.Root.Child(2, pattern.AD)
 	art.Child(3, pattern.PC)

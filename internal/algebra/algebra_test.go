@@ -56,7 +56,7 @@ func findByOrd(t *ScoredTree, tag string, i int) *xmltree.Node {
 func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
 func TestSelectQuery2ReproducesFigure5(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	c := FromXML(articles)
 	out := Select(c, query2Pattern(), query2Scores())
 
@@ -124,7 +124,7 @@ func TestSelectQuery2ReproducesFigure5(t *testing.T) {
 }
 
 func TestProjectQuery2ReproducesFigure6(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	out := Project(FromXML(articles), query2Pattern(), query2Scores(),
 		[]int{1, 3, 4}, ProjectOptions{DropZeroIR: true})
 	if len(out) != 1 {
@@ -198,7 +198,7 @@ func TestProjectQuery2ReproducesFigure6(t *testing.T) {
 }
 
 func TestPickReproducesFigure8(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	projected := Project(FromXML(articles), query2Pattern(), query2Scores(),
 		[]int{1, 3, 4}, ProjectOptions{DropZeroIR: true})
 	pt := projected[0]
@@ -259,7 +259,7 @@ func TestPickReproducesFigure8(t *testing.T) {
 // TestExample31Pipeline follows Example 3.1: projection, pick, selection,
 // threshold — the top result is the chapter #a10.
 func TestExample31Pipeline(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	projected := Project(FromXML(articles), query2Pattern(), query2Scores(),
 		[]int{1, 3, 4}, ProjectOptions{DropZeroIR: true})
 	pickedC := Pick(projected, DefaultCriterion(0.8), query2Scores())
@@ -312,8 +312,8 @@ func TestExample31Pipeline(t *testing.T) {
 // TestJoinReproducesFigure7 runs Query 3's join: articles × reviews with a
 // title-similarity join score and ScoreBar root scoring.
 func TestJoinReproducesFigure7(t *testing.T) {
-	articles := fixture.Articles()
-	reviews := fixture.Reviews()
+	articles := mustParse(fixture.ArticlesXML)
+	reviews := mustParse(fixture.ReviewsXML)
 
 	p := pattern.NewPattern(1)
 	art := p.Root.Child(2, pattern.PC)
@@ -396,8 +396,8 @@ func TestJoinReproducesFigure7(t *testing.T) {
 }
 
 func TestProductShape(t *testing.T) {
-	a := FromXML(xmltree.MustParse(`<a><x>1</x></a>`), xmltree.MustParse(`<a><x>2</x></a>`))
-	b := FromXML(xmltree.MustParse(`<b/>`))
+	a := FromXML(mustParse(`<a><x>1</x></a>`), mustParse(`<a><x>2</x></a>`))
+	b := FromXML(mustParse(`<b/>`))
 	out := Product(a, b)
 	if len(out) != 2 {
 		t.Fatalf("product size = %d, want 2", len(out))
@@ -418,7 +418,7 @@ func TestProductShape(t *testing.T) {
 }
 
 func TestThresholdV(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
 	out := Threshold(sel, []ThresholdCond{V(4, 4.0)})
 	// Only article (5.6) and chapter (5.0) exceed 4.0.
@@ -433,7 +433,7 @@ func TestThresholdV(t *testing.T) {
 }
 
 func TestThresholdK(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
 	out := Threshold(sel, []ThresholdCond{K(4, 3)})
 	// Top 3 $4 scores: 5.6, 5.0, 3.6.
@@ -461,7 +461,7 @@ func TestThresholdK(t *testing.T) {
 }
 
 func TestThresholdMultipleConds(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
 	out := Threshold(sel, []ThresholdCond{V(4, 4.0), K(4, 1)})
 	if len(out) != 1 {
@@ -523,7 +523,7 @@ func TestPickWorthyRootSubsumes(t *testing.T) {
 	// Root with two relevant children is worth returning; the final flush
 	// returns the root and only its same-class survivors, so the children
 	// are subsumed (Fig. 12's ending).
-	root := xmltree.MustParse(`<r><a>x</a><a>y</a></r>`)
+	root := mustParse(`<r><a>x</a><a>y</a></r>`)
 	st := NewScoredTree(root)
 	for _, n := range root.FindTag("a") {
 		st.SetScore(n, 1.0)
@@ -539,7 +539,7 @@ func TestPickHorizontalDedup(t *testing.T) {
 	// Unworthy root (2 of 4 scored children relevant — exactly 50%, not
 	// more) emits the two relevant same-class siblings; horizontal dedup
 	// keeps only the first.
-	root := xmltree.MustParse(`<r><a>x</a><a>y</a><a>z</a><a>w</a></r>`)
+	root := mustParse(`<r><a>x</a><a>y</a><a>z</a><a>w</a></r>`)
 	st := NewScoredTree(root)
 	as := root.FindTag("a")
 	st.SetScore(as[0], 1.0)
@@ -560,7 +560,7 @@ func TestPickHorizontalDedup(t *testing.T) {
 }
 
 func TestScoredTreeBasics(t *testing.T) {
-	root := xmltree.MustParse(`<a><b/></a>`)
+	root := mustParse(`<a><b/></a>`)
 	st := NewScoredTree(root)
 	if st.RootScore() != 0 {
 		t.Errorf("unscored root score = %v", st.RootScore())

@@ -94,7 +94,7 @@ func TestLeftmostK(t *testing.T) {
 // K-based thresholding is expressible as grouping with an empty basis
 // ordered by score followed by a leftmost-K projection.
 func TestTopKViaGroupingEqualsThresholdK(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
 	for _, k := range []int{1, 3, 5, 100} {
 		viaGrouping := TopKViaGrouping(sel, k)
@@ -130,7 +130,7 @@ func TestTopKViaGroupingEqualsThresholdK(t *testing.T) {
 func round(f float64) float64 { return math.Round(f*1000) / 1000 }
 
 func TestTopKViaGroupingPreservesVarNodes(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	sel := Select(FromXML(articles), query2Pattern(), query2Scores())
 	top := TopKViaGrouping(sel, 2)
 	for i, tr := range top {

@@ -13,14 +13,14 @@ func TestSelectEmptyInputs(t *testing.T) {
 	if got := Select(nil, p, nil); len(got) != 0 {
 		t.Errorf("empty collection selected %d", len(got))
 	}
-	c := FromXML(xmltree.MustParse(`<b/>`))
+	c := FromXML(mustParse(`<b/>`))
 	if got := Select(c, p, nil); len(got) != 0 {
 		t.Errorf("non-matching selected %d", len(got))
 	}
 }
 
 func TestSelectNilScoreSet(t *testing.T) {
-	c := FromXML(xmltree.MustParse(`<a><b/></a>`))
+	c := FromXML(mustParse(`<a><b/></a>`))
 	p := pattern.NewPattern(1)
 	p.Root.Child(2, pattern.PC)
 	p.Formula = pattern.Conj(pattern.TagEq(1, "a"), pattern.TagEq(2, "b"))
@@ -38,7 +38,7 @@ func TestSelectNilScoreSet(t *testing.T) {
 }
 
 func TestSelectWithDisjunctiveFormula(t *testing.T) {
-	c := FromXML(xmltree.MustParse(`<r><a/><b/><c/></r>`))
+	c := FromXML(mustParse(`<r><a/><b/><c/></r>`))
 	p := pattern.NewPattern(1)
 	p.Formula = pattern.Or{L: pattern.TagEq(1, "a"), R: pattern.TagEq(1, "b")}
 	got := Select(c, p, nil)
@@ -49,7 +49,7 @@ func TestSelectWithDisjunctiveFormula(t *testing.T) {
 
 func TestProjectWithoutDropZero(t *testing.T) {
 	// Zero-scored IR matches are retained when DropZeroIR is off.
-	c := FromXML(xmltree.MustParse(`<r><p>hit</p><p>miss</p></r>`))
+	c := FromXML(mustParse(`<r><p>hit</p><p>miss</p></r>`))
 	p := pattern.NewPattern(1)
 	p.Root.Child(2, pattern.AD)
 	p.Formula = pattern.Conj(pattern.TagEq(1, "r"), pattern.TagEq(2, "p"))
@@ -76,7 +76,7 @@ func TestProjectWithoutDropZero(t *testing.T) {
 }
 
 func TestProjectNoMatchesProducesNothing(t *testing.T) {
-	c := FromXML(xmltree.MustParse(`<r><p>x</p></r>`))
+	c := FromXML(mustParse(`<r><p>x</p></r>`))
 	p := pattern.NewPattern(1)
 	p.Formula = pattern.TagEq(1, "zzz")
 	if got := Project(c, p, nil, []int{1}, ProjectOptions{}); len(got) != 0 {
@@ -87,7 +87,7 @@ func TestProjectNoMatchesProducesNothing(t *testing.T) {
 func TestProjectDisjointRootsWrapped(t *testing.T) {
 	// PL retains only the two p's (not the root): the projection wraps the
 	// forest under a synthetic root.
-	c := FromXML(xmltree.MustParse(`<r><p>x</p><p>y</p></r>`))
+	c := FromXML(mustParse(`<r><p>x</p><p>y</p></r>`))
 	p := pattern.NewPattern(1)
 	p.Root.Child(2, pattern.AD)
 	p.Formula = pattern.Conj(pattern.TagEq(1, "r"), pattern.TagEq(2, "p"))
@@ -106,7 +106,7 @@ func TestProjectDisjointRootsWrapped(t *testing.T) {
 func TestJoinEmptySides(t *testing.T) {
 	p := pattern.NewPattern(1)
 	p.Formula = pattern.TagEq(1, ProdRootTag)
-	a := FromXML(xmltree.MustParse(`<x/>`))
+	a := FromXML(mustParse(`<x/>`))
 	if got := Join(a, nil, p, nil); len(got) != 0 {
 		t.Errorf("join with empty right = %d", len(got))
 	}
@@ -119,7 +119,7 @@ func TestScoreEnvSecondaryChain(t *testing.T) {
 	// Secondary rules evaluate in ascending variable order, so $3 can
 	// depend on $2 which depends on the primary $1. Each variable binds a
 	// distinct node so per-node scores are unambiguous.
-	c := FromXML(xmltree.MustParse(`<a><b>x</b><c/></a>`))
+	c := FromXML(mustParse(`<a><b>x</b><c/></a>`))
 	p := pattern.NewPattern(1)
 	p.Root.Child(2, pattern.PC)
 	p.Root.Child(3, pattern.PC)

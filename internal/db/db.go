@@ -6,6 +6,8 @@
 package db
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -45,6 +47,44 @@ type Options struct {
 	// (latency histograms, result counts, store-access counters) instead
 	// of the process-wide metrics.Default registry.
 	Metrics *metrics.Registry
+	// Limits is the default per-query resource budget (wall-clock
+	// timeout, result cap, store-access cap) applied by every Context
+	// entry point. The zero value means unlimited. Per-call budgets
+	// (e.g. QueryLimited, TermSearchOptions.Limits) take precedence.
+	Limits exec.Limits
+}
+
+// errPanic marks errors produced by recovering a panic at the facade
+// boundary; db.observe classifies them into tix_query_panics_total.
+var errPanic = errors.New("db: recovered panic")
+
+// recoverPanic converts a panic inside the evaluation engine into a
+// returned error, so injected storage faults and operator bugs degrade to
+// errors instead of crashing the process. Deferred at every facade entry
+// point, after the metrics defer (defers run LIFO, so the observation sees
+// the recovered error).
+func recoverPanic(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if ferr, ok := r.(error); ok && errors.Is(ferr, storage.ErrInjectedFault) {
+		*errp = fmt.Errorf("db: storage fault: %w", ferr)
+		return
+	}
+	*errp = fmt.Errorf("%w: %v", errPanic, r)
+}
+
+// SetLimits replaces the database's default per-query resource budget
+// (applied by every Context entry point when no per-call budget is given).
+func (d *DB) SetLimits(l exec.Limits) { d.opts.Limits = l }
+
+// limitsOr returns the per-call budget when set, else the database default.
+func (d *DB) limitsOr(limits exec.Limits) exec.Limits {
+	if limits == (exec.Limits{}) {
+		return d.opts.Limits
+	}
+	return limits
 }
 
 // New creates an empty database.
@@ -163,11 +203,24 @@ func (d *DB) Stats() Stats {
 
 // Query parses and evaluates an extended-XQuery query (the Sec. 4 dialect).
 func (d *DB) Query(src string) ([]xq.Result, error) {
+	return d.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cooperative cancellation: the evaluation
+// stops within one check interval of ctx being canceled or its deadline
+// passing, and respects the database's default resource limits.
+func (d *DB) QueryContext(ctx context.Context, src string) ([]xq.Result, error) {
+	return d.QueryLimited(ctx, src, d.opts.Limits)
+}
+
+// QueryLimited is QueryContext with an explicit per-call resource budget.
+func (d *DB) QueryLimited(ctx context.Context, src string, limits exec.Limits) (results []xq.Result, err error) {
 	start := time.Now()
 	var stats storage.AccessStats
-	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats}
-	results, err := e.EvalString(src)
-	d.observe(opQuery, start, len(results), stats, err)
+	defer func() { d.observe(opQuery, start, len(results), stats, err) }()
+	defer recoverPanic(&err)
+	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats, Guard: exec.NewGuard(ctx, limits)}
+	results, err = e.EvalString(src)
 	return results, err
 }
 
@@ -175,20 +228,26 @@ func (d *DB) Query(src string) ([]xq.Result, error) {
 // query's Return template (or the canonical <result> shape when the query
 // has none).
 func (d *DB) QueryRendered(src string) ([]string, []xq.Result, error) {
+	return d.QueryRenderedContext(context.Background(), src)
+}
+
+// QueryRenderedContext is QueryRendered with cooperative cancellation and
+// the database's default resource limits.
+func (d *DB) QueryRenderedContext(ctx context.Context, src string) (rendered []string, results []xq.Result, err error) {
 	start := time.Now()
+	var stats storage.AccessStats
+	defer func() { d.observe(opQuery, start, len(results), stats, err) }()
+	defer recoverPanic(&err)
 	q, err := xq.Parse(src)
 	if err != nil {
-		d.observe(opQuery, start, 0, storage.AccessStats{}, err)
 		return nil, nil, err
 	}
-	var stats storage.AccessStats
-	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats}
-	results, err := e.Eval(q)
-	d.observe(opQuery, start, len(results), stats, err)
+	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats, Guard: exec.NewGuard(ctx, d.opts.Limits)}
+	results, err = e.Eval(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	rendered := make([]string, len(results))
+	rendered = make([]string, len(results))
 	for i, r := range results {
 		rendered[i] = q.Render(r)
 	}
@@ -218,11 +277,21 @@ type TermSearchOptions struct {
 	// Parallel partitions the evaluation across this many worker
 	// goroutines, one document range each (0 = sequential).
 	Parallel int
+	// Limits is the per-call resource budget; the zero value falls back
+	// to the database's default (Options.Limits).
+	Limits exec.Limits
 }
 
 // TermSearch scores every element containing at least one of the terms,
 // using the TermJoin access method, and returns results best-first.
-func (d *DB) TermSearch(terms []string, opts TermSearchOptions) (results []exec.ScoredNode, err error) {
+func (d *DB) TermSearch(terms []string, opts TermSearchOptions) ([]exec.ScoredNode, error) {
+	return d.TermSearchContext(context.Background(), terms, opts)
+}
+
+// TermSearchContext is TermSearch with cooperative cancellation and
+// resource budgets: the scan stops within one check interval of ctx being
+// canceled, the deadline passing, or a budget running out.
+func (d *DB) TermSearchContext(ctx context.Context, terms []string, opts TermSearchOptions) (results []exec.ScoredNode, err error) {
 	mode := exec.ChildCountNavigate
 	if opts.Enhanced {
 		mode = exec.ChildCountIndexed
@@ -236,6 +305,7 @@ func (d *DB) TermSearch(terms []string, opts TermSearchOptions) (results []exec.
 		},
 	}
 	start := time.Now()
+	guard := exec.NewGuard(ctx, d.limitsOr(opts.Limits))
 	var reporter exec.AccessReporter
 	defer func() {
 		var stats storage.AccessStats
@@ -244,13 +314,14 @@ func (d *DB) TermSearch(terms []string, opts TermSearchOptions) (results []exec.
 		}
 		d.observe(opTerms, start, len(results), stats, err)
 	}()
+	defer recoverPanic(&err)
 	run := func(emit exec.Emit) error {
 		if opts.Parallel > 0 {
-			p := &exec.ParallelTermJoin{Index: d.Index(), Query: q, Workers: opts.Parallel, ChildCounts: mode}
+			p := &exec.ParallelTermJoin{Index: d.Index(), Query: q, Workers: opts.Parallel, ChildCounts: mode, Guard: guard}
 			reporter = p
 			return p.Run(emit)
 		}
-		tj := &exec.TermJoin{Index: d.Index(), Acc: storage.NewAccessor(d.store), Query: q, ChildCounts: mode}
+		tj := &exec.TermJoin{Index: d.Index(), Acc: storage.NewAccessor(d.store), Query: q, ChildCounts: mode, Guard: guard}
 		reporter = tj
 		return tj.Run(emit)
 	}
@@ -276,10 +347,24 @@ func (d *DB) TermSearch(terms []string, opts TermSearchOptions) (results []exec.
 
 // PhraseSearch returns every occurrence of the phrase via PhraseFinder.
 func (d *DB) PhraseSearch(phrase []string) ([]exec.PhraseMatch, error) {
+	return d.PhraseSearchContext(context.Background(), phrase)
+}
+
+// PhraseSearchContext is PhraseSearch with cooperative cancellation and
+// the database's default resource limits.
+func (d *DB) PhraseSearchContext(ctx context.Context, phrase []string) (ms []exec.PhraseMatch, err error) {
 	start := time.Now()
-	pf := &exec.PhraseFinder{Index: d.Index(), Phrase: phrase}
-	ms, err := exec.CollectPhrase(pf.Run)
-	d.observe(opPhrase, start, len(ms), pf.AccessStats(), err)
+	var pf *exec.PhraseFinder
+	defer func() {
+		var stats storage.AccessStats
+		if pf != nil {
+			stats = pf.AccessStats()
+		}
+		d.observe(opPhrase, start, len(ms), stats, err)
+	}()
+	defer recoverPanic(&err)
+	pf = &exec.PhraseFinder{Index: d.Index(), Phrase: phrase, Guard: exec.NewGuard(ctx, d.opts.Limits)}
+	ms, err = exec.CollectPhrase(pf.Run)
 	return ms, err
 }
 
@@ -302,16 +387,23 @@ func (d *DB) NameOf(n exec.ScoredNode) string {
 // materialized subtrees of the pattern root's bindings, deduplicated and
 // in document order. Use exec.Twig / exec.TwigChild to build the pattern.
 func (d *DB) TwigSearch(pattern *exec.TwigNode) ([]*xmltree.Node, error) {
+	return d.TwigSearchContext(context.Background(), pattern)
+}
+
+// TwigSearchContext is TwigSearch with cooperative cancellation and the
+// database's default resource limits.
+func (d *DB) TwigSearchContext(ctx context.Context, pattern *exec.TwigNode) (out []*xmltree.Node, err error) {
 	start := time.Now()
-	var out []*xmltree.Node
 	var stats storage.AccessStats
+	defer func() { d.observe(opTwig, start, len(out), stats, err) }()
+	defer recoverPanic(&err)
+	guard := exec.NewGuard(ctx, d.opts.Limits)
 	for _, doc := range d.store.Docs() {
-		ts := &exec.TwigStack{Store: d.store, Doc: doc.ID, Root: pattern}
-		matches, err := ts.Run()
+		ts := &exec.TwigStack{Store: d.store, Doc: doc.ID, Root: pattern, Guard: guard}
+		matches, terr := ts.Run()
 		stats.Add(ts.AccessStats())
-		if err != nil {
-			d.observe(opTwig, start, 0, stats, err)
-			return nil, err
+		if terr != nil {
+			return nil, terr
 		}
 		seen := map[int32]bool{}
 		for _, m := range matches {
@@ -323,7 +415,6 @@ func (d *DB) TwigSearch(pattern *exec.TwigNode) ([]*xmltree.Node, error) {
 			out = append(out, doc.TreeNode(root))
 		}
 	}
-	d.observe(opTwig, start, len(out), stats, nil)
 	return out, nil
 }
 
@@ -360,11 +451,27 @@ type JoinedResult struct {
 
 // SimilarityJoin evaluates a Query 3-style join through the TIX algebra,
 // best-first.
-func (d *DB) SimilarityJoin(spec SimilarityJoinSpec) (results []JoinedResult, err error) {
+func (d *DB) SimilarityJoin(spec SimilarityJoinSpec) ([]JoinedResult, error) {
+	return d.SimilarityJoinContext(context.Background(), spec)
+}
+
+// SimilarityJoinContext is SimilarityJoin with panic recovery and an
+// up-front cancellation check. The algebra path evaluates over xmltree
+// values in one non-streaming pass, so cancellation is only observed at
+// entry, not mid-join; use the extended-XQuery join shape (QueryContext)
+// for cooperatively cancellable joins.
+func (d *DB) SimilarityJoinContext(ctx context.Context, spec SimilarityJoinSpec) (results []JoinedResult, err error) {
 	start := time.Now()
 	// The algebra path evaluates over xmltree values directly, so there is
 	// no accounting accessor; latency and result counts still record.
 	defer func() { d.observe(opJoin, start, len(results), storage.AccessStats{}, err) }()
+	defer recoverPanic(&err)
+	if cerr := ctx.Err(); cerr != nil {
+		if errors.Is(cerr, context.DeadlineExceeded) {
+			return nil, exec.ErrDeadlineExceeded
+		}
+		return nil, exec.ErrCanceled
+	}
 	left := d.store.DocByName(spec.LeftDoc)
 	right := d.store.DocByName(spec.RightDoc)
 	if left == nil || right == nil {

@@ -1,0 +1,53 @@
+package db
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedXMLThroughLoadPaths: malformed documents are rejected with
+// an error naming the document from every load path, and a failed load
+// leaves the database untouched.
+func TestMalformedXMLThroughLoadPaths(t *testing.T) {
+	const bad = "<article><title>unterminated"
+
+	d := New(Options{})
+	if err := d.LoadString("bad.xml", bad); err == nil {
+		t.Error("LoadString accepted malformed XML")
+	} else if !strings.Contains(err.Error(), "bad.xml") {
+		t.Errorf("LoadString error does not name the document: %v", err)
+	}
+
+	if err := d.LoadReader("bad.xml", strings.NewReader(bad)); err == nil {
+		t.Error("LoadReader accepted malformed XML")
+	}
+
+	path := filepath.Join(t.TempDir(), "bad.xml")
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadFile(path); err == nil {
+		t.Error("LoadFile accepted malformed XML")
+	} else if !strings.Contains(err.Error(), "bad.xml") {
+		t.Errorf("LoadFile error does not name the document: %v", err)
+	}
+
+	if err := d.LoadFile(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Error("LoadFile accepted a missing file")
+	}
+
+	// The failed loads left no documents behind.
+	if st := d.Stats(); st.Documents != 0 {
+		t.Errorf("failed loads left %d documents", st.Documents)
+	}
+
+	// And the database still works afterwards.
+	if err := d.LoadString("ok.xml", "<a><b>fine</b></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Documents != 1 {
+		t.Errorf("documents = %d after recovery load", st.Documents)
+	}
+}

@@ -1,8 +1,10 @@
 package db
 
 import (
+	"errors"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/storage"
 )
@@ -19,6 +21,14 @@ import (
 //	tix_access_page_reads_total{op=...}  distinct-page transitions
 //	tix_access_text_reads_total{op=...}  text payload fetches
 //	tix_access_nav_steps_total{op=...}   child/sibling navigation steps
+//
+// Failed evaluations are additionally classified by cause:
+//
+//	tix_query_timeouts_total{op=...}        deadline exceeded (exec.ErrDeadlineExceeded)
+//	tix_query_canceled_total{op=...}        context canceled (exec.ErrCanceled)
+//	tix_query_limit_exceeded_total{op=...}  resource budget exhausted (exec.ErrLimitExceeded)
+//	tix_query_faults_total{op=...}          storage faults (storage.ErrInjectedFault)
+//	tix_query_panics_total{op=...}          panics recovered at the facade boundary
 //
 // The access-stat counters are the paper's cost-accounting (the numbers
 // behind Tables 1–5) surfaced as a runtime feature: a scrape after a
@@ -51,6 +61,18 @@ func (d *DB) observe(op string, start time.Time, results int, stats storage.Acce
 	reg.Counter("tix_queries_total" + lbl).Inc()
 	if err != nil {
 		reg.Counter("tix_query_errors_total" + lbl).Inc()
+		switch {
+		case errors.Is(err, exec.ErrDeadlineExceeded):
+			reg.Counter("tix_query_timeouts_total" + lbl).Inc()
+		case errors.Is(err, exec.ErrCanceled):
+			reg.Counter("tix_query_canceled_total" + lbl).Inc()
+		case errors.Is(err, exec.ErrLimitExceeded):
+			reg.Counter("tix_query_limit_exceeded_total" + lbl).Inc()
+		case errors.Is(err, storage.ErrInjectedFault):
+			reg.Counter("tix_query_faults_total" + lbl).Inc()
+		case errors.Is(err, errPanic):
+			reg.Counter("tix_query_panics_total" + lbl).Inc()
+		}
 		return
 	}
 	reg.Counter("tix_query_results_total" + lbl).Add(int64(results))

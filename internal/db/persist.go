@@ -3,7 +3,10 @@ package db
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -20,16 +23,45 @@ import (
 //	index   presence byte; if 1: uvarint term count; per term: the term,
 //	        uvarint posting count, postings as uvarint (doc, node, pos,
 //	        offset) with pos delta-encoded within a (term, doc) run
+//	trailer "TIXSUM1\n" + 4-byte little-endian IEEE CRC32 of every byte
+//	        before the trailer
 //
 // Strings are uvarint length + bytes. The XML serialization round-trips
 // through the same parser used at load time, so the region encoding and
 // node ordinals of a reloaded database are identical to the original's.
+//
+// The integrity trailer is backward and forward compatible: files written
+// before it existed load cleanly (a file ending exactly at the payload is
+// accepted as legacy), and old loaders that stop at the payload simply
+// never read the trailing 12 bytes. A present-but-partial trailer, a
+// checksum mismatch, or bytes after the trailer are rejected with an error
+// wrapping ErrCorruptSnapshot.
 const fileMagic = "TIXDB1\n"
 
+// sumMagic introduces the integrity trailer.
+const sumMagic = "TIXSUM1\n"
+
+// ErrCorruptSnapshot marks database-file integrity failures: a truncated
+// trailer, a checksum mismatch, or trailing garbage. Test with errors.Is.
+var ErrCorruptSnapshot = errors.New("db: corrupt database file")
+
 // Save writes the database — documents, options and the inverted index —
-// to w.
+// to w, followed by the CRC32 integrity trailer.
 func (d *DB) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	h := crc32.NewIEEE()
+	// Everything flushed through bw is hashed; the trailer itself is
+	// written to w directly afterwards, so it stays outside its own sum.
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	finish := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		var tr [len(sumMagic) + 4]byte
+		copy(tr[:], sumMagic)
+		binary.LittleEndian.PutUint32(tr[len(sumMagic):], h.Sum32())
+		_, err := w.Write(tr[:])
+		return err
+	}
 	if _, err := bw.WriteString(fileMagic); err != nil {
 		return err
 	}
@@ -57,7 +89,7 @@ func (d *DB) Save(w io.Writer) error {
 		if err := bw.WriteByte(0); err != nil {
 			return err
 		}
-		return bw.Flush()
+		return finish()
 	}
 	if err := bw.WriteByte(1); err != nil {
 		return err
@@ -83,7 +115,7 @@ func (d *DB) Save(w io.Writer) error {
 			writeUvarint(bw, uint64(p.Offset))
 		}
 	}
-	return bw.Flush()
+	return finish()
 }
 
 // SaveFile writes the database to path.
@@ -99,9 +131,65 @@ func (d *DB) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reads a database written by Save.
+// byteReader is the reading interface the loader consumes through: bulk
+// reads for strings, single-byte reads for uvarints.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// crcReader hashes exactly the bytes its consumer reads. It must wrap the
+// buffered reader (not sit underneath it): bufio's readahead would
+// otherwise pull trailer bytes into the payload hash.
+type crcReader struct {
+	r byteReader
+	h hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.h.Write(p[:n])
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+// verifyTrailer checks the integrity trailer after the payload has been
+// fully consumed (and hashed) through the crcReader. A clean EOF right at
+// the payload boundary is a legacy pre-trailer file and is accepted.
+func verifyTrailer(br *bufio.Reader, h hash.Hash32) error {
+	tr := make([]byte, len(sumMagic)+4)
+	n, err := io.ReadFull(br, tr)
+	switch {
+	case err == io.EOF:
+		return nil // legacy file without a trailer
+	case err != nil:
+		return fmt.Errorf("db: load: truncated integrity trailer (%d of %d bytes): %w", n, len(tr), ErrCorruptSnapshot)
+	}
+	if string(tr[:len(sumMagic)]) != sumMagic {
+		return fmt.Errorf("db: load: unexpected data after payload (missing %q trailer): %w", sumMagic, ErrCorruptSnapshot)
+	}
+	want := binary.LittleEndian.Uint32(tr[len(sumMagic):])
+	if got := h.Sum32(); got != want {
+		return fmt.Errorf("db: load: checksum mismatch (file %08x, payload %08x): %w", want, got, ErrCorruptSnapshot)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("db: load: data after integrity trailer: %w", ErrCorruptSnapshot)
+	}
+	return nil
+}
+
+// Load reads a database written by Save, verifying the integrity trailer
+// when present.
 func Load(r io.Reader) (*DB, error) {
-	br := bufio.NewReader(r)
+	raw := bufio.NewReader(r)
+	br := &crcReader{r: raw, h: crc32.NewIEEE()}
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("db: load: %w", err)
@@ -150,6 +238,9 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("db: load: %w", err)
 	}
 	if hasIndex == 0 {
+		if err := verifyTrailer(raw, br.h); err != nil {
+			return nil, err
+		}
 		return d, nil
 	}
 	nTerms, err := readUvarint(br)
@@ -170,7 +261,9 @@ func Load(r io.Reader) (*DB, error) {
 		if nPost > sanity {
 			return nil, fmt.Errorf("db: load: implausible posting count %d for %q", nPost, term)
 		}
-		ps := make([]index.Posting, 0, nPost)
+		// Cap the preallocation: a lying count on a corrupted file would
+		// otherwise attempt a multi-GiB make before any read fails.
+		ps := make([]index.Posting, 0, min(nPost, 1<<16))
 		lastDoc := storage.DocID(-1)
 		lastPos := uint32(0)
 		for j := uint64(0); j < nPost; j++ {
@@ -212,6 +305,9 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("db: load: %w", err)
 	}
 	d.idx = idx
+	if err := verifyTrailer(raw, br.h); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
@@ -236,7 +332,7 @@ func writeString(w *bufio.Writer, s string) {
 	_, _ = w.WriteString(s)
 }
 
-func readUvarint(r *bufio.Reader) (uint64, error) {
+func readUvarint(r io.ByteReader) (uint64, error) {
 	v, err := binary.ReadUvarint(r)
 	if err != nil {
 		return 0, fmt.Errorf("db: load: %w", err)
@@ -244,7 +340,7 @@ func readUvarint(r *bufio.Reader) (uint64, error) {
 	return v, nil
 }
 
-func readString(r *bufio.Reader) (string, error) {
+func readString(r byteReader) (string, error) {
 	n, err := readUvarint(r)
 	if err != nil {
 		return "", err
@@ -253,9 +349,19 @@ func readString(r *bufio.Reader) (string, error) {
 	if n > maxString {
 		return "", fmt.Errorf("db: load: implausible string length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", fmt.Errorf("db: load: %w", err)
+	// Read in bounded chunks: a lying length prefix on a corrupted file
+	// must not force a giant up-front allocation before the short read
+	// surfaces.
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for remaining := n; remaining > 0; {
+		k := min(remaining, chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return "", fmt.Errorf("db: load: %w", err)
+		}
+		remaining -= k
 	}
 	return string(buf), nil
 }

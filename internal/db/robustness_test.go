@@ -1,0 +1,200 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/fixture"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// newMeteredFixtureDB loads the paper's Figure 1 database with an isolated
+// metrics registry so tests can assert on exact counter values.
+func newMeteredFixtureDB(t *testing.T) (*DB, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	d := New(Options{Stemming: true, Metrics: reg})
+	if err := d.LoadString("articles.xml", fixture.ArticlesXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadString("reviews.xml", fixture.ReviewsXML); err != nil {
+		t.Fatal(err)
+	}
+	return d, reg
+}
+
+func counter(reg *metrics.Registry, name, op string) int64 {
+	return reg.Counter(name + `{op="` + op + `"}`).Value()
+}
+
+func TestQueryContextCanceled(t *testing.T) {
+	d, reg := newMeteredFixtureDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := d.QueryContext(ctx, `For $a := document("articles.xml")//section Sortby(score)`)
+	if !errors.Is(err, exec.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := counter(reg, "tix_query_canceled_total", "query"); got != 1 {
+		t.Errorf("tix_query_canceled_total = %d, want 1", got)
+	}
+}
+
+func TestQueryLimitedDeadline(t *testing.T) {
+	d, reg := newMeteredFixtureDB(t)
+	_, err := d.QueryLimited(context.Background(),
+		`For $a := document("articles.xml")//section Sortby(score)`,
+		exec.Limits{Timeout: time.Nanosecond, CheckEvery: 1})
+	if !errors.Is(err, exec.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if got := counter(reg, "tix_query_timeouts_total", "query"); got != 1 {
+		t.Errorf("tix_query_timeouts_total = %d, want 1", got)
+	}
+}
+
+func TestTermSearchLimits(t *testing.T) {
+	d, reg := newMeteredFixtureDB(t)
+	// MaxAccesses: the fixture TermJoin walks well over 5 node records.
+	_, err := d.TermSearchContext(context.Background(), []string{"search", "engine"},
+		TermSearchOptions{Limits: exec.Limits{MaxAccesses: 5, CheckEvery: 1}})
+	if !errors.Is(err, exec.ErrLimitExceeded) {
+		t.Fatalf("MaxAccesses err = %v, want ErrLimitExceeded", err)
+	}
+	var le *exec.LimitError
+	if !errors.As(err, &le) || le.Resource != "store accesses" {
+		t.Fatalf("err = %#v, want *LimitError{store accesses}", err)
+	}
+	// MaxResults: the same search yields more than one scored element.
+	_, err = d.TermSearchContext(context.Background(), []string{"search", "engine"},
+		TermSearchOptions{Limits: exec.Limits{MaxResults: 1}})
+	if !errors.As(err, &le) || le.Resource != "results" {
+		t.Fatalf("MaxResults err = %#v, want *LimitError{results}", err)
+	}
+	if got := counter(reg, "tix_query_limit_exceeded_total", "terms"); got != 2 {
+		t.Errorf("tix_query_limit_exceeded_total = %d, want 2", got)
+	}
+}
+
+func TestDefaultLimitsApply(t *testing.T) {
+	d, _ := newMeteredFixtureDB(t)
+	d.SetLimits(exec.Limits{MaxAccesses: 5, CheckEvery: 1})
+	_, err := d.TermSearchContext(context.Background(), []string{"search", "engine"}, TermSearchOptions{})
+	if !errors.Is(err, exec.ErrLimitExceeded) {
+		t.Fatalf("database default limit not applied: err = %v", err)
+	}
+	// A per-call budget overrides the default.
+	res, err := d.TermSearchContext(context.Background(), []string{"search", "engine"},
+		TermSearchOptions{Limits: exec.Limits{MaxAccesses: 1 << 40}})
+	if err != nil {
+		t.Fatalf("per-call override: %v", err)
+	}
+	if len(res) == 0 {
+		t.Error("per-call override returned no results")
+	}
+}
+
+func TestParallelTermSearchCanceled(t *testing.T) {
+	d, _ := newMeteredFixtureDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := d.TermSearchContext(ctx, []string{"search"}, TermSearchOptions{Parallel: 4})
+	if !errors.Is(err, exec.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestFaultInjectionSurfacesAsErrors is the degradation acceptance test:
+// with a fault injector failing every store access, every facade entry
+// point returns a classified error instead of crashing the process.
+func TestFaultInjectionSurfacesAsErrors(t *testing.T) {
+	d, reg := newMeteredFixtureDB(t)
+	d.Stats() // build the index before arming faults
+	d.Store().SetFaults(&storage.FaultInjector{FailEvery: 1})
+	ctx := context.Background()
+
+	if _, err := d.QueryContext(ctx, `For $a := document("articles.xml")//section Sortby(score)`); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("QueryContext err = %v, want ErrInjectedFault", err)
+	}
+	if _, _, err := d.QueryRenderedContext(ctx, `For $a := document("articles.xml")//section Sortby(score)`); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("QueryRenderedContext err = %v, want ErrInjectedFault", err)
+	}
+	if _, err := d.TermSearchContext(ctx, []string{"search", "engine"}, TermSearchOptions{}); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("TermSearchContext err = %v, want ErrInjectedFault", err)
+	}
+	if _, err := d.TermSearchContext(ctx, []string{"search", "engine"}, TermSearchOptions{Parallel: 3}); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("parallel TermSearchContext err = %v, want ErrInjectedFault", err)
+	}
+	// PhraseFinder intersects posting lists by word offset without touching
+	// the node store, so storage faults cannot reach it — it must keep
+	// working (and must not crash).
+	if _, err := d.PhraseSearchContext(ctx, []string{"information", "retrieval"}); err != nil {
+		t.Errorf("PhraseSearchContext under faults: %v", err)
+	}
+	if _, err := d.TwigSearchContext(ctx, exec.Twig("article", exec.Twig("sname"))); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("TwigSearchContext err = %v, want ErrInjectedFault", err)
+	}
+	// The similarity join evaluates over materialized trees without an
+	// accounting accessor; it must simply not crash.
+	if _, err := d.SimilarityJoinContext(ctx, SimilarityJoinSpec{
+		LeftDoc: "articles.xml", RightDoc: "reviews.xml",
+		LeftRoot: "article", RightRoot: "review",
+		LeftKey: "article-title", RightKey: "title",
+		Primary: fixture.PrimaryPhrases, Secondary: fixture.SecondaryPhrases,
+	}); err != nil {
+		t.Errorf("SimilarityJoinContext under faults: %v", err)
+	}
+
+	if got := counter(reg, "tix_query_faults_total", "query"); got != 2 {
+		t.Errorf("tix_query_faults_total{op=query} = %d, want 2", got)
+	}
+	if got := counter(reg, "tix_query_faults_total", "terms"); got != 2 {
+		t.Errorf("tix_query_faults_total{op=terms} = %d, want 2", got)
+	}
+
+	// Disarming restores normal service on the same store.
+	d.Store().SetFaults(nil)
+	if _, err := d.TermSearchContext(ctx, []string{"search"}, TermSearchOptions{}); err != nil {
+		t.Errorf("after disarm: %v", err)
+	}
+}
+
+// TestFaultSeedIsDeterministic: the same configuration fails the same
+// access on every run.
+func TestFaultSeedIsDeterministic(t *testing.T) {
+	failedAt := func(seed int64) int64 {
+		d, _ := newMeteredFixtureDB(t)
+		d.Stats()
+		inj := &storage.FaultInjector{FailEvery: 10, Seed: seed}
+		d.Store().SetFaults(inj)
+		_, err := d.TermSearchContext(context.Background(), []string{"search", "engine"}, TermSearchOptions{})
+		var fe *storage.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("seed %d: err = %v, want *FaultError", seed, err)
+		}
+		return fe.Access
+	}
+	if a, b := failedAt(3), failedAt(3); a != b {
+		t.Errorf("same seed failed at access %d then %d", a, b)
+	}
+	if a, b := failedAt(3), failedAt(4); a == b {
+		t.Errorf("different seeds failed at the same access %d", a)
+	}
+}
+
+// TestFaultLatencyInjection: latency-only injection slows queries without
+// failing them, so deadline handling can be exercised deterministically.
+func TestFaultLatencyInjection(t *testing.T) {
+	d, _ := newMeteredFixtureDB(t)
+	d.Stats()
+	d.Store().SetFaults(&storage.FaultInjector{Latency: 5 * time.Millisecond, LatencyEvery: 1})
+	_, err := d.TermSearchContext(context.Background(), []string{"search", "engine"},
+		TermSearchOptions{Limits: exec.Limits{Timeout: time.Millisecond, CheckEvery: 1}})
+	if !errors.Is(err, exec.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+}

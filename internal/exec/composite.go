@@ -24,6 +24,9 @@ type Comp1 struct {
 	Index *index.Index
 	Acc   *storage.Accessor
 	Query TermQuery
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked per materialized witness and per emitted group.
+	Guard *Guard
 }
 
 // witnessRec is one materialized embedding of the per-term selection
@@ -47,6 +50,10 @@ func (c *Comp1) Run(emit Emit) error {
 	if err := c.Query.validate("Comp1"); err != nil {
 		return err
 	}
+	c.Guard.Attach(c.Acc)
+	if err := c.Guard.Check(); err != nil {
+		return err
+	}
 	nTerms := len(c.Query.Terms)
 	terms := normalizeTerms(c.Index, c.Query.Terms)
 
@@ -68,6 +75,9 @@ func (c *Comp1) Run(emit Emit) error {
 			occ := scoring.Occ{Term: ti, Pos: p.Pos, Node: p.Node}
 			leaf := *c.Acc.Node(p.Doc, p.Node)
 			for a := leaf.Parent; a != storage.NoNode; {
+				if err := c.Guard.Tick(); err != nil {
+					return err
+				}
 				arec := *c.Acc.Node(p.Doc, a)
 				recs = append(recs, witnessRec{doc: p.Doc, ord: a, anc: arec, leaf: leaf, occ: occ})
 				a = arec.Parent
@@ -124,6 +134,9 @@ func (c *Comp1) Run(emit Emit) error {
 		} else {
 			score = c.Query.Scorer.Simple(g.counts)
 		}
+		if err := c.Guard.NoteEmit(); err != nil {
+			return err
+		}
 		emit(ScoredNode{Doc: k.doc, Ord: k.ord, Score: score})
 	}
 	return nil
@@ -163,12 +176,20 @@ type Comp2 struct {
 	Index *index.Index
 	Acc   *storage.Accessor
 	Query TermQuery
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked per element scanned by the per-term structural
+	// joins and per emitted group.
+	Guard *Guard
 }
 
 // Run executes the baseline; output matches TermJoin's result set, in
 // (doc, ord) order.
 func (c *Comp2) Run(emit Emit) error {
 	if err := c.Query.validate("Comp2"); err != nil {
+		return err
+	}
+	c.Guard.Attach(c.Acc)
+	if err := c.Guard.Check(); err != nil {
 		return err
 	}
 	nTerms := len(c.Query.Terms)
@@ -194,7 +215,11 @@ func (c *Comp2) Run(emit Emit) error {
 					occsByOrd[p.Node] = append(occsByOrd[p.Node], scoring.Occ{Term: ti, Pos: p.Pos, Node: p.Node})
 				}
 			}
-			perTerm[ti] = StructuralJoinCount(c.Acc, doc.ID, elements, positions)
+			joined, err := StructuralJoinCountGuarded(c.Acc, doc.ID, elements, positions, c.Guard)
+			if err != nil {
+				return err
+			}
+			perTerm[ti] = joined
 		}
 		// Merge-union the per-term grouped outputs (all in document order).
 		idxs := make([]int, nTerms)
@@ -226,6 +251,9 @@ func (c *Comp2) Run(emit Emit) error {
 				score = c.Query.Scorer.Complex(counts, occs, nz, total)
 			} else {
 				score = c.Query.Scorer.Simple(counts)
+			}
+			if err := c.Guard.NoteEmit(); err != nil {
+				return err
 			}
 			emit(ScoredNode{Doc: doc.ID, Ord: bestOrd, Score: score})
 		}

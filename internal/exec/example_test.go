@@ -11,13 +11,22 @@ import (
 	"repro/internal/xmltree"
 )
 
+// mustParse panics on malformed XML; examples only ever parse literals.
+func mustParse(src string) *xmltree.Node {
+	n, err := xmltree.ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
 func buildExampleIndex() *index.Index {
 	s := storage.NewStore()
 	doc := `<article>
 		<sec><p>stack based join</p><p>term join scores</p></sec>
 		<sec><p>unrelated content</p></sec>
 	</article>`
-	if _, err := s.AddTree("a.xml", xmltree.MustParse(doc)); err != nil {
+	if _, err := s.AddTree("a.xml", mustParse(doc)); err != nil {
 		panic(err)
 	}
 	return index.Build(s, tokenize.New())

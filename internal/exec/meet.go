@@ -28,12 +28,19 @@ type GenMeet struct {
 	Index *index.Index
 	Acc   *storage.Accessor
 	Query TermQuery
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked per seeded occurrence and per finalized node.
+	Guard *Guard
 }
 
 // Run executes the baseline; output matches TermJoin's result set, emitted
 // deepest-level-first per document, each node exactly once.
 func (g *GenMeet) Run(emit Emit) error {
 	if err := g.Query.validate("GenMeet"); err != nil {
+		return err
+	}
+	g.Guard.Attach(g.Acc)
+	if err := g.Guard.Check(); err != nil {
 		return err
 	}
 	nTerms := len(g.Query.Terms)
@@ -76,6 +83,9 @@ func (g *GenMeet) Run(emit Emit) error {
 		any := false
 		for ti := range terms {
 			for _, p := range docSlice(lists[ti], doc.ID) {
+				if err := g.Guard.Tick(); err != nil {
+					return err
+				}
 				any = true
 				// The occurrence seeds the text node's parent element.
 				parent := g.Acc.Node(p.Doc, p.Node).Parent
@@ -98,6 +108,9 @@ func (g *GenMeet) Run(emit Emit) error {
 			}
 			sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
 			for _, ord := range ords {
+				if err := g.Guard.Tick(); err != nil {
+					return err
+				}
 				a := m[ord]
 				var score float64
 				if g.Query.Complex {
@@ -109,6 +122,9 @@ func (g *GenMeet) Run(emit Emit) error {
 					score = g.Query.Scorer.Complex(a.counts, a.occs, nz, total)
 				} else {
 					score = g.Query.Scorer.Simple(a.counts)
+				}
+				if err := g.Guard.NoteEmit(); err != nil {
+					return err
 				}
 				emit(ScoredNode{Doc: doc.ID, Ord: ord, Score: score})
 				// Propagate to the parent's level bucket.

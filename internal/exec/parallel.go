@@ -22,6 +22,11 @@ type ParallelTermJoin struct {
 	// Workers is the number of goroutines; 0 uses GOMAXPROCS.
 	Workers     int
 	ChildCounts ChildCountMode
+	// Guard, when non-nil, is shared by every worker: cancellation and
+	// the wall-clock deadline stop all partitions within one check
+	// interval, and the MaxResults/MaxAccesses budgets are enforced
+	// against the workers' combined counts.
+	Guard *Guard
 	// Stats holds the workers' combined store-access statistics of the
 	// most recent Run. It is reset at Run entry, so successive Runs do
 	// not accumulate; it is written without synchronization, so a
@@ -36,6 +41,9 @@ type ParallelTermJoin struct {
 // Stats for the (non-)reuse contract.
 func (p *ParallelTermJoin) Run(emit Emit) error {
 	p.Stats.Reset()
+	if err := p.Guard.Check(); err != nil {
+		return err
+	}
 	nDocs := len(p.Index.Store().Docs())
 	if nDocs == 0 {
 		return nil
@@ -53,6 +61,7 @@ func (p *ParallelTermJoin) Run(emit Emit) error {
 			Acc:         storage.NewAccessor(p.Index.Store()),
 			Query:       p.Query,
 			ChildCounts: p.ChildCounts,
+			Guard:       p.Guard,
 		}
 		if err := tj.Run(emit); err != nil {
 			return err
@@ -94,6 +103,19 @@ func (p *ParallelTermJoin) Run(emit Emit) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panic on a worker goroutine (an injected storage fault, an
+			// operator bug) cannot be recovered by any caller-side defer;
+			// convert it to a worker error here so the facade's recovery
+			// and classification see it like any sequential failure.
+			defer func() {
+				if r := recover(); r != nil {
+					if rerr, ok := r.(error); ok {
+						errs[w] = fmt.Errorf("exec: parallel worker %d: %w", w, rerr)
+						return
+					}
+					errs[w] = fmt.Errorf("exec: parallel worker %d: panic: %v", w, r)
+				}
+			}()
 			pt := parts[w]
 			sub := make([][]index.Posting, len(lists))
 			for i, ps := range lists {
@@ -104,7 +126,7 @@ func (p *ParallelTermJoin) Run(emit Emit) error {
 			q := p.Query
 			q.PostingLists = sub
 			acc := storage.NewAccessor(p.Index.Store())
-			tj := &TermJoin{Index: p.Index, Acc: acc, Query: q, ChildCounts: p.ChildCounts}
+			tj := &TermJoin{Index: p.Index, Acc: acc, Query: q, ChildCounts: p.ChildCounts, Guard: p.Guard}
 			out, err := Collect(tj.Run)
 			if err != nil {
 				errs[w] = fmt.Errorf("exec: parallel worker %d: %w", w, err)

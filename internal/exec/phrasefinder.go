@@ -28,6 +28,9 @@ type PhraseFinder struct {
 	Index *index.Index
 	// Phrase is the term sequence, e.g. ["information", "retrieval"].
 	Phrase []string
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked once per first-term occurrence and per match.
+	Guard *Guard
 }
 
 // Run emits every occurrence of the phrase in position order.
@@ -35,10 +38,16 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 	if len(p.Phrase) == 0 {
 		return fmt.Errorf("exec: PhraseFinder requires a non-empty phrase")
 	}
+	if err := p.Guard.Check(); err != nil {
+		return err
+	}
 	terms := normalizeTerms(p.Index, p.Phrase)
 	first := p.Index.Postings(terms[0])
 	if len(terms) == 1 {
 		for _, occ := range first {
+			if err := p.Guard.NoteEmit(); err != nil {
+				return err
+			}
 			emit(PhraseMatch{Doc: occ.Doc, Node: occ.Node, Pos: occ.Pos})
 		}
 		return nil
@@ -51,6 +60,9 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 	// phrase matches iff term i+1 occurs at q+i+1 (same document; adjacency
 	// in the shared word-position space implies the same text node).
 	for _, occ := range first {
+		if err := p.Guard.Tick(); err != nil {
+			return err
+		}
 		ok := true
 		for i, c := range cursors {
 			want := occ.Pos + uint32(i+1)
@@ -66,6 +78,9 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 			}
 		}
 		if ok {
+			if err := p.Guard.NoteEmit(); err != nil {
+				return err
+			}
 			emit(PhraseMatch{Doc: occ.Doc, Node: occ.Node, Pos: occ.Pos})
 		}
 	}
@@ -90,12 +105,20 @@ type Comp3 struct {
 	Index  *index.Index
 	Acc    *storage.Accessor
 	Phrase []string
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked per posting in the intersection and per candidate
+	// in the filter pass.
+	Guard *Guard
 }
 
 // Run emits every occurrence of the phrase, in position order.
 func (c *Comp3) Run(emit func(PhraseMatch)) error {
 	if len(c.Phrase) == 0 {
 		return fmt.Errorf("exec: Comp3 requires a non-empty phrase")
+	}
+	c.Guard.Attach(c.Acc)
+	if err := c.Guard.Check(); err != nil {
+		return err
 	}
 	terms := normalizeTerms(c.Index, c.Phrase)
 
@@ -109,6 +132,9 @@ func (c *Comp3) Run(emit func(PhraseMatch)) error {
 	for _, term := range terms {
 		now := map[nodeKey]bool{}
 		for _, p := range c.Index.Postings(term) {
+			if err := c.Guard.Tick(); err != nil {
+				return err
+			}
 			now[nodeKey{p.Doc, p.Node}] = true
 		}
 		if candidates == nil {
@@ -135,6 +161,9 @@ func (c *Comp3) Run(emit func(PhraseMatch)) error {
 	// Filter: fetch each candidate's text and verify offsets.
 	tok := c.Index.Tokenizer()
 	for _, k := range keys {
+		if err := c.Guard.Tick(); err != nil {
+			return err
+		}
 		text := c.Acc.Text(k.doc, k.node)
 		toks := tok.Tokenize(text)
 		start := c.Acc.Node(k.doc, k.node).Start
@@ -147,6 +176,9 @@ func (c *Comp3) Run(emit func(PhraseMatch)) error {
 				}
 			}
 			if match {
+				if err := c.Guard.NoteEmit(); err != nil {
+					return err
+				}
 				emit(PhraseMatch{Doc: k.doc, Node: k.node, Pos: start + toks[i].Offset})
 			}
 		}

@@ -98,7 +98,7 @@ func TestPhraseFinderNoFalsePositivesAcrossNodes(t *testing.T) {
 	// "alpha" at the end of one text node, "beta" at the start of the next:
 	// not a phrase.
 	s := storage.NewStore()
-	if _, err := s.AddTree("x.xml", xmltree.MustParse(`<r><p>say alpha</p><p>beta now</p><p>alpha beta</p></r>`)); err != nil {
+	if _, err := s.AddTree("x.xml", mustParse(`<r><p>say alpha</p><p>beta now</p><p>alpha beta</p></r>`)); err != nil {
 		t.Fatal(err)
 	}
 	idx := index.Build(s, tokenize.New())
@@ -118,7 +118,7 @@ func TestPhraseFinderNoFalsePositivesAcrossNodes(t *testing.T) {
 
 func TestPhraseFinderRepeatedTermPhrase(t *testing.T) {
 	s := storage.NewStore()
-	if _, err := s.AddTree("x.xml", xmltree.MustParse(`<r><p>go go go stop go go</p></r>`)); err != nil {
+	if _, err := s.AddTree("x.xml", mustParse(`<r><p>go go go stop go go</p></r>`)); err != nil {
 		t.Fatal(err)
 	}
 	idx := index.Build(s, tokenize.New())

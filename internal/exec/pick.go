@@ -74,6 +74,13 @@ func DefaultPickFuncs(threshold float64) PickFuncs {
 // The input must be in document order; the returned picked nodes are in
 // document order.
 func StackPick(nodes []PickNode, f PickFuncs) []PickNode {
+	out, _ := StackPickGuarded(nodes, f, nil)
+	return out
+}
+
+// StackPickGuarded is StackPick with a cooperative guard, checked once per
+// streamed node.
+func StackPickGuarded(nodes []PickNode, f PickFuncs, g *Guard) ([]PickNode, error) {
 	type frame struct {
 		node      PickNode
 		children  []PickNode
@@ -128,6 +135,9 @@ func StackPick(nodes []PickNode, f PickFuncs) []PickNode {
 	}
 
 	for _, n := range nodes {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
 		for len(stack) > 0 && stack[len(stack)-1].node.End < n.Start {
 			close1()
 		}
@@ -137,5 +147,5 @@ func StackPick(nodes []PickNode, f PickFuncs) []PickNode {
 		close1()
 	}
 	sort.Slice(result, func(i, j int) bool { return result[i].Start < result[j].Start })
-	return result
+	return result, nil
 }

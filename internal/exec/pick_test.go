@@ -55,7 +55,7 @@ func figure6Tree(t testing.TB) *algebra.ScoredTree {
 		},
 		Secondary: map[int]algebra.ScoreExpr{1: algebra.VarScore(4)},
 	}
-	out := algebra.Project(algebra.FromXML(fixture.Articles()), p, scores,
+	out := algebra.Project(algebra.FromXML(mustParse(fixture.ArticlesXML)), p, scores,
 		[]int{1, 3, 4}, algebra.ProjectOptions{DropZeroIR: true})
 	if len(out) != 1 {
 		t.Fatalf("projection failed")
@@ -179,7 +179,7 @@ func TestStackPickEmptyAndUnscored(t *testing.T) {
 		t.Errorf("empty input picked %d", len(got))
 	}
 	// A tree with no scores picks nothing.
-	root := xmltree.MustParse(`<a><b/><c/></a>`)
+	root := mustParse(`<a><b/><c/></a>`)
 	st := algebra.NewScoredTree(root)
 	if got := StackPick(flattenScoredTree(st), DefaultPickFuncs(0.5)); len(got) != 0 {
 		t.Errorf("unscored tree picked %d", len(got))
@@ -191,7 +191,7 @@ func TestStackPickWorthyRootFlushesAtEnd(t *testing.T) {
 	// final flush returns the root alone — its same-class survivors (none
 	// at even parity besides itself) — subsuming the children, per the
 	// Fig. 12 ending.
-	root := xmltree.MustParse(`<a><b/><c/></a>`)
+	root := mustParse(`<a><b/><c/></a>`)
 	st := algebra.NewScoredTree(root)
 	st.SetScore(root, 1.0)
 	st.SetScore(root.Children[0], 1.0)

@@ -23,6 +23,14 @@ type OrdCount struct {
 // Every ancestor-list element is read through the accessor — this is what
 // makes the Comp2 baseline's cost proportional to the extent it scans.
 func StructuralJoinCount(acc *storage.Accessor, doc storage.DocID, ancestors []int32, positions []uint32) []OrdCount {
+	out, _ := StructuralJoinCountGuarded(acc, doc, ancestors, positions, nil)
+	return out
+}
+
+// StructuralJoinCountGuarded is StructuralJoinCount with a cooperative
+// guard, checked once per ancestor element scanned and per position merged
+// — the loops whose size Comp2 cannot bound ahead of time.
+func StructuralJoinCountGuarded(acc *storage.Accessor, doc storage.DocID, ancestors []int32, positions []uint32, g *Guard) ([]OrdCount, error) {
 	type frame struct {
 		ord   int32
 		end   uint32
@@ -42,6 +50,9 @@ func StructuralJoinCount(acc *storage.Accessor, doc storage.DocID, ancestors []i
 		}
 	}
 	for ai < len(ancestors) || di < len(positions) {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
 		if ai < len(ancestors) {
 			rec := acc.Node(doc, ancestors[ai])
 			if di >= len(positions) || rec.Start < positions[di] {
@@ -68,7 +79,7 @@ func StructuralJoinCount(acc *storage.Accessor, doc storage.DocID, ancestors []i
 	// Pops are postorder; grouped structural-join output is conventionally
 	// in document order of the ancestors.
 	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
-	return out
+	return out, nil
 }
 
 // AncDescPairs performs the pair-producing variant of the structural join:

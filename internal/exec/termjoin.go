@@ -39,6 +39,11 @@ type TermJoin struct {
 	// Results are identical; the extra store walks are what the ablation
 	// benchmark BenchmarkAblationAncestorWalk measures.
 	FullAncestorWalk bool
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget: checked once per posting merged and once per emitted
+	// element, so a canceled or over-budget join stops within one check
+	// interval. The guard's access budget is attached to Acc at Run.
+	Guard *Guard
 }
 
 // tjEntry is one stack frame: an open element with the occurrence
@@ -58,6 +63,10 @@ type tjEntry struct {
 // emitted in pop order (postorder per document, documents in id order).
 func (t *TermJoin) Run(emit Emit) error {
 	if err := t.Query.validate("TermJoin"); err != nil {
+		return err
+	}
+	t.Guard.Attach(t.Acc)
+	if err := t.Guard.Check(); err != nil {
 		return err
 	}
 	nTerms := len(t.Query.Terms)
@@ -89,7 +98,7 @@ func (t *TermJoin) Run(emit Emit) error {
 		return &tjEntry{ord: ord, end: end, counts: make([]int, nTerms), lastText: storage.NoNode}
 	}
 
-	pop := func() {
+	pop := func() error {
 		popped := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if len(stack) > 0 {
@@ -109,16 +118,26 @@ func (t *TermJoin) Run(emit Emit) error {
 		} else {
 			score = t.Query.Scorer.Simple(popped.counts)
 		}
+		if err := t.Guard.NoteEmit(); err != nil {
+			return err
+		}
 		emit(ScoredNode{Doc: curDoc, Ord: popped.ord, Score: score})
 		free = append(free, popped)
+		return nil
 	}
-	flush := func() {
+	flush := func() error {
 		for len(stack) > 0 {
-			pop()
+			if err := pop(); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 
 	for {
+		if err := t.Guard.Tick(); err != nil {
+			return err
+		}
 		// t-min: the cursor with the smallest (doc, pos).
 		best := -1
 		for i, c := range cursors {
@@ -130,19 +149,22 @@ func (t *TermJoin) Run(emit Emit) error {
 			}
 		}
 		if best < 0 {
-			flush()
-			return nil
+			return flush()
 		}
 		p := cursors[best].Cur()
 		cursors[best].Advance()
 
 		if p.Doc != curDoc {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 			curDoc = p.Doc
 		}
 		// Close elements that end before this occurrence.
 		for len(stack) > 0 && stack[len(stack)-1].end < p.Pos {
-			pop()
+			if err := pop(); err != nil {
+				return err
+			}
 		}
 		// Push the ancestors of the occurrence's text node that are not yet
 		// on stack (outermost first). The stack always holds a contiguous

@@ -11,17 +11,16 @@ import (
 	"repro/internal/storage"
 	"repro/internal/synth"
 	"repro/internal/tokenize"
-	"repro/internal/xmltree"
 )
 
 // buildFixtureIndex loads the paper's Figure 1 database.
 func buildFixtureIndex(t testing.TB) *index.Index {
 	t.Helper()
 	s := storage.NewStore()
-	if _, err := s.AddTree("articles.xml", fixture.Articles()); err != nil {
+	if _, err := s.AddTree("articles.xml", mustParse(fixture.ArticlesXML)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AddTree("reviews.xml", fixture.Reviews()); err != nil {
+	if _, err := s.AddTree("reviews.xml", mustParse(fixture.ReviewsXML)); err != nil {
 		t.Fatal(err)
 	}
 	return index.Build(s, tokenize.NewStemming())
@@ -304,7 +303,7 @@ func TestTermJoinMultiDocument(t *testing.T) {
 		{"b.xml", `<b><q><p>tix tix</p></q></b>`},
 		{"c.xml", `<c>no match here</c>`},
 	} {
-		if _, err := s.AddTree(d.name, xmltree.MustParse(d.src)); err != nil {
+		if _, err := s.AddTree(d.name, mustParse(d.src)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -34,6 +34,10 @@ type TopKTermJoin struct {
 	// a value ≥ any element score in that document. Nil uses the default
 	// described above.
 	Bound func(counts []int, totalOcc int) float64
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked during the bound-building pass, between documents,
+	// and inside every per-document TermJoin.
+	Guard *Guard
 }
 
 // Run evaluates and returns the top-k elements, best first.
@@ -42,6 +46,9 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 		return nil, nil
 	}
 	if err := t.Query.validate("TopKTermJoin"); err != nil {
+		return nil, err
+	}
+	if err := t.Guard.Check(); err != nil {
 		return nil, err
 	}
 	t.DocsEvaluated = 0
@@ -62,6 +69,9 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 	byDoc := map[storage.DocID]*docInfo{}
 	for ti, ps := range lists {
 		for _, p := range ps {
+			if err := t.Guard.Tick(); err != nil {
+				return nil, err
+			}
 			di := byDoc[p.Doc]
 			if di == nil {
 				di = &docInfo{doc: p.Doc, counts: make([]int, len(terms))}
@@ -96,6 +106,9 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 		return res[len(res)-1].Score, true
 	}
 	for _, di := range docs {
+		if err := t.Guard.Check(); err != nil {
+			return nil, err
+		}
 		if cut, full := kth(); full && di.bound <= cut {
 			break // no element of any remaining document can displace the k-th
 		}
@@ -115,6 +128,7 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 			Acc:         storage.NewAccessor(t.Index.Store()),
 			Query:       q,
 			ChildCounts: t.ChildCounts,
+			Guard:       t.Guard,
 		}
 		if err := tj.Run(tk.Emit()); err != nil {
 			return nil, err

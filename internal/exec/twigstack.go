@@ -52,6 +52,9 @@ type TwigStack struct {
 	Root  *TwigNode
 	// Stats holds the accessor statistics after Run.
 	Stats storage.AccessStats
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget, checked once per advance of the twig-join main loop.
+	Guard *Guard
 }
 
 type twigState struct {
@@ -99,6 +102,10 @@ func (t *TwigStack) Run() ([]TwigMatch, error) {
 	}
 	acc := storage.NewAccessor(t.Store)
 	defer func() { t.Stats = acc.Stats }()
+	t.Guard.Attach(acc)
+	if err := t.Guard.Check(); err != nil {
+		return nil, err
+	}
 
 	var states []*twigState
 	var leaves []*twigState
@@ -218,6 +225,9 @@ func (t *TwigStack) Run() ([]TwigMatch, error) {
 	}
 
 	for anyLeafLive() {
+		if err := t.Guard.Tick(); err != nil {
+			return nil, err
+		}
 		q := getNext(root)
 		if q.done {
 			continue // marked during getNext; the next call skips it

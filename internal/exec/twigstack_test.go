@@ -103,7 +103,7 @@ func matchesEqual(a, b []TwigMatch) bool {
 
 func TestTwigStackOnFixture(t *testing.T) {
 	s := storage.NewStore()
-	id, err := s.AddTree("articles.xml", fixture.Articles())
+	id, err := s.AddTree("articles.xml", mustParse(fixture.ArticlesXML))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestTwigStackOnFixture(t *testing.T) {
 
 func TestTwigStackParentChildPostFilter(t *testing.T) {
 	s := storage.NewStore()
-	id, err := s.AddTree("t.xml", xmltree.MustParse(
+	id, err := s.AddTree("t.xml", mustParse(
 		`<a><b><c/></b><c/><x><c/></x></a>`))
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestTwigStackRecursiveTags(t *testing.T) {
 	// Same tag nested within itself: stacks must track multiple open
 	// elements of the same pattern node.
 	s := storage.NewStore()
-	id, err := s.AddTree("t.xml", xmltree.MustParse(
+	id, err := s.AddTree("t.xml", mustParse(
 		`<a><a><b/></a><b/></a>`))
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestTwigStackErrors(t *testing.T) {
 	if _, err := (&TwigStack{Store: s, Doc: 9, Root: Twig("a")}).Run(); err == nil {
 		t.Errorf("unknown doc should error")
 	}
-	id, _ := s.AddTree("t.xml", xmltree.MustParse(`<a/>`))
+	id, _ := s.AddTree("t.xml", mustParse(`<a/>`))
 	if _, err := (&TwigStack{Store: s, Doc: id}).Run(); err == nil {
 		t.Errorf("nil pattern should error")
 	}

@@ -62,11 +62,13 @@ var (
 	SecondaryPhrases = []string{"internet", "information retrieval"}
 )
 
-// Articles parses ArticlesXML. Panics on error (the constant is well-formed).
-func Articles() *xmltree.Node { return xmltree.MustParse(ArticlesXML) }
+// Articles parses ArticlesXML. The constant is well-formed, so the error
+// is nil in practice; it is returned rather than panicked on so that no
+// production code path panics on XML input.
+func Articles() (*xmltree.Node, error) { return xmltree.ParseString(ArticlesXML) }
 
-// Reviews parses ReviewsXML. Panics on error.
-func Reviews() *xmltree.Node { return xmltree.MustParse(ReviewsXML) }
+// Reviews parses ReviewsXML.
+func Reviews() (*xmltree.Node, error) { return xmltree.ParseString(ReviewsXML) }
 
 // ThirdChapter returns the node the figure labels #a10 (the "Search and
 // Retrieval" chapter) of a parsed articles tree.

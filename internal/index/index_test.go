@@ -14,7 +14,7 @@ func buildIndex(t testing.TB, docs map[string]string) (*storage.Store, *Index) {
 	t.Helper()
 	s := storage.NewStore()
 	for name, src := range docs {
-		if _, err := s.AddTree(name, xmltree.MustParse(src)); err != nil {
+		if _, err := s.AddTree(name, mustParse(src)); err != nil {
 			t.Fatalf("AddTree(%s): %v", name, err)
 		}
 	}

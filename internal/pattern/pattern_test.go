@@ -65,7 +65,7 @@ func TestVars(t *testing.T) {
 }
 
 func TestMatchQuery2OnFigure1(t *testing.T) {
-	articles := fixture.Articles()
+	articles := mustParse(fixture.ArticlesXML)
 	p := query2Pattern()
 	matches := p.Match(articles)
 	// $1, $2, $3 are forced; $4 ranges over every node of the article
@@ -96,7 +96,7 @@ func TestMatchQuery2OnFigure1(t *testing.T) {
 }
 
 func TestMatchRejectsWrongAuthor(t *testing.T) {
-	doc := xmltree.MustParse(`<article><author><sname>Smith</sname></author><p>x</p></article>`)
+	doc := mustParse(`<article><author><sname>Smith</sname></author><p>x</p></article>`)
 	p := query2Pattern()
 	if got := p.Match(doc); len(got) != 0 {
 		t.Errorf("expected no matches for author Smith, got %d", len(got))
@@ -104,7 +104,7 @@ func TestMatchRejectsWrongAuthor(t *testing.T) {
 }
 
 func TestEdgeSemantics(t *testing.T) {
-	doc := xmltree.MustParse(`<a><b><c/></b></a>`)
+	doc := mustParse(`<a><b><c/></b></a>`)
 	// pc: c is not a child of a.
 	pc := NewPattern(1)
 	pc.Root.Child(2, PC)
@@ -136,7 +136,7 @@ func TestEdgeSemantics(t *testing.T) {
 }
 
 func TestFormulaCombinators(t *testing.T) {
-	doc := xmltree.MustParse(`<a><b/><c/></a>`)
+	doc := mustParse(`<a><b/><c/></a>`)
 	p := NewPattern(1)
 	p.Formula = Or{L: TagEq(1, "b"), R: TagEq(1, "c")}
 	if got := p.Match(doc); len(got) != 2 {
@@ -156,7 +156,7 @@ func TestFormulaCombinators(t *testing.T) {
 }
 
 func TestPred2JoinCondition(t *testing.T) {
-	doc := xmltree.MustParse(`<r><x>k</x><y>k</y><y>m</y></r>`)
+	doc := mustParse(`<r><x>k</x><y>k</y><y>m</y></r>`)
 	p := NewPattern(1)
 	p.Root.Child(2, PC)
 	p.Root.Child(3, PC)
@@ -176,7 +176,7 @@ func TestPred2JoinCondition(t *testing.T) {
 
 func TestPredicateHelpers(t *testing.T) {
 	tok := tokenize.New()
-	doc := xmltree.MustParse(`<a id="5"><p>search engine basics</p></a>`)
+	doc := mustParse(`<a id="5"><p>search engine basics</p></a>`)
 	pNode := doc.FirstTag("p")
 	b := Binding{1: pNode}
 	if !HasPhrase(1, tok, "search engine").Eval(b) {

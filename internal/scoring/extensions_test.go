@@ -7,15 +7,14 @@ import (
 	"testing/quick"
 
 	"repro/internal/tokenize"
-	"repro/internal/xmltree"
 )
 
 func TestCosineSim(t *testing.T) {
 	tok := tokenize.New()
-	a := xmltree.MustParse(`<t>internet search technology</t>`)
-	b := xmltree.MustParse(`<t>internet search technology</t>`)
-	c := xmltree.MustParse(`<t>internet cats</t>`)
-	d := xmltree.MustParse(`<t>quantum physics</t>`)
+	a := mustParse(`<t>internet search technology</t>`)
+	b := mustParse(`<t>internet search technology</t>`)
+	c := mustParse(`<t>internet cats</t>`)
+	d := mustParse(`<t>quantum physics</t>`)
 	if got := CosineSim(tok, a, b); math.Abs(got-1) > 1e-9 {
 		t.Errorf("identical = %f, want 1", got)
 	}
@@ -26,7 +25,7 @@ func TestCosineSim(t *testing.T) {
 	if got := CosineSim(tok, a, d); got != 0 {
 		t.Errorf("disjoint = %f, want 0", got)
 	}
-	empty := xmltree.MustParse(`<t><u>nested only</u></t>`)
+	empty := mustParse(`<t><u>nested only</u></t>`)
 	if got := CosineSim(tok, a, empty); got != 0 {
 		t.Errorf("empty direct text = %f, want 0", got)
 	}

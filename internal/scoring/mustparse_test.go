@@ -1,0 +1,14 @@
+package scoring
+
+import "repro/internal/xmltree"
+
+// mustParse parses a literal test document, panicking on error — the
+// test-only replacement for the removed xmltree.MustParse. Production
+// load paths always report malformed XML as returned errors.
+func mustParse(src string) *xmltree.Node {
+	n, err := xmltree.ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -104,18 +104,18 @@ func TestScoreFooPaperExample(t *testing.T) {
 	// paper's own numbers (Fig. 5) treat "search engines:" in #a18 as an
 	// occurrence. Use the exact token sequences to verify the arithmetic.
 	tok := tokenize.New()
-	p := xmltree.MustParse(`<p>Here are some IR based search engine examples</p>`)
+	p := mustParse(`<p>Here are some IR based search engine examples</p>`)
 	got := ScoreFoo(tok, p, []string{"search engine"}, []string{"internet", "information retrieval"})
 	if math.Abs(got-0.8) > 1e-9 {
 		t.Errorf("ScoreFoo = %f, want 0.8", got)
 	}
-	p2 := xmltree.MustParse(`<p>search engine uses a new information retrieval technology on the internet</p>`)
+	p2 := mustParse(`<p>search engine uses a new information retrieval technology on the internet</p>`)
 	got2 := ScoreFoo(tok, p2, []string{"search engine"}, []string{"internet", "information retrieval"})
 	if math.Abs(got2-(0.8+0.6+0.6)) > 1e-9 {
 		t.Errorf("ScoreFoo = %f, want 2.0", got2)
 	}
 	// Subtree aggregation: alltext() spans descendants.
-	parent := xmltree.MustParse(`<sec><p>search engine</p><p>search engine again</p></sec>`)
+	parent := mustParse(`<sec><p>search engine</p><p>search engine again</p></sec>`)
 	got3 := ScoreFoo(tok, parent, []string{"search engine"}, nil)
 	if math.Abs(got3-1.6) > 1e-9 {
 		t.Errorf("ScoreFoo(subtree) = %f, want 1.6", got3)
@@ -124,10 +124,10 @@ func TestScoreFooPaperExample(t *testing.T) {
 
 func TestScoreSim(t *testing.T) {
 	tok := tokenize.New()
-	a := xmltree.MustParse(`<title>Internet Technologies</title>`)
-	b := xmltree.MustParse(`<title>Internet Technologies</title>`)
-	c := xmltree.MustParse(`<title>WWW Technologies</title>`)
-	d := xmltree.MustParse(`<title>Databases</title>`)
+	a := mustParse(`<title>Internet Technologies</title>`)
+	b := mustParse(`<title>Internet Technologies</title>`)
+	c := mustParse(`<title>WWW Technologies</title>`)
+	d := mustParse(`<title>Databases</title>`)
 	if got := ScoreSim(tok, a, b); got != 2 {
 		t.Errorf("identical titles = %f, want 2", got)
 	}
@@ -138,13 +138,13 @@ func TestScoreSim(t *testing.T) {
 		t.Errorf("disjoint = %f, want 0", got)
 	}
 	// Repeated shared words count once (distinct words).
-	e := xmltree.MustParse(`<t>web web web</t>`)
-	f := xmltree.MustParse(`<t>web web</t>`)
+	e := mustParse(`<t>web web web</t>`)
+	f := mustParse(`<t>web web</t>`)
 	if got := ScoreSim(tok, e, f); got != 1 {
 		t.Errorf("repeat = %f, want 1", got)
 	}
 	// Only direct text counts, not descendants.
-	g := xmltree.MustParse(`<t><sub>internet</sub></t>`)
+	g := mustParse(`<t><sub>internet</sub></t>`)
 	if got := ScoreSim(tok, a, g); got != 0 {
 		t.Errorf("descendant text must not count: %f", got)
 	}
@@ -188,7 +188,7 @@ func TestPickFoo(t *testing.T) {
 }
 
 func TestSameParity(t *testing.T) {
-	root := xmltree.MustParse(`<a><b><c/></b></a>`)
+	root := mustParse(`<a><b><c/></b></a>`)
 	b := root.FirstTag("b")
 	c := root.FirstTag("c")
 	if SameParity(root, b) {

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// decodeError asserts that resp carries the documented JSON error schema
+// and returns the decoded body.
+func decodeError(t *testing.T, resp *http.Response, wantStatus int, wantCode string) ErrorResponse {
+	t.Helper()
+	if resp.StatusCode != wantStatus {
+		t.Errorf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if e.Code != wantCode {
+		t.Errorf("code = %q, want %q", e.Code, wantCode)
+	}
+	if e.Status != wantStatus {
+		t.Errorf("body status = %d, want %d", e.Status, wantStatus)
+	}
+	if e.Error == "" {
+		t.Error("empty error message")
+	}
+	return e
+}
+
+func TestQueryTimeoutReturns408(t *testing.T) {
+	s, ts, reg := newIsolatedServer(t)
+	s.QueryTimeout = time.Nanosecond
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"query":"For $a := document(\"articles.xml\")//section Sortby(score)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeError(t, resp, http.StatusRequestTimeout, "timeout")
+	if got := reg.Counter(`tix_query_timeouts_total{op="query"}`).Value(); got != 1 {
+		t.Errorf("tix_query_timeouts_total = %d, want 1", got)
+	}
+}
+
+func TestTermsTimeoutReturns408(t *testing.T) {
+	s, ts, _ := newIsolatedServer(t)
+	s.QueryTimeout = time.Nanosecond
+	resp, err := http.Post(ts.URL+"/terms", "application/json",
+		strings.NewReader(`{"terms":["search","engine"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeError(t, resp, http.StatusRequestTimeout, "timeout")
+}
+
+func TestAccessLimitReturns422(t *testing.T) {
+	s, ts, reg := newIsolatedServer(t)
+	s.DB.SetLimits(exec.Limits{MaxAccesses: 5, CheckEvery: 1})
+	resp, err := http.Post(ts.URL+"/terms", "application/json",
+		strings.NewReader(`{"terms":["search","engine"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	e := decodeError(t, resp, http.StatusUnprocessableEntity, "limit_exceeded")
+	if !strings.Contains(e.Error, "store accesses") {
+		t.Errorf("error %q does not name the exhausted resource", e.Error)
+	}
+	if got := reg.Counter(`tix_query_limit_exceeded_total{op="terms"}`).Value(); got != 1 {
+		t.Errorf("tix_query_limit_exceeded_total = %d, want 1", got)
+	}
+}
+
+func TestInjectedFaultReturns503(t *testing.T) {
+	s, ts, reg := newIsolatedServer(t)
+	s.DB.Stats() // build the index before arming faults
+	s.DB.Store().SetFaults(&storage.FaultInjector{FailEvery: 1})
+	resp, err := http.Post(ts.URL+"/terms", "application/json",
+		strings.NewReader(`{"terms":["search","engine"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeError(t, resp, http.StatusServiceUnavailable, "unavailable")
+	if got := reg.Counter(`tix_query_faults_total{op="terms"}`).Value(); got != 1 {
+		t.Errorf("tix_query_faults_total = %d, want 1", got)
+	}
+
+	// The server keeps serving after the fault: disarm and retry.
+	s.DB.Store().SetFaults(nil)
+	resp2, err := http.Post(ts.URL+"/terms", "application/json",
+		strings.NewReader(`{"terms":["search"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("after disarm: status = %d", resp2.StatusCode)
+	}
+}
+
+func TestBadRequestSchema(t *testing.T) {
+	_, ts, _ := newIsolatedServer(t)
+	resp, err := http.Post(ts.URL+"/terms", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeError(t, resp, http.StatusBadRequest, "bad_request")
+}

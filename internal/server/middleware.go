@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"time"
 )
@@ -62,7 +63,23 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+		func() {
+			// Last line of defense: the db facade already recovers engine
+			// panics, but a handler bug must not take the connection (and
+			// its log/metrics record) down with it.
+			defer func() {
+				if rec := recover(); rec != nil {
+					reg.Counter("tix_http_panics_total").Inc()
+					if s.Logger != nil {
+						s.Logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+					}
+					if sw.status == 0 {
+						errorJSON(sw, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+					}
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		}()
 		elapsed := time.Since(start)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -94,12 +111,16 @@ func itoa(code int) string {
 		return "404"
 	case 405:
 		return "405"
+	case 408:
+		return "408"
 	case 413:
 		return "413"
 	case 422:
 		return "422"
 	case 500:
 		return "500"
+	case 503:
+		return "503"
 	}
 	b := [3]byte{byte('0' + code/100%10), byte('0' + code/10%10), byte('0' + code%10)}
 	return string(b[:])

@@ -12,6 +12,25 @@
 // Every handler runs behind a logging/metrics middleware; request bodies
 // are bounded, JSON decoding is strict, and the listener applies full
 // read/write/idle timeouts with graceful shutdown support.
+//
+// # Error schema
+//
+// Every non-2xx response carries a JSON body of the form
+//
+//	{"error": "<human-readable message>", "code": "<machine code>", "status": <http status>}
+//
+// with these codes:
+//
+//	bad_request     400  malformed JSON, empty query/terms/phrase
+//	unprocessable   422  query parse/evaluation errors
+//	limit_exceeded  422  a resource budget (results, store accesses) ran out
+//	payload_too_large 413  request body over the configured bound
+//	timeout         408  evaluation exceeded its deadline (QueryTimeout or client deadline)
+//	canceled        503  the client disconnected mid-evaluation
+//	unavailable     503  a storage fault or recovered internal panic
+//
+// Query evaluation runs under the request's context — a client disconnect
+// cancels the scan cooperatively — bounded by the server's QueryTimeout.
 package server
 
 import (
@@ -25,7 +44,9 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/storage"
 	"repro/internal/xmltree"
 )
 
@@ -51,6 +72,11 @@ type Server struct {
 	// tixserve -pprof flag; off by default — profiling endpoints should
 	// not be open on a production port unasked).
 	EnablePprof bool
+	// QueryTimeout bounds the evaluation time of every query-running
+	// request (0 = none). Exceeding it aborts the scan cooperatively and
+	// returns 408 with code "timeout". Client disconnects cancel the scan
+	// regardless.
+	QueryTimeout time.Duration
 
 	started time.Time
 }
@@ -144,6 +170,16 @@ func (s *Server) maxBodyBytes() int64 {
 	return s.MaxBodyBytes
 }
 
+// queryCtx derives the evaluation context for one request: the request's
+// own context (canceled when the client disconnects) bounded by the
+// server's per-query timeout.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
 // decodeJSON decodes a bounded, strict JSON request body into v. On
 // failure it writes the error response (413 for oversized bodies, 400
 // otherwise) and returns false.
@@ -164,11 +200,68 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{
 	return true
 }
 
-// errorJSON writes a JSON error payload.
+// ErrorResponse is the JSON body of every non-2xx response (see the
+// package documentation for the code taxonomy).
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+	Status int    `json:"status"`
+}
+
+// evalStatus maps an evaluation error to its HTTP status: deadline → 408,
+// cancellation and storage faults/panics → 503, everything else (parse
+// errors, resource limits) → 422.
+func evalStatus(err error) int {
+	switch {
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, exec.ErrCanceled), errors.Is(err, storage.ErrInjectedFault):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// errorCode derives the machine-readable code of an error response.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, exec.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, exec.ErrLimitExceeded):
+		return "limit_exceeded"
+	case errors.Is(err, storage.ErrInjectedFault):
+		return "unavailable"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusRequestTimeout:
+		return "timeout"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	}
+	return "unprocessable"
+}
+
+// errorJSON writes the structured JSON error payload.
 func errorJSON(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(ErrorResponse{
+		Error:  err.Error(),
+		Code:   errorCode(status, err),
+		Status: status,
+	})
+}
+
+// evalError writes the error response for a failed query evaluation.
+func evalError(w http.ResponseWriter, err error) {
+	errorJSON(w, evalStatus(err), err)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -242,9 +335,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty query"))
 		return
 	}
-	results, err := s.DB.Query(req.Query)
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	results, err := s.DB.QueryContext(ctx, req.Query)
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err)
+		evalError(w, err)
 		return
 	}
 	out := make([]QueryResult, 0, len(results))
@@ -308,11 +403,13 @@ func (s *Server) handleTerms(w http.ResponseWriter, r *http.Request) {
 	if topK <= 0 || topK > s.maxResults() {
 		topK = s.maxResults()
 	}
-	results, err := s.DB.TermSearch(req.Terms, db.TermSearchOptions{
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	results, err := s.DB.TermSearchContext(ctx, req.Terms, db.TermSearchOptions{
 		TopK: topK, Complex: req.Complex, Parallel: req.Parallel,
 	})
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err)
+		evalError(w, err)
 		return
 	}
 	out := make([]TermResult, 0, len(results))
@@ -346,9 +443,11 @@ func (s *Server) handlePhrase(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Errorf("empty phrase"))
 		return
 	}
-	ms, err := s.DB.PhraseSearch(req.Phrase)
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	ms, err := s.DB.PhraseSearchContext(ctx, req.Phrase)
 	if err != nil {
-		errorJSON(w, http.StatusUnprocessableEntity, err)
+		evalError(w, err)
 		return
 	}
 	out := make([]PhraseResult, 0, len(ms))

@@ -15,10 +15,17 @@ import "repro/internal/xmltree"
 type Accessor struct {
 	store *Store
 	Stats AccessStats
+	// Budget, when non-nil, additionally meters every node-record fetch
+	// into a query-wide shared counter (see AccessBudget); exec.Guard
+	// enforces the MaxAccesses limit against it.
+	Budget *AccessBudget
+
+	faults *FaultInjector
 }
 
-// NewAccessor returns an accessor over s.
-func NewAccessor(s *Store) *Accessor { return &Accessor{store: s} }
+// NewAccessor returns an accessor over s. It inherits the store's fault
+// injector, if one is installed.
+func NewAccessor(s *Store) *Accessor { return &Accessor{store: s, faults: s.faults} }
 
 // Store returns the underlying store.
 func (a *Accessor) Store() *Store { return a.store }
@@ -30,6 +37,12 @@ func (a *Accessor) charge(doc DocID, ord int32) {
 		a.Stats.PageReads++
 		a.Stats.lastPage = page
 		a.Stats.lastPageOK = true
+	}
+	if a.Budget != nil {
+		a.Budget.add(1)
+	}
+	if a.faults != nil {
+		a.faults.onAccess()
 	}
 }
 

@@ -136,7 +136,16 @@ type Store struct {
 	Tags   *TagDict
 	docs   []*Document
 	byName map[string]DocID
+	faults *FaultInjector
 }
+
+// SetFaults installs a fault injector consulted by every Accessor created
+// afterwards (nil uninstalls). Install before serving; existing accessors
+// keep the injector they were created with.
+func (s *Store) SetFaults(f *FaultInjector) { s.faults = f }
+
+// Faults returns the installed fault injector, or nil.
+func (s *Store) Faults() *FaultInjector { return s.faults }
 
 // NewStore returns an empty store.
 func NewStore() *Store {

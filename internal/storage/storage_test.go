@@ -31,7 +31,7 @@ const articleDoc = `
 func loadArticle(t testing.TB) (*Store, *Document) {
 	t.Helper()
 	s := NewStore()
-	root := xmltree.MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	id, err := s.AddTree("articles.xml", root)
 	if err != nil {
 		t.Fatalf("AddTree: %v", err)
@@ -53,7 +53,7 @@ func TestAddTreeAndLookup(t *testing.T) {
 	if s.NumNodes() != len(doc.Nodes) {
 		t.Errorf("NumNodes mismatch")
 	}
-	if _, err := s.AddTree("articles.xml", xmltree.MustParse("<a/>")); err == nil {
+	if _, err := s.AddTree("articles.xml", mustParse("<a/>")); err == nil {
 		t.Errorf("duplicate name should error")
 	}
 }
@@ -304,7 +304,7 @@ func TestStoreDocBounds(t *testing.T) {
 
 func TestAddTreeRejectsUnnumberedOrdinals(t *testing.T) {
 	// A hand-built tree whose ordinals were tampered with must be caught.
-	root := xmltree.MustParse(`<a><b/></a>`)
+	root := mustParse(`<a><b/></a>`)
 	root.Children[0].Ord = 5
 	s := NewStore()
 	if _, err := s.AddTree("bad", root); err == nil {

@@ -6,6 +6,15 @@ import (
 	"repro/internal/xmltree"
 )
 
+// mustParse panics on malformed XML; examples only ever parse literals.
+func mustParse(src string) *xmltree.Node {
+	n, err := xmltree.ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
 func ExampleParseString() {
 	root, err := xmltree.ParseString(`<article><title>TIX</title><p>scored trees</p></article>`)
 	if err != nil {
@@ -19,7 +28,7 @@ func ExampleParseString() {
 }
 
 func ExampleNode_IsAncestorOf() {
-	root := xmltree.MustParse(`<a><b><c/></b><d/></a>`)
+	root := mustParse(`<a><b><c/></b><d/></a>`)
 	b := root.FirstTag("b")
 	c := root.FirstTag("c")
 	d := root.FirstTag("d")
@@ -28,7 +37,7 @@ func ExampleNode_IsAncestorOf() {
 }
 
 func ExampleNode_AllText() {
-	root := xmltree.MustParse(`<sec><title>One</title><p>two three</p></sec>`)
+	root := mustParse(`<sec><title>One</title><p>two three</p></sec>`)
 	fmt.Println(root.AllText())
 	// Output: One two three
 }

@@ -1,0 +1,11 @@
+package xmltree
+
+// mustParse parses a literal test document, panicking on error — the
+// test-only replacement for the removed MustParse.
+func mustParse(src string) *Node {
+	n, err := ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -76,18 +76,12 @@ func Parse(r io.Reader) (*Node, error) {
 }
 
 // ParseString is Parse over an in-memory document.
+//
+// There is deliberately no panicking Must variant in this package: every
+// production load path reports malformed XML as an error. Tests that parse
+// literal documents keep small private helpers.
 func ParseString(s string) (*Node, error) {
 	return Parse(strings.NewReader(s))
-}
-
-// MustParse is ParseString that panics on error; intended for tests and
-// examples with literal documents.
-func MustParse(s string) *Node {
-	n, err := ParseString(s)
-	if err != nil {
-		panic(err)
-	}
-	return n
 }
 
 // WriteXML serializes the subtree rooted at n as XML to w. Output is

@@ -1,0 +1,42 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseMalformed: every malformed input is reported as an error — the
+// parser has no panicking path (MustParse was removed deliberately; see
+// ParseString).
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"empty", "", "empty document"},
+		{"whitespace only", "   \n\t ", "empty document"},
+		{"unclosed element", "<a><b>text</b>", "parse"},
+		{"unclosed root", "<a>", "parse"},
+		{"stray end tag", "</a>", "syntax error"},
+		{"mismatched tags", "<a></b>", "parse"},
+		{"bare text", "just words", "empty document"},
+		{"truncated tag", "<a", "parse"},
+		{"bad entity", "<a>&nosuch;</a>", "parse"},
+		{"attr without value", `<a x=></a>`, "parse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("ParseString(%q) accepted, got %v", tc.src, n)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "xmltree: parse") {
+				t.Errorf("error %q not in the xmltree: parse namespace", err)
+			}
+		})
+	}
+}

@@ -86,7 +86,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestAncestry(t *testing.T) {
-	root := MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	p := root.FindTag("p")[1]
 	section := root.FindTag("section")[2]
 	chapter := root.FindTag("chapter")[2]
@@ -124,7 +124,7 @@ func TestAncestry(t *testing.T) {
 }
 
 func TestRegionEncodingMatchesAncestry(t *testing.T) {
-	root := MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	nodes := Nodes(root)
 	for _, a := range nodes {
 		for _, d := range nodes {
@@ -143,7 +143,7 @@ func TestRegionEncodingMatchesAncestry(t *testing.T) {
 }
 
 func TestWordPositionsInsideRegions(t *testing.T) {
-	root := MustParse(`<a><b>one two three</b><c>four</c></a>`)
+	root := mustParse(`<a><b>one two three</b><c>four</c></a>`)
 	b := root.FirstTag("b")
 	tn := b.Children[0]
 	if tn.Kind != Text {
@@ -167,7 +167,7 @@ func TestWordPositionsInsideRegions(t *testing.T) {
 }
 
 func TestAllText(t *testing.T) {
-	root := MustParse(`<a><b>hello</b><c><d>brave new</d> world</c></a>`)
+	root := mustParse(`<a><b>hello</b><c><d>brave new</d> world</c></a>`)
 	if got := root.AllText(); got != "hello brave new world" {
 		t.Errorf("AllText = %q", got)
 	}
@@ -177,7 +177,7 @@ func TestAllText(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
-	root := MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	cp := root.Clone()
 	if cp.Parent != nil {
 		t.Errorf("clone parent must be nil")
@@ -196,7 +196,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestSerializeRoundTrip(t *testing.T) {
-	root := MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	s := XMLString(root)
 	again, err := ParseString(s)
 	if err != nil {
@@ -391,7 +391,7 @@ func (f *failWriter) Write(p []byte) (int, error) {
 }
 
 func TestWriteXMLPropagatesWriterErrors(t *testing.T) {
-	root := MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	// Fail at several points in the serialization; the error must always
 	// surface, never be swallowed.
 	for _, after := range []int{0, 1, 5, 20} {
@@ -406,7 +406,7 @@ func TestWriteXMLPropagatesWriterErrors(t *testing.T) {
 }
 
 func TestOriginProvenance(t *testing.T) {
-	root := MustParse(`<a><b>x</b></a>`)
+	root := mustParse(`<a><b>x</b></a>`)
 	b := root.FirstTag("b")
 	clone := &Node{Kind: b.Kind, Tag: b.Tag, Src: b}
 	second := &Node{Kind: b.Kind, Tag: b.Tag, Src: clone}
@@ -438,7 +438,7 @@ func TestWordCount(t *testing.T) {
 }
 
 func TestNodesAndByStart(t *testing.T) {
-	root := MustParse(articleDoc)
+	root := mustParse(articleDoc)
 	nodes := Nodes(root)
 	if len(nodes) != root.Size() {
 		t.Fatalf("Nodes len %d != Size %d", len(nodes), root.Size())

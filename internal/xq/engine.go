@@ -25,6 +25,12 @@ type Engine struct {
 	// TermJoin scoring, and result materialization all read through one
 	// accounting accessor per Eval).
 	Stats *storage.AccessStats
+	// Guard, when non-nil, is the cooperative cancellation and resource
+	// budget for evaluations run through this engine: it is checked during
+	// structural navigation, passed into every access method the engine
+	// dispatches to, and charged with every store access (the evaluation
+	// accessor is attached to the guard's budget).
+	Guard *exec.Guard
 }
 
 // noteStats folds an evaluation accessor's counters into the engine's
@@ -60,6 +66,9 @@ func (e *Engine) EvalString(src string) ([]Result, error) {
 // Eval evaluates a parsed query, dispatching between the single-For
 // (Query 1/2) and the multi-For join (Query 3) shapes.
 func (e *Engine) Eval(q *Query) ([]Result, error) {
+	if err := e.Guard.Check(); err != nil {
+		return nil, err
+	}
 	if len(q.Fors) == 0 {
 		return nil, fmt.Errorf("xq: query has no For clause")
 	}
@@ -78,7 +87,7 @@ func (e *Engine) evalSingle(q *Query) ([]Result, error) {
 	if doc == nil {
 		return nil, fmt.Errorf("xq: document %q not loaded", q.Fors[0].Path.Document)
 	}
-	acc := storage.NewAccessor(e.Store)
+	acc := e.Guard.Attach(storage.NewAccessor(e.Store))
 	defer e.noteStats(acc)
 
 	anchors, expand, err := e.evalSteps(acc, doc, q.Fors[0].Path.Steps)
@@ -141,6 +150,9 @@ func (e *Engine) evalSingle(q *Query) ([]Result, error) {
 	}
 	// Materialize result subtrees.
 	for i := range results {
+		if err := e.Guard.Tick(); err != nil {
+			return nil, err
+		}
 		results[i].Node = acc.Materialize(results[i].Doc, results[i].Ord)
 	}
 	return results, nil
@@ -181,12 +193,21 @@ func (e *Engine) evalSteps(acc *storage.Accessor, doc *storage.Document, steps [
 			}
 			return cur, true, nil
 		case StepDescendant:
-			cur = e.descendants(acc, doc, cur, s.Name, rootSet)
+			cur, err = e.descendants(acc, doc, cur, s.Name, rootSet)
+			if err != nil {
+				return nil, false, err
+			}
 		case StepChild:
-			cur = e.children(acc, doc, cur, s.Name)
+			cur, err = e.children(acc, doc, cur, s.Name)
+			if err != nil {
+				return nil, false, err
+			}
 		case StepPredicate:
 			kept := cur[:0]
 			for _, ord := range cur {
+				if err := e.Guard.Tick(); err != nil {
+					return nil, false, err
+				}
 				ok, perr := e.predicateHolds(acc, doc, ord, s.Pred)
 				if perr != nil {
 					return nil, false, perr
@@ -205,25 +226,28 @@ func (e *Engine) evalSteps(acc *storage.Accessor, doc *storage.Document, steps [
 // descendants returns elements with the given tag (or any element for "*")
 // that are descendants of any node in from, in document order. When from
 // is the whole-document root the tag extent answers directly.
-func (e *Engine) descendants(acc *storage.Accessor, doc *storage.Document, from []int32, name string, fromRoot bool) []int32 {
+func (e *Engine) descendants(acc *storage.Accessor, doc *storage.Document, from []int32, name string, fromRoot bool) ([]int32, error) {
 	extent := e.tagExtent(doc, name)
 	if fromRoot {
 		// The // axis hangs off the document node, which sits above the
 		// root element, so the whole extent (including the root element)
 		// qualifies.
-		return extent
+		return extent, nil
 	}
 	// Structural join: from-as-ancestors × extent-as-descendants.
 	var out []int32
 	seen := map[int32]bool{}
 	for _, pr := range exec.AncDescPairs(acc, doc.ID, from, extent) {
+		if err := e.Guard.Tick(); err != nil {
+			return nil, err
+		}
 		if !seen[pr[1]] {
 			seen[pr[1]] = true
 			out = append(out, pr[1])
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 func (e *Engine) tagExtent(doc *storage.Document, name string) []int32 {
@@ -237,10 +261,13 @@ func (e *Engine) tagExtent(doc *storage.Document, name string) []int32 {
 	return doc.TagExtent(tid)
 }
 
-func (e *Engine) children(acc *storage.Accessor, doc *storage.Document, from []int32, name string) []int32 {
+func (e *Engine) children(acc *storage.Accessor, doc *storage.Document, from []int32, name string) ([]int32, error) {
 	var out []int32
 	for _, ord := range from {
 		for c := acc.Node(doc.ID, ord).FirstChild; c != storage.NoNode; {
+			if err := e.Guard.Tick(); err != nil {
+				return nil, err
+			}
 			rec := acc.Node(doc.ID, c)
 			if rec.Kind == xmltree.Element && (name == "*" || e.Store.Tags.Name(rec.Tag) == name) {
 				out = append(out, c)
@@ -249,7 +276,7 @@ func (e *Engine) children(acc *storage.Accessor, doc *storage.Document, from []i
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // predicateHolds evaluates [path="v"], [path], or [@attr="v"] relative to
@@ -269,7 +296,11 @@ func (e *Engine) predicateHolds(acc *storage.Accessor, doc *storage.Document, or
 	// Walk the child chain names[0]/names[1]/… .
 	cur := []int32{ord}
 	for _, name := range p.Names {
-		cur = e.children(acc, doc, cur, name)
+		var err error
+		cur, err = e.children(acc, doc, cur, name)
+		if err != nil {
+			return false, err
+		}
 		if len(cur) == 0 {
 			return false, nil
 		}
@@ -342,7 +373,7 @@ func (e *Engine) scoreAndPick(acc *storage.Accessor, doc *storage.Document, anch
 		if len(terms) == 1 {
 			ps = e.Index.Postings(e.Index.Tokenizer().Normalize(terms[0]))
 		} else {
-			pf := &exec.PhraseFinder{Index: e.Index, Phrase: terms}
+			pf := &exec.PhraseFinder{Index: e.Index, Phrase: terms, Guard: e.Guard}
 			ms, err := exec.CollectPhrase(pf.Run)
 			if err != nil {
 				return err
@@ -373,6 +404,7 @@ func (e *Engine) scoreAndPick(acc *storage.Accessor, doc *storage.Document, anch
 			PostingLists: lists,
 			Scorer:       weightedScorer(weights),
 		},
+		Guard: e.Guard,
 	}
 	scored, err := exec.Collect(tj.Run)
 	if err != nil {
@@ -416,7 +448,11 @@ func (e *Engine) scoreAndPick(acc *storage.Accessor, doc *storage.Document, anch
 				HasScore: true,
 			}
 		}
-		for _, p := range exec.StackPick(stream, exec.DefaultPickFuncs(threshold)) {
+		picked, err := exec.StackPickGuarded(stream, exec.DefaultPickFuncs(threshold), e.Guard)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range picked {
 			results = append(results, Result{Doc: doc.ID, Ord: p.Ord, Score: p.Score})
 		}
 	}
@@ -429,6 +465,9 @@ func (e *Engine) scoreAnchorsDirectly(acc *storage.Accessor, doc *storage.Docume
 	var results []Result
 	tok := e.Index.Tokenizer()
 	for _, ord := range anchors {
+		if err := e.Guard.Tick(); err != nil {
+			return nil, err
+		}
 		text := acc.SubtreeText(doc.ID, ord)
 		score := 0.0
 		for _, ph := range q.Score.Primary {

@@ -66,7 +66,7 @@ func (e *Engine) evalJoin(q *Query) ([]Result, error) {
 	if rightDoc == nil {
 		return nil, fmt.Errorf("xq: document %q not loaded", right.Path.Document)
 	}
-	acc := storage.NewAccessor(e.Store)
+	acc := e.Guard.Attach(storage.NewAccessor(e.Store))
 	defer e.noteStats(acc)
 
 	leftAnchors, leftExpand, err := e.evalSteps(acc, leftDoc, left.Path.Steps)
@@ -124,12 +124,21 @@ func (e *Engine) evalJoin(q *Query) ([]Result, error) {
 		if len(r.children) == 0 {
 			continue
 		}
-		leftKeys := e.children(acc, leftDoc, []int32{r.ord}, q.Let.LeftKey)
+		leftKeys, err := e.children(acc, leftDoc, []int32{r.ord}, q.Let.LeftKey)
+		if err != nil {
+			return nil, err
+		}
 		if len(leftKeys) == 0 {
 			continue
 		}
 		for _, b := range rightAnchors {
-			rightKeys := e.children(acc, rightDoc, []int32{b}, q.Let.RightKey)
+			if err := e.Guard.Tick(); err != nil {
+				return nil, err
+			}
+			rightKeys, err := e.children(acc, rightDoc, []int32{b}, q.Let.RightKey)
+			if err != nil {
+				return nil, err
+			}
 			if len(rightKeys) == 0 {
 				continue
 			}
@@ -182,6 +191,9 @@ func (e *Engine) evalJoin(q *Query) ([]Result, error) {
 		out = out[:q.Threshold.StopK]
 	}
 	for i := range out {
+		if err := e.Guard.Tick(); err != nil {
+			return nil, err
+		}
 		out[i].Node = acc.Materialize(out[i].Doc, out[i].Ord)
 	}
 	return out, nil

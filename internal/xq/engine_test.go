@@ -13,10 +13,10 @@ import (
 func newEngine(t testing.TB) *Engine {
 	t.Helper()
 	s := storage.NewStore()
-	if _, err := s.AddTree("articles.xml", fixture.Articles()); err != nil {
+	if _, err := s.AddTree("articles.xml", mustParse(fixture.ArticlesXML)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AddTree("reviews.xml", fixture.Reviews()); err != nil {
+	if _, err := s.AddTree("reviews.xml", mustParse(fixture.ReviewsXML)); err != nil {
 		t.Fatal(err)
 	}
 	return &Engine{Store: s, Index: index.Build(s, tokenize.NewStemming())}

@@ -1,13 +1,13 @@
 # The canonical check: what CI runs, and what a change must pass before
 # merging. `make check` == vet + build + race-enabled tests + a
-# cancellation/fault stress pass + a short fuzz smoke over the snapshot
-# loader.
+# cancellation/fault stress pass + a coverage floor on the sharded
+# execution layer + a short fuzz smoke over the snapshot loader.
 
 GO ?= go
 
-.PHONY: check vet build test race bench fmt-check stress fuzz-smoke
+.PHONY: check vet build test race bench fmt-check stress cover fuzz-smoke
 
-check: vet build race stress fuzz-smoke
+check: vet build race stress cover fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,10 +23,21 @@ race:
 
 # Re-run the cancellation, resource-limit and fault-injection suites a few
 # times under the race detector: these tests coordinate goroutines through
-# the shared Guard, so repetition shakes out scheduling-dependent bugs.
+# the shared Guard (and the shard fan-out shares one Guard across worker
+# goroutines), so repetition shakes out scheduling-dependent bugs. The
+# shard differential-equivalence suite runs here too — its results must be
+# schedule-independent by construction.
 stress:
-	$(GO) test -race -count=3 -run 'Cancel|Deadline|Limit|Fault|Guard' \
-		./internal/exec ./internal/db ./internal/server
+	$(GO) test -race -count=3 -run 'Cancel|Deadline|Limit|Fault|Guard|Shard' \
+		./internal/exec ./internal/db ./internal/server ./internal/shard
+
+# Coverage floor for the sharded execution layer: the differential +
+# persistence + stress suites must keep internal/shard above 70%.
+cover:
+	@$(GO) test -cover ./internal/shard | awk '{ \
+		for (i = 1; i <= NF; i++) if ($$i ~ /^[0-9.]+%$$/) pct = substr($$i, 1, length($$i)-1); \
+		print; \
+		if (pct + 0 < 70) { print "coverage below 70% floor for internal/shard"; exit 1 } }'
 
 # Ten seconds of coverage-guided fuzzing over db.Load: enough to catch
 # regressions in the loader's corrupted-input handling without slowing CI.

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	tixbench [-table all|1|2|3|4|5|pick] [-articles N] [-seed S] [-runs R] [-json]
+//	tixbench [-table all|1|2|3|4|5|pick|shards] [-articles N] [-seed S] [-runs R] [-json]
+//	tixbench -table shards -shards 1,2,4,8 -json
+//
+// The "shards" experiment splits the corpus into parts, loads them into
+// sharded databases at each requested shard count, and times the parallel
+// TermJoin fan-out (scored merge included) — including a planted
+// high-frequency pair (-shard-freq) beyond the Table 1 sweep. On a
+// single-core host expect parity rather than speedup.
 //
 // With -json, the selected tables are emitted to stdout as one JSON array
 // of table objects (id, caption, columns, rows with per-cell seconds,
@@ -35,18 +42,26 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table layout")
 		jsonF    = flag.Bool("json", false, "emit machine-readable JSON instead of the aligned table layout")
 		access   = flag.Bool("access", false, "also print per-cell store node-read counts")
+		shards   = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
+		shardFq  = flag.Int("shard-freq", 150000, "frequency of the extra planted pair for the shards experiment (0 = none)")
 	)
 	flag.Parse()
 	csvOut = *csv
 	jsonOut = *jsonF
 	accessOut = *access
-	if err := run(*table, *articles, *seed, *runs, *small); err != nil {
+	counts, err := parseCounts(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tixbench:", err)
+		os.Exit(1)
+	}
+	shardCounts = counts
+	if err := run(*table, *articles, *seed, *runs, *small, *shardFq); err != nil {
 		fmt.Fprintln(os.Stderr, "tixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, articles int, seed int64, runs int, small bool) error {
+func run(table string, articles int, seed int64, runs int, small bool, shardFreq int) error {
 	bench.Runs = runs
 
 	cfg := bench.DefaultConfig()
@@ -55,6 +70,10 @@ func run(table string, articles int, seed int64, runs int, small bool) error {
 	}
 	cfg.Articles = articles
 	cfg.Seed = seed
+	cfg.Runs = runs
+	if table == "all" || strings.Contains(table, "shards") {
+		cfg.ShardFreq = shardFreq
+	}
 	if table == "pick" {
 		// The Pick experiment needs no corpus.
 		return writeTables(nil, []string{"pick"}, seed)
@@ -71,7 +90,7 @@ func run(table string, articles int, seed int64, runs int, small bool) error {
 
 	var which []string
 	if table == "all" {
-		which = []string{"1", "2", "3", "4", "5", "pick", "ablation"}
+		which = []string{"1", "2", "3", "4", "5", "pick", "ablation", "shards"}
 	} else {
 		which = strings.Split(table, ",")
 	}
@@ -98,6 +117,8 @@ func writeTables(c *bench.Corpus, which []string, seed int64) error {
 			t, err = bench.PickTable(seed, nil)
 		case "ablation":
 			t, err = c.Ablations()
+		case "shards":
+			t, err = c.ShardTable(shardCounts)
 		default:
 			return fmt.Errorf("unknown table %q", w)
 		}
@@ -133,10 +154,27 @@ func writeTables(c *bench.Corpus, which []string, seed int64) error {
 
 // Rendering modes (set from flags).
 var (
-	csvOut    bool
-	jsonOut   bool
-	accessOut bool
+	csvOut      bool
+	jsonOut     bool
+	accessOut   bool
+	shardCounts []int
 )
+
+// parseCounts parses the -shards list ("" = bench.ShardCounts default).
+func parseCounts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n := 0
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 // printShape summarizes the qualitative comparisons the paper draws from
 // each table.
@@ -155,6 +193,14 @@ func printShape(t *bench.Table) {
 		}
 		if r, ok := last.Ratio(bench.MTermJoin, bench.MEnhancedTermJoin); ok {
 			fmt.Printf("   shape: TermJoin/Enhanced at max x = %.1fx\n", r)
+		}
+	case "shards":
+		if len(t.Columns) >= 2 {
+			last := t.Rows[len(t.Rows)-1]
+			if r, ok := last.Ratio(t.Columns[0], t.Columns[len(t.Columns)-1]); ok {
+				fmt.Printf("   shape: %s/%s at max frequency = %.2fx\n",
+					t.Columns[0], t.Columns[len(t.Columns)-1], r)
+			}
 		}
 	case "table5":
 		worst, best := 0.0, 1e18

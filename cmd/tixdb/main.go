@@ -28,6 +28,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/exec"
 	"repro/internal/fixture"
+	"repro/internal/shard"
 )
 
 type multiFlag []string
@@ -53,11 +54,12 @@ func main() {
 		stem    = flag.Bool("stem", true, "index with the light plural stemmer")
 		save    = flag.String("save", "", "write the database (with its index) to this file")
 		open    = flag.String("open", "", "open a database file written with -save")
+		shards  = flag.Int("shards", 0, "number of corpus shards queried in parallel (0 = keep an opened file's layout, else 1)")
 		explain = flag.Bool("explain", false, "print the physical plan for -query instead of running it")
 		timeout = flag.Duration("timeout", 0, "abandon evaluation after this duration and exit with status 2 (0 = none)")
 	)
 	flag.Parse()
-	if err := run(loads, *query, *terms, *phrase, *topk, *complex, *stats, *demo, *stem, *save, *open, *explain, *timeout); err != nil {
+	if err := run(loads, *query, *terms, *phrase, *topk, *complex, *stats, *demo, *stem, *save, *open, *shards, *explain, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tixdb:", err)
 		if errors.Is(err, exec.ErrDeadlineExceeded) {
 			os.Exit(2)
@@ -66,23 +68,30 @@ func main() {
 	}
 }
 
-func run(loads []string, query, terms, phrase string, topk int, complex, stats, demo, stem bool, save, open string, explain bool, timeout time.Duration) error {
+func run(loads []string, query, terms, phrase string, topk int, complex, stats, demo, stem bool, save, open string, shards int, explain bool, timeout time.Duration) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	var d *db.DB
+	var d *shard.DB
 	if open != "" {
 		var err error
-		d, err = db.LoadDBFile(open)
+		d, err = shard.OpenFile(open)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "opened %s\n", open)
+		fmt.Fprintf(os.Stderr, "opened %s (%d shard(s))\n", open, d.Shards())
+		if shards > 0 && shards != d.Shards() {
+			d, err = d.Reshard(shards, d.Strategy())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "resharded into %d shard(s)\n", shards)
+		}
 	} else {
-		d = db.New(db.Options{Stemming: stem})
+		d = shard.New(shard.Options{Shards: shards, Stemming: stem})
 	}
 	if demo {
 		if err := d.LoadString("articles.xml", fixture.ArticlesXML); err != nil {
@@ -113,8 +122,14 @@ Threshold $a/@score > 4 stop after 5`
 		return fmt.Errorf("nothing loaded; use -load, -open or -demo")
 	}
 	if save != "" {
-		d.Index() // persist the index too
-		if err := d.SaveFile(save); err != nil {
+		d.Warm() // persist the indexes too
+		if d.Shards() == 1 {
+			// Keep single-shard snapshots in the legacy v1 format so they
+			// stay readable by older builds; OpenFile accepts both.
+			if err := d.Segment(0).SaveFile(save); err != nil {
+				return err
+			}
+		} else if err := d.SaveFile(save); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "saved %s\n", save)

@@ -3,6 +3,12 @@
 //
 //	tixserve -load articles.xml -load reviews.xml -addr :8080
 //	tixserve -open db.tix -addr :8080
+//	tixserve -open db.tix -shards 8 -addr :8080
+//
+// With -shards N the corpus is partitioned across N independent segments
+// and every query fans out across them in parallel (see internal/shard);
+// results are merged under the same ordering contract as a single store,
+// so the API output is identical for any shard count.
 //
 // Example request:
 //
@@ -33,9 +39,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/db"
 	"repro/internal/exec"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -53,6 +59,7 @@ type options struct {
 	loads        []string
 	addr         string
 	open         string
+	shards       int
 	stem         bool
 	maxResults   int
 	maxBody      int64
@@ -72,7 +79,8 @@ func main() {
 	var loads multiFlag
 	flag.Var(&loads, "load", "XML file to load (repeatable)")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
-	flag.StringVar(&o.open, "open", "", "database file written by tixdb -save")
+	flag.StringVar(&o.open, "open", "", "database file written by tixdb -save (legacy or sharded format)")
+	flag.IntVar(&o.shards, "shards", 0, "number of corpus shards queried in parallel (0 = keep an opened file's layout, else 1)")
 	flag.BoolVar(&o.stem, "stem", true, "index with the light plural stemmer")
 	flag.IntVar(&o.maxResults, "max-results", 100, "per-request result cap")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "per-request body size cap in bytes")
@@ -94,15 +102,22 @@ func main() {
 }
 
 func run(o options) error {
-	var d *db.DB
+	var d *shard.DB
 	if o.open != "" {
 		var err error
-		d, err = db.LoadDBFile(o.open)
+		d, err = shard.OpenFile(o.open)
 		if err != nil {
 			return err
 		}
+		if o.shards > 0 && o.shards != d.Shards() {
+			d, err = d.Reshard(o.shards, d.Strategy())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "resharded %s into %d shard(s)\n", o.open, o.shards)
+		}
 	} else {
-		d = db.New(db.Options{Stemming: o.stem})
+		d = shard.New(shard.Options{Shards: o.shards, Stemming: o.stem})
 	}
 	d.SetLimits(exec.Limits{MaxAccesses: o.maxAccesses})
 	for _, path := range o.loads {
@@ -115,7 +130,7 @@ func run(o options) error {
 	}
 	st := d.Stats() // force index construction before serving
 	if o.faultEvery > 0 || (o.faultLatency > 0 && o.faultLatEvry > 0) {
-		d.Store().SetFaults(&storage.FaultInjector{
+		d.SetFaults(&storage.FaultInjector{
 			FailEvery:    o.faultEvery,
 			Latency:      o.faultLatency,
 			LatencyEvery: o.faultLatEvry,
@@ -124,8 +139,8 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "fault injection armed: every=%d latency=%s/%d seed=%d\n",
 			o.faultEvery, o.faultLatency, o.faultLatEvry, o.faultSeed)
 	}
-	fmt.Fprintf(os.Stderr, "serving %d document(s), %d nodes, %d terms on %s\n",
-		st.Documents, st.Nodes, st.Terms, o.addr)
+	fmt.Fprintf(os.Stderr, "serving %d document(s), %d nodes, %d terms on %s (%d shard(s), %s)\n",
+		st.Documents, st.Nodes, st.Terms, o.addr, d.Shards(), d.Strategy())
 	s := server.New(d)
 	s.MaxResults = o.maxResults
 	s.MaxBodyBytes = o.maxBody

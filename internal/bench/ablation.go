@@ -27,7 +27,7 @@ func (c *Corpus) Ablations() (*Table, error) {
 	// 1. Stack discipline vs full ancestor walk per occurrence.
 	row := Row{Label: "ancestor-walk"}
 	for _, full := range []bool{false, true} {
-		m, err := timeIt(func() (int, storage.AccessStats, error) {
+		m, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
 			acc := storage.NewAccessor(c.Index.Store())
 			tj := &exec.TermJoin{
 				Index:            c.Index,
@@ -56,7 +56,7 @@ func (c *Corpus) Ablations() (*Table, error) {
 	// 2. Child-count index vs navigation (complex scoring).
 	row = Row{Label: "child-count"}
 	for _, mode := range []exec.ChildCountMode{exec.ChildCountIndexed, exec.ChildCountNavigate} {
-		m, err := timeIt(func() (int, storage.AccessStats, error) {
+		m, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
 			acc := storage.NewAccessor(c.Index.Store())
 			tj := &exec.TermJoin{
 				Index:       c.Index,
@@ -88,7 +88,7 @@ func (c *Corpus) Ablations() (*Table, error) {
 		return nil, err
 	}
 	row = Row{Label: "pick-threshold", Extra: fmt.Sprintf("scores=%d", len(tjOut))}
-	mh, err := timeIt(func() (int, storage.AccessStats, error) {
+	mh, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
 		h := exec.NewScoreHistogram(tjOut, 64)
 		_ = h.ThresholdForTopFraction(0.05)
 		return h.Total(), storage.AccessStats{}, nil
@@ -98,7 +98,7 @@ func (c *Corpus) Ablations() (*Table, error) {
 	}
 	mh.Method = "Optimized"
 	row.Cells = append(row.Cells, Cell{Method: "Optimized", M: mh})
-	me, err := timeIt(func() (int, storage.AccessStats, error) {
+	me, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
 		scores := make([]float64, len(tjOut))
 		for i, n := range tjOut {
 			scores[i] = n.Score

@@ -13,12 +13,14 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
+	"repro/internal/db"
 	"repro/internal/index"
-	"repro/internal/storage"
+	"repro/internal/shard"
 	"repro/internal/synth"
-	"repro/internal/tokenize"
+	"repro/internal/xmltree"
 )
 
 // Table1Freqs are the per-term frequencies swept by Tables 1 and 2.
@@ -79,6 +81,14 @@ type Config struct {
 	// SkipTable5 omits the phrase workload (faster corpus builds for
 	// term-join-only experiments).
 	SkipTable5 bool
+	// ShardFreq, when non-zero, plants an extra control-term pair at this
+	// frequency for the sharded-speedup experiment (the paper-scale
+	// "150,000-frequency" query Table 1 could not absorb). The pair is
+	// reachable through PairTerms like any Table 1 frequency.
+	ShardFreq int
+	// Runs overrides the per-cell repetition count for this corpus's
+	// experiments (0 = the package-level Runs default).
+	Runs int
 }
 
 // DefaultConfig is the full-scale configuration used by cmd/tixbench.
@@ -102,7 +112,10 @@ func SmallConfig() Config {
 // Corpus is the generated workload: the indexed store plus the control
 // terms each experiment uses.
 type Corpus struct {
-	Cfg   Config
+	Cfg Config
+	// DB owns the indexed corpus; Index aliases DB's index so the
+	// method runners keep their direct index access.
+	DB    *db.DB
 	Index *index.Index
 	Stats synth.Corpus
 	// PairTerm returns the two control terms planted at a Table 1/2
@@ -207,6 +220,17 @@ func Build(cfg Config) (*Corpus, error) {
 		control["ta1000"] = 1000
 		control["tb1000"] = 1000
 	}
+	// Sharded-speedup experiment: one extra pair at a frequency beyond
+	// the Table 1 sweep.
+	if cfg.ShardFreq > 0 {
+		if _, ok := c.pairTerms[cfg.ShardFreq]; !ok {
+			a := fmt.Sprintf("ta%d", cfg.ShardFreq)
+			b := fmt.Sprintf("tb%d", cfg.ShardFreq)
+			c.pairTerms[cfg.ShardFreq] = [2]string{a, b}
+			control[a] = cfg.ShardFreq
+			control[b] = cfg.ShardFreq
+		}
+	}
 	// Table 4: n terms at the same frequency.
 	for i := 0; i < c.t4terms(); i++ {
 		name := fmt.Sprintf("tg%d", i+1)
@@ -262,12 +286,70 @@ func Build(cfg Config) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: corpus generation: %w", err)
 	}
-	store := storage.NewStore()
-	if _, err := store.AddTree("corpus.xml", corpus.Root); err != nil {
+	c.DB = db.New(db.Options{})
+	if err := c.DB.LoadTree("corpus.xml", corpus.Root); err != nil {
 		return nil, err
 	}
-	c.Index = index.Build(store, tokenize.New())
+	c.Index = c.DB.Index()
 	c.Stats = *corpus
 	c.Stats.Root = nil // the store owns the tree; avoid double retention
 	return c, nil
+}
+
+// Snapshot writes the corpus database (store and index) in the v1 snapshot
+// format. Because synth generation, loading, and index construction are
+// all deterministic in Config.Seed, two corpora built from the same Config
+// snapshot to identical bytes — the determinism test pins exactly that.
+func (c *Corpus) Snapshot(w io.Writer) error {
+	c.DB.Index() // persist the index too
+	return c.DB.Save(w)
+}
+
+// SplitParts re-partitions the single corpus document into parts contiguous
+// article-range documents (cloned and renumbered), for loading into a
+// sharded database. parts must not exceed the article count.
+func (c *Corpus) SplitParts(parts int) ([]*xmltree.Node, error) {
+	docs := c.DB.Store().Docs()
+	if len(docs) != 1 {
+		return nil, fmt.Errorf("bench: corpus has %d documents, want 1", len(docs))
+	}
+	root := docs[0].Root
+	articles := root.Children
+	if parts < 1 || parts > len(articles) {
+		return nil, fmt.Errorf("bench: cannot split %d articles into %d parts", len(articles), parts)
+	}
+	out := make([]*xmltree.Node, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * len(articles) / parts
+		hi := (i + 1) * len(articles) / parts
+		part := &xmltree.Node{Tag: root.Tag}
+		for _, a := range articles[lo:hi] {
+			child := a.Clone()
+			child.Parent = part
+			part.Children = append(part.Children, child)
+		}
+		xmltree.Number(part)
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+// ShardDB loads the corpus, split into parts documents, into a sharded
+// database with the given shard count (round-robin placement for balanced
+// segments) and warms every segment index. Using the same parts count for
+// every shard count keeps the per-document work identical, so timing
+// differences isolate the fan-out itself.
+func (c *Corpus) ShardDB(shards, parts int) (*shard.DB, error) {
+	roots, err := c.SplitParts(parts)
+	if err != nil {
+		return nil, err
+	}
+	s := shard.New(shard.Options{Shards: shards, Strategy: shard.RoundRobin})
+	for i, r := range roots {
+		if err := s.LoadTree(fmt.Sprintf("part%03d.xml", i), r); err != nil {
+			return nil, err
+		}
+	}
+	s.Warm()
+	return s, nil
 }

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden suite pins the deterministic outputs of the benchmark
+// pipeline — result counts per table cell at the test-scale configuration
+// (seed 42) — so a regression in any access method, the corpus generator,
+// or the planted workload shows up as a diff against testdata/golden.json.
+// Timings are machine-dependent and are never pinned.
+//
+// Regenerate after an intentional workload change with:
+//
+//	go test ./internal/bench -run TestGoldenTables -update
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// goldenRow pins one workload row: the per-method result counts.
+type goldenRow struct {
+	Label   string         `json:"label"`
+	Results map[string]int `json:"results"`
+}
+
+// goldenTable pins one table.
+type goldenTable struct {
+	ID   string      `json:"id"`
+	Rows []goldenRow `json:"rows"`
+}
+
+func goldenConfig() Config {
+	cfg := SmallConfig()
+	cfg.Runs = 1         // timings are not pinned; one run per cell suffices
+	cfg.ShardFreq = 2000 // outside the small Table 1 sweep
+	return cfg
+}
+
+func snapshotTables(t *testing.T, c *Corpus) []goldenTable {
+	t.Helper()
+	builders := []func() (*Table, error){
+		c.Table1, c.Table2, c.Table3, c.Table4, c.Table5,
+		func() (*Table, error) { return c.ShardTable([]int{1, 2}) },
+	}
+	var out []goldenTable
+	for _, build := range builders {
+		tab, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt := goldenTable{ID: tab.ID}
+		for _, row := range tab.Rows {
+			gr := goldenRow{Label: row.Label, Results: map[string]int{}}
+			for _, cell := range row.Cells {
+				if cell.Err != nil {
+					t.Fatalf("table %s row %s method %s: %v", tab.ID, row.Label, cell.Method, cell.Err)
+				}
+				gr.Results[string(cell.Method)] = cell.M.Results
+			}
+			gt.Rows = append(gt.Rows, gr)
+		}
+		out = append(out, gt)
+	}
+	return out
+}
+
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden tables build the full test corpus")
+	}
+	c, err := Build(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotTables(t, c)
+
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []goldenTable
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d tables, golden has %d (run with -update after an intentional change)", len(got), len(want))
+	}
+	for i, wt := range want {
+		gt := got[i]
+		if gt.ID != wt.ID {
+			t.Errorf("table %d id = %q, want %q", i, gt.ID, wt.ID)
+			continue
+		}
+		if len(gt.Rows) != len(wt.Rows) {
+			t.Errorf("table %s: %d rows, want %d", gt.ID, len(gt.Rows), len(wt.Rows))
+			continue
+		}
+		for j, wr := range wt.Rows {
+			gr := gt.Rows[j]
+			if gr.Label != wr.Label {
+				t.Errorf("table %s row %d label = %q, want %q", gt.ID, j, gr.Label, wr.Label)
+				continue
+			}
+			for method, count := range wr.Results {
+				if gr.Results[method] != count {
+					t.Errorf("table %s row %s method %s: %d results, want %d",
+						gt.ID, gr.Label, method, gr.Results[method], count)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusSnapshotDeterminism pins that two corpus builds from one
+// Config produce byte-identical database snapshots: generation, loading,
+// and index construction have no hidden nondeterminism (map iteration,
+// time, pointers) leaking into the persisted form.
+func TestCorpusSnapshotDeterminism(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Articles = 40
+	var snaps [2]bytes.Buffer
+	for i := range snaps {
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Snapshot(&snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snaps[0].Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if !bytes.Equal(snaps[0].Bytes(), snaps[1].Bytes()) {
+		t.Fatalf("two builds at seed %d differ: %d vs %d bytes (first divergence at %d)",
+			cfg.Seed, snaps[0].Len(), snaps[1].Len(), firstDiff(snaps[0].Bytes(), snaps[1].Bytes()))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestShardTableConsistency checks the sharded experiment's invariant
+// directly: every shard-count column reports the same result count (the
+// differential suite proves element identity; this pins it at bench
+// scale, split corpus included).
+func TestShardTableConsistency(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Runs = 1
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := c.ShardTable([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if len(row.Cells) != 3 {
+			t.Fatalf("row %s: %d cells", row.Label, len(row.Cells))
+		}
+		for _, cell := range row.Cells {
+			if cell.Err != nil {
+				t.Fatalf("row %s %s: %v", row.Label, cell.Method, cell.Err)
+			}
+			if cell.M.Results != row.Cells[0].M.Results {
+				t.Errorf("row %s: %s found %d results, %s found %d — sharded counts diverge",
+					row.Label, cell.Method, cell.M.Results, row.Cells[0].Method, row.Cells[0].M.Results)
+			}
+		}
+		if row.Cells[0].M.Results == 0 {
+			t.Errorf("row %s: no results", row.Label)
+		}
+	}
+}

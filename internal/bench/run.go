@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -36,15 +38,24 @@ type Measurement struct {
 
 // Runs is how many times each method executes per cell; following the
 // paper's methodology the lowest and highest readings are dropped and the
-// rest averaged (with fewer than 3 runs, all are averaged).
+// rest averaged (with fewer than 3 runs, all are averaged). Config.Runs
+// overrides it per corpus.
 var Runs = 3
 
-// timeIt runs f Runs times and returns the trimmed mean of the wall-clock
-// seconds along with the last run's auxiliary outputs.
-func timeIt(f func() (int, storage.AccessStats, error)) (Measurement, error) {
+// runs resolves the per-cell repetition count for this corpus.
+func (c *Corpus) runs() int {
+	if c.Cfg.Runs > 0 {
+		return c.Cfg.Runs
+	}
+	return Runs
+}
+
+// timeIt runs f the given number of times and returns the trimmed mean of
+// the wall-clock seconds along with the last run's auxiliary outputs.
+func timeIt(runs int, f func() (int, storage.AccessStats, error)) (Measurement, error) {
 	var m Measurement
-	secs := make([]float64, 0, Runs)
-	for i := 0; i < Runs; i++ {
+	secs := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
 		runtime.GC() // keep allocation debt from a prior method out of this timing
 		start := time.Now()
 		n, stats, err := f()
@@ -70,7 +81,7 @@ func timeIt(f func() (int, storage.AccessStats, error)) (Measurement, error) {
 // RunTermMethod executes one term-join access method over the given terms.
 func (c *Corpus) RunTermMethod(method Method, terms []string, complex bool) (Measurement, error) {
 	q := exec.TermQuery{Terms: terms, Complex: complex, Scorer: exec.DefaultScorer{}}
-	m, err := timeIt(func() (int, storage.AccessStats, error) {
+	m, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
 		acc := storage.NewAccessor(c.Index.Store())
 		var runner interface{ Run(exec.Emit) error }
 		switch method {
@@ -100,9 +111,28 @@ func (c *Corpus) RunTermMethod(method Method, terms []string, complex bool) (Mea
 	return m, nil
 }
 
+// RunShardTermMethod times the sharded TermJoin fan-out (scored merge
+// included) over an already-built sharded database. Store-access stats are
+// not reported here — the sharded facade aggregates them into its metrics
+// registry instead.
+func (c *Corpus) RunShardTermMethod(s *shard.DB, terms []string, complex bool) (Measurement, error) {
+	m, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
+		res, rerr := s.RunTermMethod(context.Background(), shard.MethodTermJoin, terms, complex)
+		if rerr != nil {
+			return 0, storage.AccessStats{}, rerr
+		}
+		return len(res), storage.AccessStats{}, nil
+	})
+	if err != nil {
+		return m, err
+	}
+	m.Method = MTermJoin
+	return m, nil
+}
+
 // RunPhraseMethod executes PhraseFinder or Comp3 over the phrase.
 func (c *Corpus) RunPhraseMethod(method Method, phrase []string) (Measurement, error) {
-	m, err := timeIt(func() (int, storage.AccessStats, error) {
+	m, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
 		acc := storage.NewAccessor(c.Index.Store())
 		n := 0
 		emit := func(exec.PhraseMatch) { n++ }
@@ -172,7 +202,7 @@ func PickInput(size int, seed int64) []exec.PickNode {
 // the parent/child redundancy-elimination criterion.
 func RunPick(size int, seed int64) (Measurement, error) {
 	input := PickInput(size, seed)
-	m, err := timeIt(func() (int, storage.AccessStats, error) {
+	m, err := timeIt(Runs, func() (int, storage.AccessStats, error) {
 		picked := exec.StackPick(input, exec.DefaultPickFuncs(0.8))
 		return len(picked), storage.AccessStats{}, nil
 	})

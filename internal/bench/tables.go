@@ -3,8 +3,11 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/shard"
 )
 
 // Cell is one table cell: a method's measurement for one workload row.
@@ -143,6 +146,69 @@ func (c *Corpus) Table5() (*Table, error) {
 		}
 		r.Extra = fmt.Sprintf("f1=%d f2=%d results=%d", f1, f2, size)
 		t.Rows = append(t.Rows, r)
+	}
+	return t, nil
+}
+
+// ShardCounts are the shard counts swept by the sharded-speedup
+// experiment.
+var ShardCounts = []int{1, 2, 4, 8}
+
+// ShardParts is the number of documents the corpus is split into for the
+// sharded experiment — the same split for every shard count, so timing
+// differences isolate the fan-out (capped at the article count).
+const ShardParts = 16
+
+// ShardTable times the sharded TermJoin fan-out at increasing shard
+// counts, over the lowest and highest Table 1 frequencies plus the
+// Config.ShardFreq high-frequency pair when planted. Columns are shard
+// counts rather than access methods; on a single-core host expect parity
+// rather than speedup (the fan-out is still exercised).
+func (c *Corpus) ShardTable(counts []int) (*Table, error) {
+	if len(counts) == 0 {
+		counts = ShardCounts
+	}
+	parts := ShardParts
+	if c.Cfg.Articles < parts {
+		parts = c.Cfg.Articles
+	}
+	t := &Table{
+		ID:      "shards",
+		Caption: fmt.Sprintf("TermJoin fan-out across shards, simple scoring, %d-part corpus (seconds)", parts),
+	}
+	dbs := make([]*shard.DB, 0, len(counts))
+	for _, n := range counts {
+		if n > parts {
+			return nil, fmt.Errorf("bench: shard count %d exceeds the %d-part split", n, parts)
+		}
+		s, err := c.ShardDB(n, parts)
+		if err != nil {
+			return nil, err
+		}
+		dbs = append(dbs, s)
+		t.Columns = append(t.Columns, Method(fmt.Sprintf("shards=%d", n)))
+	}
+	freqs := c.freqs()
+	rowFreqs := []int{freqs[0], freqs[len(freqs)-1]}
+	if f := c.Cfg.ShardFreq; f > 0 && f != rowFreqs[0] && f != rowFreqs[1] {
+		rowFreqs = append(rowFreqs, f)
+	}
+	sort.Ints(rowFreqs)
+	for _, f := range rowFreqs {
+		a, b, err := c.PairTerms(f)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: fmt.Sprintf("%d", f)}
+		for i, s := range dbs {
+			meas, err := c.RunShardTermMethod(s, []string{a, b}, false)
+			meas.Method = t.Columns[i]
+			row.Cells = append(row.Cells, Cell{Method: t.Columns[i], M: meas, Err: err})
+		}
+		if len(row.Cells) > 0 && row.Cells[0].Err == nil {
+			row.Extra = fmt.Sprintf("results=%d", row.Cells[0].M.Results)
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -104,8 +104,23 @@ func New(opts Options) *DB {
 // Store exposes the underlying node store.
 func (d *DB) Store() *storage.Store { return d.store }
 
+// DocumentCount returns the number of loaded documents without forcing
+// index construction (the cheap health-probe counterpart of Stats).
+func (d *DB) DocumentCount() int { return len(d.store.Docs()) }
+
+// Warm forces construction of every lazily-built structure (today: the
+// inverted index), so that concurrent read-only use afterwards never
+// triggers a build. The server and the sharded facade call it before
+// accepting traffic.
+func (d *DB) Warm() { d.Index() }
+
 // Tokenizer exposes the tokenizer documents are indexed with.
 func (d *DB) Tokenizer() *tokenize.Tokenizer { return d.tok }
+
+// Options returns a copy of the options the database was created with,
+// so wrappers (the sharded facade, resharding) can build compatible
+// instances.
+func (d *DB) Options() Options { return d.opts }
 
 // LoadTree loads an already-parsed tree under the given document name.
 func (d *DB) LoadTree(name string, root *xmltree.Node) error {
@@ -272,6 +287,11 @@ type TermSearchOptions struct {
 	Enhanced bool
 	// TopK limits results to the k best scores (0 = all).
 	TopK int
+	// MinScore drops elements whose score is not strictly greater than
+	// the given value (the Threshold operator's V condition; 0 = keep
+	// all). Applied before TopK, so the k results are the k best above
+	// the threshold.
+	MinScore float64
 	// Weights per term (defaults to 1 each).
 	Weights []float64
 	// Parallel partitions the evaluation across this many worker
@@ -316,6 +336,9 @@ func (d *DB) TermSearchContext(ctx context.Context, terms []string, opts TermSea
 	}()
 	defer recoverPanic(&err)
 	run := func(emit exec.Emit) error {
+		if opts.MinScore > 0 {
+			emit = exec.FilterMinScore(opts.MinScore, emit)
+		}
 		if opts.Parallel > 0 {
 			p := &exec.ParallelTermJoin{Index: d.Index(), Query: q, Workers: opts.Parallel, ChildCounts: mode, Guard: guard}
 			reporter = p
@@ -393,6 +416,30 @@ func (d *DB) TwigSearch(pattern *exec.TwigNode) ([]*xmltree.Node, error) {
 // TwigSearchContext is TwigSearch with cooperative cancellation and the
 // database's default resource limits.
 func (d *DB) TwigSearchContext(ctx context.Context, pattern *exec.TwigNode) (out []*xmltree.Node, err error) {
+	refs, err := d.TwigRefsContext(ctx, pattern)
+	if err != nil {
+		return nil, err
+	}
+	out = make([]*xmltree.Node, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, d.store.Doc(ref.Doc).TreeNode(ref.Ord))
+	}
+	return out, nil
+}
+
+// TwigRef identifies one twig-match root element by position: the loaded
+// document and the element's start ordinal within it. Unlike the
+// materialized tree pointers of TwigSearch, refs are comparable across
+// database instances holding the same documents — the identity the
+// differential test suites (and the sharded facade) join on.
+type TwigRef struct {
+	Doc storage.DocID
+	Ord int32
+}
+
+// TwigRefsContext runs the holistic twig join and returns the pattern
+// root's bindings as refs, deduplicated, in document order.
+func (d *DB) TwigRefsContext(ctx context.Context, pattern *exec.TwigNode) (out []TwigRef, err error) {
 	start := time.Now()
 	var stats storage.AccessStats
 	defer func() { d.observe(opTwig, start, len(out), stats, err) }()
@@ -412,7 +459,7 @@ func (d *DB) TwigSearchContext(ctx context.Context, pattern *exec.TwigNode) (out
 				continue
 			}
 			seen[root] = true
-			out = append(out, doc.TreeNode(root))
+			out = append(out, TwigRef{Doc: doc.ID, Ord: root})
 		}
 	}
 	return out, nil

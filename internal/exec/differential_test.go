@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// The paper's own cross-algorithm oracle: TermJoin, Comp1, Comp2 and the
+// Generalized Meet all compute the set of elements containing the query
+// terms; under simple scoring (a sum of per-term occurrence weights, no
+// cross-document state) they must agree on the result set element for
+// element — (doc, ord) identities and scores alike. Any divergence is a
+// bug in one of the operators, with the others as witnesses.
+
+// runMethod executes one access method over idx and returns its results
+// in the RankedBefore order.
+func runMethod(t *testing.T, idx *index.Index, name string, q TermQuery) []ScoredNode {
+	t.Helper()
+	acc := storage.NewAccessor(idx.Store())
+	var runner interface{ Run(Emit) error }
+	switch name {
+	case "TermJoin":
+		runner = &TermJoin{Index: idx, Acc: acc, Query: q, ChildCounts: ChildCountNavigate}
+	case "EnhTermJoin":
+		runner = &TermJoin{Index: idx, Acc: acc, Query: q, ChildCounts: ChildCountIndexed}
+	case "Comp1":
+		runner = &Comp1{Index: idx, Acc: acc, Query: q}
+	case "Comp2":
+		runner = &Comp2{Index: idx, Acc: acc, Query: q}
+	case "GenMeet":
+		runner = &GenMeet{Index: idx, Acc: acc, Query: q}
+	default:
+		t.Fatalf("unknown method %q", name)
+	}
+	out, err := Collect(runner.Run)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	SortRanked(out)
+	return out
+}
+
+func TestTermMethodsAgreeUnderSimpleScoring(t *testing.T) {
+	methods := []string{"EnhTermJoin", "Comp1", "Comp2", "GenMeet"}
+	for _, seed := range []int64{42, 43, 44} {
+		idx := buildSynthIndex(t, map[string]int{"ctla": 45, "ctlb": 25, "ctlc": 10}, seed)
+		for _, terms := range [][]string{
+			{"ctla", "ctlb"},
+			{"ctla", "ctlb", "ctlc"},
+			{"ctlc"},
+		} {
+			q := TermQuery{Terms: terms, Scorer: DefaultScorer{}}
+			want := runMethod(t, idx, "TermJoin", q)
+			if len(want) == 0 {
+				t.Fatalf("seed %d terms %v: oracle returned no results", seed, terms)
+			}
+			for _, m := range methods {
+				got := runMethod(t, idx, m, q)
+				diffScored(t, fmt.Sprintf("seed %d terms %v %s vs TermJoin", seed, terms, m), got, want)
+			}
+		}
+	}
+}
+
+// TestTermMethodsAgreeUnderComplexScoring pins the complex-scoring variant
+// for the operators that support it (GenMeet only scores the simple way in
+// this reproduction, matching the paper's Table 2 column set).
+func TestTermMethodsAgreeUnderComplexScoring(t *testing.T) {
+	idx := buildSynthIndex(t, map[string]int{"ctla": 45, "ctlb": 25}, 42)
+	q := TermQuery{Terms: []string{"ctla", "ctlb"}, Complex: true, Scorer: DefaultScorer{}}
+	want := runMethod(t, idx, "TermJoin", q)
+	if len(want) == 0 {
+		t.Fatal("oracle returned no results")
+	}
+	for _, m := range []string{"EnhTermJoin", "Comp1", "Comp2"} {
+		got := runMethod(t, idx, m, q)
+		diffScored(t, m+" vs TermJoin (complex)", got, want)
+	}
+}
+
+// diffScored asserts two ranked result slices are identical: same
+// elements, same scores, same order.
+func diffScored(t *testing.T, label string, got, want []ScoredNode) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d results, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Doc != w.Doc || g.Ord != w.Ord {
+			t.Errorf("%s: result %d = (doc %d, ord %d), want (doc %d, ord %d)",
+				label, i, g.Doc, g.Ord, w.Doc, w.Ord)
+			return
+		}
+		if math.Abs(g.Score-w.Score) > 1e-9 {
+			t.Errorf("%s: result %d score = %v, want %v", label, i, g.Score, w.Score)
+			return
+		}
+	}
+}

@@ -5,10 +5,34 @@ import (
 	"sort"
 )
 
-// TopK retains the k highest-scoring elements of a scored-node stream — the
-// physical evaluation of the Threshold operator's K condition, using the
-// bounded-heap technique the paper cites for global ranking [8, 5]. The
-// zero value is unusable; create with NewTopK.
+// RankedBefore reports whether a ranks ahead of b in the result ordering
+// contract shared by every ranked entry point: score descending, then
+// document ascending, then start ordinal ascending. Because (Doc, Ord)
+// identifies an element uniquely, the order is total, which makes any
+// top-k selection a pure function of the result *set* — independent of
+// emission order, and therefore identical across sequential, parallel and
+// sharded evaluation.
+func RankedBefore(a, b ScoredNode) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Doc != b.Doc {
+		return a.Doc < b.Doc
+	}
+	return a.Ord < b.Ord
+}
+
+// SortRanked sorts nodes in place by the RankedBefore contract.
+func SortRanked(nodes []ScoredNode) {
+	sort.Slice(nodes, func(i, j int) bool { return RankedBefore(nodes[i], nodes[j]) })
+}
+
+// TopK retains the k best elements of a scored-node stream under the
+// RankedBefore total order — the physical evaluation of the Threshold
+// operator's K condition, using the bounded-heap technique the paper cites
+// for global ranking [8, 5]. Ties at the k-th score are broken by the same
+// (doc, ord) contract, so the retained set does not depend on the order
+// elements were offered. The zero value is unusable; create with NewTopK.
 type TopK struct {
 	k int
 	h scoredHeap
@@ -28,24 +52,16 @@ func (t *TopK) Offer(n ScoredNode) {
 		heap.Push(&t.h, n)
 		return
 	}
-	if n.Score > t.h[0].Score {
+	if RankedBefore(n, t.h[0]) {
 		t.h[0] = n
 		heap.Fix(&t.h, 0)
 	}
 }
 
-// Results returns the retained elements in descending score order.
+// Results returns the retained elements in the RankedBefore order.
 func (t *TopK) Results() []ScoredNode {
 	out := append([]ScoredNode(nil), t.h...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		if out[i].Doc != out[j].Doc {
-			return out[i].Doc < out[j].Doc
-		}
-		return out[i].Ord < out[j].Ord
-	})
+	SortRanked(out)
 	return out
 }
 
@@ -55,10 +71,12 @@ func (t *TopK) Emit() Emit {
 	return func(n ScoredNode) { t.Offer(n) }
 }
 
+// scoredHeap is a min-heap under RankedBefore: the root is the retained
+// element that ranks last, i.e. the first to be displaced.
 type scoredHeap []ScoredNode
 
 func (h scoredHeap) Len() int            { return len(h) }
-func (h scoredHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h scoredHeap) Less(i, j int) bool  { return RankedBefore(h[j], h[i]) }
 func (h scoredHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(ScoredNode)) }
 func (h *scoredHeap) Pop() interface{} {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/db"
 	"repro/internal/exec"
 	"repro/internal/storage"
 )
@@ -66,7 +67,7 @@ func TestTermsTimeoutReturns408(t *testing.T) {
 
 func TestAccessLimitReturns422(t *testing.T) {
 	s, ts, reg := newIsolatedServer(t)
-	s.DB.SetLimits(exec.Limits{MaxAccesses: 5, CheckEvery: 1})
+	s.DB.(*db.DB).SetLimits(exec.Limits{MaxAccesses: 5, CheckEvery: 1})
 	resp, err := http.Post(ts.URL+"/terms", "application/json",
 		strings.NewReader(`{"terms":["search","engine"]}`))
 	if err != nil {
@@ -85,7 +86,7 @@ func TestAccessLimitReturns422(t *testing.T) {
 func TestInjectedFaultReturns503(t *testing.T) {
 	s, ts, reg := newIsolatedServer(t)
 	s.DB.Stats() // build the index before arming faults
-	s.DB.Store().SetFaults(&storage.FaultInjector{FailEvery: 1})
+	s.DB.(*db.DB).Store().SetFaults(&storage.FaultInjector{FailEvery: 1})
 	resp, err := http.Post(ts.URL+"/terms", "application/json",
 		strings.NewReader(`{"terms":["search","engine"]}`))
 	if err != nil {
@@ -98,7 +99,7 @@ func TestInjectedFaultReturns503(t *testing.T) {
 	}
 
 	// The server keeps serving after the fault: disarm and retry.
-	s.DB.Store().SetFaults(nil)
+	s.DB.(*db.DB).Store().SetFaults(nil)
 	resp2, err := http.Post(ts.URL+"/terms", "application/json",
 		strings.NewReader(`{"terms":["search"]}`))
 	if err != nil {

@@ -48,13 +48,30 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/xmltree"
+	"repro/internal/xq"
 )
+
+// Backend is the database surface the server runs on: the monolithic
+// *db.DB and the sharded *shard.DB both satisfy it, so one server binary
+// fronts either layout. All methods must be safe for concurrent read use
+// once the backend is fully loaded.
+type Backend interface {
+	Stats() db.Stats
+	DocumentCount() int
+	MetricsRegistry() *metrics.Registry
+	QueryContext(ctx context.Context, src string) ([]xq.Result, error)
+	Explain(src string) (string, error)
+	TermSearchContext(ctx context.Context, terms []string, opts db.TermSearchOptions) ([]exec.ScoredNode, error)
+	PhraseSearchContext(ctx context.Context, phrase []string) ([]exec.PhraseMatch, error)
+	Materialize(doc storage.DocID, ord int32) *xmltree.Node
+	NameOf(n exec.ScoredNode) string
+}
 
 // Server wraps a database with HTTP handlers. The database must be fully
 // loaded before serving; handlers only read, so concurrent requests are
 // safe.
 type Server struct {
-	DB *db.DB
+	DB Backend
 	// MaxResults caps the number of results returned per request
 	// (default 100).
 	MaxResults int
@@ -81,8 +98,8 @@ type Server struct {
 	started time.Time
 }
 
-// New returns a server over d.
-func New(d *db.DB) *Server {
+// New returns a server over a backend (a *db.DB or a sharded *shard.DB).
+func New(d Backend) *Server {
 	return &Server{DB: d, MaxResults: 100, started: time.Now()}
 }
 
@@ -302,7 +319,7 @@ type HealthzResponse struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, HealthzResponse{
 		Status:        "ok",
-		Documents:     len(s.DB.Store().Docs()),
+		Documents:     s.DB.DocumentCount(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }

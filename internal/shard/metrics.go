@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Sharded query evaluation records the same per-op metric families as
+// internal/db (tix_query_seconds{op=...} and friends — see db's metrics
+// documentation), plus per-shard worker instrumentation:
+//
+//	tix_shard_seconds{op=...,shard=...}       worker latency histogram
+//	tix_shard_errors_total{op=...,shard=...}  worker failures
+//	tix_shard_documents{shard=...}            documents resident per shard
+//
+// Fan-out ops (terms, phrase, twig) observe once at the facade with the
+// workers' combined access stats; routed ops (query, explain) are
+// observed by the owning segment, which shares the registry.
+const (
+	opTerms  = "terms"
+	opPhrase = "phrase"
+	opTwig   = "twig"
+)
+
+// errPanic marks errors produced by recovering a panic at the shard
+// facade or worker boundary.
+var errPanic = errors.New("shard: recovered panic")
+
+// recoverPanic converts a panic inside the merge/facade path into a
+// returned error, mirroring db.recoverPanic.
+func recoverPanic(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	*errp = panicError(r)
+}
+
+// panicError classifies a recovered panic value: injected storage faults
+// keep their typed identity, anything else becomes an errPanic.
+func panicError(r interface{}) error {
+	if ferr, ok := r.(error); ok && errors.Is(ferr, storage.ErrInjectedFault) {
+		return fmt.Errorf("shard: storage fault: %w", ferr)
+	}
+	return fmt.Errorf("%w: %v", errPanic, r)
+}
+
+// observe records one fan-out operation at the facade: latency, outcome,
+// result count, and the workers' combined store-access statistics.
+func (s *DB) observe(op string, start time.Time, results int, stats storage.AccessStats, err error) {
+	reg := s.MetricsRegistry()
+	lbl := `{op="` + op + `"}`
+	reg.Histogram("tix_query_seconds" + lbl).Observe(time.Since(start).Seconds())
+	reg.Counter("tix_queries_total" + lbl).Inc()
+	if err != nil {
+		reg.Counter("tix_query_errors_total" + lbl).Inc()
+		switch {
+		case errors.Is(err, exec.ErrDeadlineExceeded):
+			reg.Counter("tix_query_timeouts_total" + lbl).Inc()
+		case errors.Is(err, exec.ErrCanceled):
+			reg.Counter("tix_query_canceled_total" + lbl).Inc()
+		case errors.Is(err, exec.ErrLimitExceeded):
+			reg.Counter("tix_query_limit_exceeded_total" + lbl).Inc()
+		case errors.Is(err, storage.ErrInjectedFault):
+			reg.Counter("tix_query_faults_total" + lbl).Inc()
+		case errors.Is(err, errPanic):
+			reg.Counter("tix_query_panics_total" + lbl).Inc()
+		}
+		return
+	}
+	reg.Counter("tix_query_results_total" + lbl).Add(int64(results))
+	reg.Counter("tix_access_node_reads_total" + lbl).Add(stats.NodeReads)
+	reg.Counter("tix_access_page_reads_total" + lbl).Add(stats.PageReads)
+	reg.Counter("tix_access_text_reads_total" + lbl).Add(stats.TextReads)
+	reg.Counter("tix_access_nav_steps_total" + lbl).Add(stats.NavSteps)
+}

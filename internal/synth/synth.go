@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/xmltree"
@@ -178,7 +179,16 @@ func Generate(cfg Config) (*Corpus, error) {
 			planted[ph.T2]++
 		}
 	}
-	for term, freq := range cfg.ControlTerms {
+	// Plant in sorted term order: ranging over the map directly would
+	// consume the rng in a run-dependent order, making generation
+	// nondeterministic for a fixed seed.
+	terms := make([]string, 0, len(cfg.ControlTerms))
+	for term := range cfg.ControlTerms {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		freq := cfg.ControlTerms[term]
 		for planted[term] < freq {
 			s, ok := pickSlot(1)
 			if !ok {

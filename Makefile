@@ -1,13 +1,22 @@
 # The canonical check: what CI runs, and what a change must pass before
-# merging. `make check` == vet + build + race-enabled tests + a
-# cancellation/fault stress pass + a coverage floor on the sharded
-# execution layer + a short fuzz smoke over the snapshot loader.
+# merging. `make check` == the full lint gate (gofmt + vet + tixlint) +
+# build + race-enabled tests + a cancellation/fault stress pass + a
+# coverage floor on the sharded execution layer + a short fuzz smoke over
+# the snapshot loader.
 
 GO ?= go
 
-.PHONY: check vet build test race bench fmt-check stress cover fuzz-smoke
+.PHONY: check lint tixlint vet build test race bench fmt-check stress cover fuzz-smoke
 
-check: vet build race stress cover fuzz-smoke
+check: lint build race stress cover fuzz-smoke
+
+# The static-analysis gate: formatting, go vet, and the project's own
+# analyzers (see cmd/tixlint and DESIGN.md §9). Fails on any finding at
+# warning severity or above.
+lint: fmt-check vet tixlint
+
+tixlint:
+	$(GO) run ./cmd/tixlint ./...
 
 vet:
 	$(GO) vet ./...

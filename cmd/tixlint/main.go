@@ -1,0 +1,104 @@
+// Command tixlint runs the project's static-analysis suite: five
+// analyzers over go/ast + go/types that mechanically enforce the
+// invariants PRs 2–3 introduced by convention (deterministic iteration,
+// exec.Guard consultation, errors.Is-compatible error handling, context
+// hygiene, seeded randomness).
+//
+// Usage:
+//
+//	tixlint [flags] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status: 0 clean, 1 findings at or above -severity, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		severity  = flag.String("severity", "warning", "minimum severity that fails the run: info, warning, or error")
+		list      = flag.Bool("list", false, "list the registered analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+		dir       = flag.String("C", ".", "directory of the module to analyze")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	threshold, err := lint.ParseSeverity(*severity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	selected := lint.Analyzers()
+	fullSet := true
+	if *analyzers != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range selected {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*analyzers, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tixlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+		fullSet = len(selected) == len(byName)
+	}
+
+	prog, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tixlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	runner := &lint.Runner{Analyzers: selected, CheckUnused: fullSet}
+	diags := runner.Run(prog)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, lint.Report(diags, prog.LoadErrors)); err != nil {
+			fmt.Fprintf(os.Stderr, "tixlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, e := range prog.LoadErrors {
+			fmt.Fprintf(os.Stderr, "tixlint: load: %s\n", e)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	switch {
+	case len(prog.LoadErrors) > 0:
+		os.Exit(2)
+	case failsThreshold(diags, threshold):
+		os.Exit(1)
+	}
+}
+
+func failsThreshold(diags []lint.Diagnostic, threshold lint.Severity) bool {
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			return true
+		}
+	}
+	return false
+}

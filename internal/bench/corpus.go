@@ -270,8 +270,13 @@ func Build(cfg Config) (*Corpus, error) {
 			need[t1] += together
 			need[t2] += together
 		}
-		for term, n := range need {
-			if control[term] < n {
+		needTerms := make([]string, 0, len(need))
+		for term := range need {
+			needTerms = append(needTerms, term)
+		}
+		sort.Strings(needTerms)
+		for _, term := range needTerms {
+			if n := need[term]; control[term] < n {
 				control[term] = n
 			}
 		}

@@ -117,6 +117,7 @@ func (c *Corpus) RunTermMethod(method Method, terms []string, complex bool) (Mea
 // registry instead.
 func (c *Corpus) RunShardTermMethod(s *shard.DB, terms []string, complex bool) (Measurement, error) {
 	m, err := timeIt(c.runs(), func() (int, storage.AccessStats, error) {
+		//tixlint:ignore ctxhygiene the bench harness is the root caller: there is no ambient context to propagate, and measured runs must not inherit one
 		res, rerr := s.RunTermMethod(context.Background(), shard.MethodTermJoin, terms, complex)
 		if rerr != nil {
 			return 0, storage.AccessStats{}, rerr

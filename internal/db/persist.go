@@ -167,7 +167,7 @@ func verifyTrailer(br *bufio.Reader, h hash.Hash32) error {
 	tr := make([]byte, len(sumMagic)+4)
 	n, err := io.ReadFull(br, tr)
 	switch {
-	case err == io.EOF:
+	case errors.Is(err, io.EOF):
 		return nil // legacy file without a trailer
 	case err != nil:
 		return fmt.Errorf("db: load: truncated integrity trailer (%d of %d bytes): %w", n, len(tr), ErrCorruptSnapshot)
@@ -179,7 +179,7 @@ func verifyTrailer(br *bufio.Reader, h hash.Hash32) error {
 	if got := h.Sum32(); got != want {
 		return fmt.Errorf("db: load: checksum mismatch (file %08x, payload %08x): %w", want, got, ErrCorruptSnapshot)
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
+	if _, err := br.ReadByte(); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("db: load: data after integrity trailer: %w", ErrCorruptSnapshot)
 	}
 	return nil

@@ -151,6 +151,7 @@ func countScoredChildren(acc *storage.Accessor, doc storage.DocID, ord int32, oc
 	rec := acc.Node(doc, ord)
 	n := 0
 	child := rec.FirstChild
+	//tixlint:ignore guardcheck bounded by one parent's direct-child fan-out; every access still charges the caller-attached budget, and the caller checks at its next NoteEmit
 	for child != storage.NoNode {
 		crec := acc.Node(doc, child)
 		for _, o := range occs {

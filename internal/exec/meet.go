@@ -164,6 +164,7 @@ func (g *GenMeet) Run(emit Emit) error {
 func distinctTextChildren(a *storage.Accessor, doc storage.DocID, ord int32, occs []scoring.Occ) int {
 	seen := map[int32]bool{}
 	n := 0
+	//tixlint:ignore guardcheck bounded by one node's occurrence buffer; accesses charge the caller-attached budget and GenMeet ticks per merged posting
 	for _, o := range occs {
 		if seen[o.Node] {
 			continue

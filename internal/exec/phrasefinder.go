@@ -54,6 +54,9 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 	}
 	cursors := make([]*index.Cursor, len(terms)-1)
 	for i, t := range terms[1:] {
+		if err := p.Guard.Tick(); err != nil {
+			return err
+		}
 		cursors[i] = index.NewCursor(p.Index.Postings(t))
 	}
 	// Merge: for each occurrence of the first term at position q, the

@@ -87,6 +87,14 @@ func StructuralJoinCountGuarded(acc *storage.Accessor, doc storage.DocID, ancest
 // alist contains an element of dlist. Both lists must be in document
 // order. Used by the query compiler for structural predicates.
 func AncDescPairs(acc *storage.Accessor, doc storage.DocID, alist, dlist []int32) [][2]int32 {
+	out, _ := AncDescPairsGuarded(acc, doc, alist, dlist, nil)
+	return out
+}
+
+// AncDescPairsGuarded is AncDescPairs with a cooperative guard, checked
+// once per merged list element — the loop scans both full input lists, so
+// an unguarded run over a large document cannot be cancelled or budgeted.
+func AncDescPairsGuarded(acc *storage.Accessor, doc storage.DocID, alist, dlist []int32, g *Guard) ([][2]int32, error) {
 	type frame struct {
 		ord int32
 		end uint32
@@ -95,6 +103,9 @@ func AncDescPairs(acc *storage.Accessor, doc storage.DocID, alist, dlist []int32
 	var stack []frame
 	ai, di := 0, 0
 	for ai < len(alist) || di < len(dlist) {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
 		if ai < len(alist) {
 			rec := acc.Node(doc, alist[ai])
 			if di >= len(dlist) || rec.Start < acc.Node(doc, dlist[di]).Start {
@@ -117,5 +128,5 @@ func AncDescPairs(acc *storage.Accessor, doc storage.DocID, alist, dlist []int32
 		}
 		di++
 	}
-	return out
+	return out, nil
 }

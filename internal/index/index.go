@@ -80,6 +80,7 @@ func Build(s *storage.Store, tok *tokenize.Tokenizer) *Index {
 	// Text nodes are visited in document order per document and documents in
 	// DocID order, so posting lists are already sorted; assert cheaply in
 	// debug-style by re-sorting only if needed.
+	//tixlint:ignore mapiter per-key normalization writing only idx.postings[term]; no cross-key state, so iteration order cannot leak
 	for term, ps := range idx.postings {
 		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
 			sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
@@ -99,7 +100,15 @@ func Restore(s *storage.Store, tok *tokenize.Tokenizer, postings map[string][]Po
 		postings: postings,
 		nodeFreq: make(map[string]int, len(postings)),
 	}
-	for term, ps := range postings {
+	// Validate in sorted term order so a corrupt snapshot reports the
+	// same first offender on every run.
+	terms := make([]string, 0, len(postings))
+	for term := range postings {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		ps := postings[term]
 		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
 			return nil, fmt.Errorf("index: restored postings for %q are out of order", term)
 		}
@@ -192,6 +201,7 @@ func (idx *Index) TermsByFreq() []string {
 func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error) {
 	best := ""
 	bestDiff := math.MaxFloat64
+	//tixlint:ignore mapiter result is order-independent: strict (diff, lexicographic) tie-break picks the same winner whatever order the map yields
 	for t, ps := range idx.postings {
 		if exclude[t] {
 			continue

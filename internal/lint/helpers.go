@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errorIface is the universe error interface, for Implements checks.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether a value of type t satisfies error.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeFromPkg reports whether t (through pointers) is the named type
+// typeName declared in a package whose import path's last segment is
+// pkgSeg. Matching by segment rather than full path keeps the analyzers
+// applicable to lint's fixture module, which mirrors the real package
+// layout under a different module path.
+func typeFromPkg(t types.Type, pkgSeg, typeName string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && lastSegment(n.Obj().Pkg().Path()) == pkgSeg
+}
+
+// lastSegment returns the final element of an import path.
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isTestFilename reports whether name is a _test.go file.
+func isTestFilename(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// calleeObject resolves the object a call invokes (function, method, or
+// builtin), or nil for indirect calls through expressions.
+func calleeObject(p *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return p.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (exact import path match, for standard-library packages).
+func isPkgFunc(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObject(p, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() != pkgPath || obj.Name() != name {
+		return false
+	}
+	// A package-level function, not a method: selector base must be the
+	// package name itself when written as a selector.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if _, isPkg := p.ObjectOf(base).(*types.PkgName); isPkg {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// pkgFuncCall returns (import path, func name, true) when call invokes a
+// package-level function via a package selector, e.g. rand.Intn.
+func pkgFuncCall(p *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.ObjectOf(base).(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// walkStack walks root depth-first, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n). Returning
+// false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	v := &stackVisitor{fn: fn}
+	ast.Walk(v, root)
+}
+
+type stackVisitor struct {
+	stack []ast.Node
+	fn    func(ast.Node, []ast.Node) bool
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	if !v.fn(n, v.stack) {
+		return nil
+	}
+	v.stack = append(v.stack, n)
+	return v
+}
+
+// enclosingFuncs returns the functions on the stack from innermost to
+// outermost (both declarations and literals).
+func enclosingFuncs(stack []ast.Node) []ast.Node {
+	var out []ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			out = append(out, stack[i])
+		}
+	}
+	return out
+}
+
+// ctxParamObjects returns the objects of every context.Context parameter
+// of fn (a FuncDecl or FuncLit), excluding blanks.
+func ctxParamObjects(p *Pass, fn ast.Node) []types.Object {
+	var ft *ast.FuncType
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft = f.Type
+	case *ast.FuncLit:
+		ft = f.Type
+	default:
+		return nil
+	}
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !typeFromPkg(p.TypeOf(field.Type), "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := p.ObjectOf(name); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}

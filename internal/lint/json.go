@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON output for `tixlint -json`: one object per run, findings sorted by
+// (file, line, col, analyzer, message) so CI diffs are byte-stable. Field
+// names are part of the tool's contract; renames are breaking.
+
+// FindingJSON is one finding.
+type FindingJSON struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// ReportJSON is the top-level document.
+type ReportJSON struct {
+	Findings []FindingJSON `json:"findings"`
+	Count    int           `json:"count"`
+	// Errors lists load/type-check failures; non-empty means the
+	// findings may be incomplete (tixlint exits 2).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Report converts sorted diagnostics into the JSON document shape.
+func Report(diags []Diagnostic, loadErrors []string) ReportJSON {
+	rep := ReportJSON{Findings: []FindingJSON{}, Count: len(diags), Errors: loadErrors}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, FindingJSON{
+			Analyzer: d.Analyzer,
+			Severity: d.Severity.String(),
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return rep
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func WriteJSON(w io.Writer, rep ReportJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

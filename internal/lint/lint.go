@@ -1,0 +1,217 @@
+// Package lint is tixlint's engine: a standard-library-only static
+// analysis suite over go/ast and go/types that mechanically enforces the
+// project invariants previous PRs established by convention —
+// deterministic iteration in packages whose output must replay
+// bit-for-bit, exec.Guard consultation on every storage-access loop,
+// errors.Is-compatible error handling, and context hygiene.
+//
+// The motivating case study is the PR-3 synth bug: control terms were
+// planted in map-iteration order, consuming the seeded RNG
+// run-dependently, and only a byte-identical golden test caught it. The
+// mapiter analyzer turns that lucky catch into a mechanical one.
+//
+// Findings can be suppressed per line with a justified directive:
+//
+//	//tixlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or alone on the line above it. The reason
+// is mandatory, unknown analyzer names are rejected, and directives that
+// suppress nothing are themselves reported, so suppressions cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a finding. tixlint exits nonzero when any finding
+// reaches the threshold severity (default warning).
+type Severity int
+
+const (
+	SeverityInfo Severity = iota
+	SeverityWarning
+	SeverityError
+)
+
+// String returns the lowercase name used in text and JSON output.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity parses "info", "warning", or "error".
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "info":
+		return SeverityInfo, nil
+	case "warning":
+		return SeverityWarning, nil
+	case "error":
+		return SeverityError, nil
+	}
+	return 0, fmt.Errorf("lint: unknown severity %q (want info, warning, or error)", name)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Severity Severity
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Severity, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects a single package and reports
+// findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Fset returns the program-wide file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Filename returns the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Prog.Fset.Position(pos).Filename
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, sev Severity, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Severity: sev,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full registry in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapIter, GuardCheck, ErrWrap, CtxHygiene, NoDeterm}
+}
+
+// metaAnalyzer names the pseudo-analyzer that reports problems with
+// suppression directives themselves.
+const metaAnalyzer = "tixlint"
+
+// Runner executes a set of analyzers over a loaded program.
+type Runner struct {
+	Analyzers []*Analyzer
+	// CheckUnused reports suppression directives that matched no
+	// finding. Enable only when the full registry runs; with a filtered
+	// analyzer set a directive may legitimately sit idle.
+	CheckUnused bool
+}
+
+// Run executes every analyzer over every package, applies suppression
+// directives, and returns the surviving diagnostics sorted by position.
+// File paths are reported relative to the module root.
+func (r *Runner) Run(prog *Program) []Diagnostic {
+	known := map[string]bool{metaAnalyzer: true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range r.Analyzers {
+			a.Run(&Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &raw})
+		}
+	}
+
+	dirs := collectDirectives(prog, known)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppress(dirs, d) {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.malformed != "" {
+			out = append(out, Diagnostic{
+				Analyzer: metaAnalyzer,
+				Severity: SeverityError,
+				Pos:      prog.Fset.Position(dir.pos),
+				Message:  dir.malformed,
+			})
+		} else if r.CheckUnused && !dir.used {
+			out = append(out, Diagnostic{
+				Analyzer: metaAnalyzer,
+				Severity: SeverityWarning,
+				Pos:      prog.Fset.Position(dir.pos),
+				Message:  fmt.Sprintf("suppression for %s matches no finding; delete the stale directive", strings.Join(dir.names, ",")),
+			})
+		}
+	}
+
+	for i := range out {
+		if rel, err := filepath.Rel(prog.ModuleDir, out[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			out[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoDeterm flags nondeterminism sources — wall-clock reads and the
+// process-global math/rand generator — inside packages whose output must
+// replay bit-for-bit for a fixed seed: corpus synthesis (synth) and index
+// construction (index). Tables 1–5 of the paper reproduction and the
+// golden snapshot tests depend on Generate(seed) and index building being
+// pure functions of their inputs.
+//
+// Seeded generator construction (rand.New, rand.NewSource, rand.NewZipf,
+// rand.NewPCG, rand.NewChaCha8) is the sanctioned pattern and stays
+// silent; methods on a threaded *rand.Rand are likewise fine. Test files
+// are checked too — a fixture that depends on the wall clock flakes.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "time.Now or global math/rand inside a deterministic package (synth, index)",
+	Run:  runNoDeterm,
+}
+
+var nodetermPkgs = map[string]bool{"synth": true, "index": true}
+
+// wallClockFuncs are the time-package reads that break replayability.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededCtors are the math/rand entry points that construct an explicit,
+// seedable generator rather than consuming the global source.
+var seededCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoDeterm(pass *Pass) {
+	if !nodetermPkgs[pass.Pkg.Segment()] {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFuncCall(pass, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && wallClockFuncs[name]:
+				pass.Reportf(call.Pos(), SeverityError,
+					"wall-clock read time.%s in deterministic package %q: output must replay bit-for-bit for a fixed seed — inject timestamps from the caller or drop them", name, pass.Pkg.Segment())
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !seededCtors[name]:
+				pass.Reportf(call.Pos(), SeverityError,
+					"global rand.%s consumes the process-wide source in deterministic package %q: thread a seeded *rand.Rand (rand.New(rand.NewSource(cfg.Seed))) instead", name, pass.Pkg.Segment())
+			}
+			return true
+		})
+	}
+}

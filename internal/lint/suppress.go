@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//tixlint:ignore analyzer1[,analyzer2] reason text
+const directivePrefix = "//tixlint:ignore"
+
+// directive is one parsed suppression comment. It targets the source line
+// it shares with code, or — when it sits on a line of its own — the next
+// line that has code.
+type directive struct {
+	file      string
+	target    int // line the directive suppresses
+	pos       token.Pos
+	names     []string
+	analyzers map[string]bool
+	reason    string
+	malformed string // non-empty: reported instead of applied
+	used      bool
+}
+
+// collectDirectives parses every tixlint:ignore comment in the program.
+// known is the set of valid analyzer names; a directive naming anything
+// else is malformed and suppresses nothing.
+func collectDirectives(prog *Program, known map[string]bool) []*directive {
+	var dirs []*directive
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			codeLines := fileCodeLines(prog.Fset, file)
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					d := parseDirective(c, known)
+					d.file = prog.Fset.Position(c.Pos()).Filename
+					line := prog.Fset.Position(c.Pos()).Line
+					d.target = targetLine(codeLines, line)
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+// parseDirective validates one comment's analyzer list and reason.
+func parseDirective(c *ast.Comment, known map[string]bool) *directive {
+	d := &directive{pos: c.Pos(), analyzers: map[string]bool{}}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		d.malformed = fmt.Sprintf("malformed suppression %q: want %q", c.Text, directivePrefix+" <analyzer> <reason>")
+		return d
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.malformed = "suppression names no analyzer: want //tixlint:ignore <analyzer> <reason>"
+		return d
+	}
+	d.names = strings.Split(fields[0], ",")
+	for _, name := range d.names {
+		if !known[name] {
+			d.malformed = fmt.Sprintf("suppression names unknown analyzer %q", name)
+			return d
+		}
+		d.analyzers[name] = true
+	}
+	d.reason = strings.Join(fields[1:], " ")
+	if d.reason == "" {
+		d.malformed = fmt.Sprintf("suppression for %s is missing its mandatory reason", fields[0])
+	}
+	return d
+}
+
+// fileCodeLines returns the sorted set of lines on which code (any AST
+// node) begins, used to decide which line a standalone directive targets.
+func fileCodeLines(fset *token.FileSet, file *ast.File) []int {
+	seen := map[int]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		if n.Pos().IsValid() {
+			seen[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	lines := make([]int, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	return lines
+}
+
+// targetLine maps a directive's own line to the line it suppresses: the
+// same line when it trails code, otherwise the next code line below it.
+func targetLine(codeLines []int, line int) int {
+	i := sort.SearchInts(codeLines, line)
+	if i < len(codeLines) && codeLines[i] == line {
+		return line
+	}
+	if i < len(codeLines) {
+		return codeLines[i]
+	}
+	return line
+}
+
+// suppress reports whether d is covered by a directive, marking any
+// matching directive used.
+func suppress(dirs []*directive, d Diagnostic) bool {
+	hit := false
+	for _, dir := range dirs {
+		if dir.malformed != "" {
+			continue
+		}
+		if dir.file == d.Pos.Filename && dir.target == d.Pos.Line && dir.analyzers[d.Analyzer] {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}

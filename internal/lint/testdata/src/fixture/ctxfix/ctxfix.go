@@ -1,0 +1,45 @@
+// Package ctxfix exercises ctxhygiene: dropped caller contexts, the
+// compat-wrapper allowance, nil-defaulting, and ignored ctx parameters.
+package ctxfix
+
+import "context"
+
+// DB stands in for the real context-accepting facade.
+type DB struct{}
+
+// QueryContext is the context-accepting core API.
+func (d *DB) QueryContext(ctx context.Context, q string) error {
+	return ctx.Err()
+}
+
+// Query is the sanctioned compat wrapper: Background flows straight into
+// the *Context variant.
+func (d *DB) Query(q string) error {
+	return d.QueryContext(context.Background(), q)
+}
+
+// Drops receives a context and mints a fresh one anyway, detaching the
+// call tree from the caller's cancellation.
+func (d *DB) Drops(ctx context.Context, q string) error { // want "ctxhygiene: context parameter .ctx. is accepted but never used"
+	return d.QueryContext(context.Background(), q) // want "ctxhygiene: context.Background.. constructed in a function that already receives"
+}
+
+// NilDefault only backfills a nil context, which is allowed.
+func (d *DB) NilDefault(ctx context.Context, q string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return d.QueryContext(ctx, q)
+}
+
+// Mint returns a root context from library code outside any wrapper.
+func Mint() context.Context {
+	return context.TODO() // want "ctxhygiene: context.TODO.. in library code outside"
+}
+
+// Ignored takes a context it never touches.
+func Ignored(ctx context.Context, q string) error { // want "ctxhygiene: context parameter .ctx. is accepted but never used"
+	return discard(q)
+}
+
+func discard(q string) error { return nil }

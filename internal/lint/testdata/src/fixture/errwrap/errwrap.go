@@ -1,0 +1,47 @@
+// Package errwrap exercises both halves of the errwrap analyzer: lossy
+// fmt.Errorf verbs and identity comparisons against sentinel errors.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is a sentinel in the style of exec.ErrLimitExceeded.
+var ErrBudget = errors.New("errwrap: budget exhausted")
+
+// WrapV severs the unwrap chain.
+func WrapV(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want "errwrap: error formatted with %v loses its wrap chain"
+}
+
+// WrapS does the same through the string verb.
+func WrapS(err error) error {
+	return fmt.Errorf("query failed: %s", err) // want "errwrap: error formatted with %s loses its wrap chain"
+}
+
+// WrapW preserves classification.
+func WrapW(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+// WrapValue formats a non-error with %v, which is fine.
+func WrapValue(n int) error {
+	return fmt.Errorf("bad count: %v", n)
+}
+
+// IsBudget misses every wrapped occurrence.
+func IsBudget(err error) bool {
+	return err == ErrBudget // want "errwrap: comparison against sentinel error ErrBudget"
+}
+
+// NotBudget has the same hole through negation.
+func NotBudget(err error) bool {
+	return err != ErrBudget // want "errwrap: comparison against sentinel error ErrBudget"
+}
+
+// IsNil compares against nil, which is not a sentinel.
+func IsNil(err error) bool { return err == nil }
+
+// Classify is the sanctioned form.
+func Classify(err error) bool { return errors.Is(err, ErrBudget) }

@@ -1,0 +1,70 @@
+// Package exec mirrors the real execution package: a Guard type whose
+// consultation guardcheck demands around every storage-access loop.
+package exec
+
+import (
+	"errors"
+
+	"fixture/storage"
+)
+
+var errStop = errors.New("exec: budget exhausted")
+
+// Guard is a minimal cooperative budget checker.
+type Guard struct {
+	ticks  int64
+	budget int64
+}
+
+// Tick records one unit of work.
+func (g *Guard) Tick() error {
+	if g == nil {
+		return nil
+	}
+	g.ticks++
+	if g.budget > 0 && g.ticks > g.budget {
+		return errStop
+	}
+	return nil
+}
+
+// SumUnguarded fetches records in a loop with no guard anywhere in scope.
+func SumUnguarded(acc *storage.Accessor, ords []int32) int32 {
+	var total int32
+	for _, o := range ords { // want "guardcheck: loop calls storage accessor Accessor.Node without consulting exec.Guard"
+		total += acc.Node(o).Parent
+	}
+	return total
+}
+
+// SumHalfGuarded ticks in its first loop but forgets the second.
+func SumHalfGuarded(g *Guard, acc *storage.Accessor, ords []int32) (int32, error) {
+	var total int32
+	for _, o := range ords {
+		if err := g.Tick(); err != nil {
+			return 0, err
+		}
+		total += acc.Node(o).Parent
+	}
+	for _, o := range ords { // want "guardcheck: loop calls storage accessor Accessor.Node without consulting exec.Guard"
+		total += acc.Node(o).Parent
+	}
+	return total, nil
+}
+
+// Delegated passes the guard down with every access, which counts as
+// consultation.
+func Delegated(g *Guard, acc *storage.Accessor, ords []int32) int32 {
+	var total int32
+	for _, o := range ords {
+		total += fetch(g, acc, o)
+	}
+	return total
+}
+
+func fetch(g *Guard, acc *storage.Accessor, o int32) int32 {
+	if g.Tick() != nil {
+		return 0
+	}
+	return acc.Node(o).Parent
+}

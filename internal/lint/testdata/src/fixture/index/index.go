@@ -1,0 +1,28 @@
+// Package index mirrors the real index builder's shape; its path segment
+// puts it in nodeterm's deterministic set.
+package index
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock, which breaks bit-for-bit replay.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "nodeterm: wall-clock read time.Now"
+}
+
+// Elapsed is equally wall-clock dependent.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "nodeterm: wall-clock read time.Since"
+}
+
+// Jitter consumes the process-global math/rand source.
+func Jitter() int {
+	return rand.Intn(10) // want "nodeterm: global rand.Intn consumes the process-wide source"
+}
+
+// Seeded constructs an explicit generator — the sanctioned pattern.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

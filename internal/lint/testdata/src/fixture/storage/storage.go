@@ -1,0 +1,29 @@
+// Package storage mirrors the real store's accessor shape so guardcheck's
+// receiver-type matching works against the fixture module.
+package storage
+
+// NodeRec is a minimal node record.
+type NodeRec struct {
+	Parent int32
+	Text   string
+}
+
+// Store holds node records.
+type Store struct {
+	nodes []NodeRec
+}
+
+// Accessor is the charged access path; any method on it counts as a
+// storage access for guardcheck.
+type Accessor struct {
+	store *Store
+}
+
+// NewAccessor returns an accessor over s.
+func NewAccessor(s *Store) *Accessor { return &Accessor{store: s} }
+
+// Node fetches one record.
+func (a *Accessor) Node(ord int32) *NodeRec { return &a.store.nodes[ord] }
+
+// Text fetches one record's text.
+func (a *Accessor) Text(ord int32) string { return a.store.nodes[ord].Text }

@@ -1,0 +1,45 @@
+// Package suppress exercises the //tixlint:ignore directive machinery:
+// well-formed standalone and trailing suppressions, a missing reason, an
+// unknown analyzer name, and a stale directive that matches nothing. Its
+// expectations live in TestSuppressionDirectives rather than want
+// comments, since the directives occupy the comment position.
+package suppress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a sentinel for the identity-comparison case.
+var ErrGone = errors.New("suppress: gone")
+
+// Flatten intentionally hides the cause; the directive above the call
+// carries the justification.
+func Flatten(err error) error {
+	//tixlint:ignore errwrap the public API intentionally flattens causes; classification happens a layer up
+	return fmt.Errorf("gone: %v", err)
+}
+
+// Identity uses a trailing directive on the offending line itself.
+func Identity(err error) bool {
+	return err == ErrGone //tixlint:ignore errwrap identity check is deliberate: this sentinel never travels wrapped
+}
+
+// MissingReason's directive is malformed (no reason), so it suppresses
+// nothing: both the errwrap finding and the tixlint error surface.
+func MissingReason(err error) error {
+	//tixlint:ignore errwrap
+	return fmt.Errorf("gone: %v", err)
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(err error) error {
+	//tixlint:ignore nosuchlint a typo'd analyzer must not silently suppress
+	return fmt.Errorf("gone: %v", err)
+}
+
+// Stale suppresses a line that has no finding at all.
+func Stale() int {
+	//tixlint:ignore mapiter nothing ranges over a map here
+	return 1
+}

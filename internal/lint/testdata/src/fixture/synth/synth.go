@@ -1,0 +1,54 @@
+// Package synth mirrors the real corpus generator's shape; its path
+// segment puts it in mapiter's determinism-critical set. PlantBad is the
+// PR-3 nondeterminism bug, re-created so the analyzer provably catches it.
+package synth
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PlantBad plants control terms in map-iteration order, consuming the
+// seeded RNG run-dependently — the exact bug PR 3's golden test caught by
+// luck.
+func PlantBad(rng *rand.Rand, control map[string]int, slots []string) {
+	for term, freq := range control { // want "mapiter: range over map in determinism-critical package"
+		for i := 0; i < freq; i++ {
+			slots[rng.Intn(len(slots))] = term
+		}
+	}
+}
+
+// PlantSorted is the fixed shape: collect, sort, then consume the RNG in
+// a stable order. The collect loop is allowed without a directive.
+func PlantSorted(rng *rand.Rand, control map[string]int, slots []string) {
+	terms := make([]string, 0, len(control))
+	for term := range control {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		for i := 0; i < control[term]; i++ {
+			slots[rng.Intn(len(slots))] = term
+		}
+	}
+}
+
+// Total is order-insensitive integer accumulation, allowed as-is.
+func Total(control map[string]int) int {
+	n := 0
+	for _, freq := range control {
+		n += freq
+	}
+	return n
+}
+
+// Labels collects keys but never sorts them, so the emission order of the
+// returned slice varies per run.
+func Labels(control map[string]int) []string {
+	var out []string
+	for term := range control { // want "mapiter: range over map in determinism-critical package"
+		out = append(out, term)
+	}
+	return out
+}

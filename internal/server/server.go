@@ -163,6 +163,9 @@ func (s *Server) ListenAndServeContext(ctx context.Context, addr string, drainTi
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// The drain context must be detached: ctx is already done here,
+		// and deriving from it would cancel the graceful drain instantly.
+		//tixlint:ignore ctxhygiene intentional detached lifetime — the drain window starts after the caller's context is done
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -293,7 +294,7 @@ func TestCrossShardQueryRejected(t *testing.T) {
 		Score $d using ScoreFoo($d, {"ctla"}, {})
 		Score $r using ScoreBar($sim, $d)
 		Sortby(score)`, names[0], names[1])
-	if _, err := s.QueryContext(context.Background(), src); err != ErrCrossShard {
+	if _, err := s.QueryContext(context.Background(), src); !errors.Is(err, ErrCrossShard) {
 		t.Fatalf("cross-shard query err = %v, want ErrCrossShard", err)
 	}
 	// The same two documents on one shard evaluate fine (no parse-level

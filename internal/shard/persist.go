@@ -317,7 +317,7 @@ func verifyTrailer(br *bufio.Reader, h hash.Hash32) error {
 	if got := h.Sum32(); got != want {
 		return fmt.Errorf("shard: load: checksum mismatch (file %08x, payload %08x): %w", want, got, ErrCorruptSnapshot)
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
+	if _, err := br.ReadByte(); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("shard: load: data after integrity trailer: %w", ErrCorruptSnapshot)
 	}
 	return nil

@@ -112,9 +112,16 @@ func Generate(cfg Config) (*Corpus, error) {
 		pairBudget[ph.T1] += ph.Together
 		pairBudget[ph.T2] += ph.Together
 	}
-	for t, need := range pairBudget {
-		if have, ok := cfg.ControlTerms[t]; !ok || have < need {
-			return nil, fmt.Errorf("synth: term %q needs frequency >= %d for its phrases, have %d", t, need, cfg.ControlTerms[t])
+	// Validate in sorted order so the first reported shortfall is the
+	// same term on every run.
+	budgetTerms := make([]string, 0, len(pairBudget))
+	for t := range pairBudget {
+		budgetTerms = append(budgetTerms, t)
+	}
+	sort.Strings(budgetTerms)
+	for _, t := range budgetTerms {
+		if have, ok := cfg.ControlTerms[t]; !ok || have < pairBudget[t] {
+			return nil, fmt.Errorf("synth: term %q needs frequency >= %d for its phrases, have %d", t, pairBudget[t], cfg.ControlTerms[t])
 		}
 	}
 

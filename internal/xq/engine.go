@@ -237,7 +237,11 @@ func (e *Engine) descendants(acc *storage.Accessor, doc *storage.Document, from 
 	// Structural join: from-as-ancestors × extent-as-descendants.
 	var out []int32
 	seen := map[int32]bool{}
-	for _, pr := range exec.AncDescPairs(acc, doc.ID, from, extent) {
+	pairs, err := exec.AncDescPairsGuarded(acc, doc.ID, from, extent, e.Guard)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range pairs {
 		if err := e.Guard.Tick(); err != nil {
 			return nil, err
 		}

@@ -258,7 +258,7 @@ func (p *parser) parseWhere() (*WhereClause, error) {
 	}
 	min, err := strconv.ParseFloat(num.text, 64)
 	if err != nil {
-		return nil, fmt.Errorf("xq: bad Where value %q: %v", num.text, err)
+		return nil, fmt.Errorf("xq: bad Where value %q: %w", num.text, err)
 	}
 	return &WhereClause{Var: v.text, Min: min}, nil
 }
@@ -583,7 +583,7 @@ func (p *parser) parsePick() (*PickClause, error) {
 		}
 		th, err := strconv.ParseFloat(num.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("xq: bad threshold %q: %v", num.text, err)
+			return nil, fmt.Errorf("xq: bad threshold %q: %w", num.text, err)
 		}
 		out.Threshold = th
 		out.HasThresh = true
@@ -678,7 +678,7 @@ func (p *parser) parseThreshold() (*ThresholdClause, error) {
 		}
 		val, err := strconv.ParseFloat(num.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("xq: bad threshold value %q: %v", num.text, err)
+			return nil, fmt.Errorf("xq: bad threshold value %q: %w", num.text, err)
 		}
 		out.MinScore = val
 		out.HasMin = true
@@ -696,7 +696,7 @@ func (p *parser) parseThreshold() (*ThresholdClause, error) {
 		}
 		k, err := strconv.Atoi(num.text)
 		if err != nil {
-			return nil, fmt.Errorf("xq: bad stop-after count %q: %v", num.text, err)
+			return nil, fmt.Errorf("xq: bad stop-after count %q: %w", num.text, err)
 		}
 		out.StopK = k
 		out.HasStopK = true

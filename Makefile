@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check lint tixlint vet build test race bench fmt-check stress cover fuzz-smoke
+.PHONY: check lint tixlint vet build test race bench bench-json fmt-check stress cover fuzz-smoke
 
 check: lint build race stress cover fuzz-smoke
 
@@ -48,14 +48,24 @@ cover:
 		print; \
 		if (pct + 0 < 70) { print "coverage below 70% floor for internal/shard"; exit 1 } }'
 
-# Ten seconds of coverage-guided fuzzing over db.Load: enough to catch
-# regressions in the loader's corrupted-input handling without slowing CI.
+# Ten seconds of coverage-guided fuzzing each over db.Load (corrupted
+# snapshots) and postings.FuzzBlockDecode (corrupted block payloads and
+# skip tables): enough to catch regressions in the corrupted-input
+# handling without slowing CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/db
+	$(GO) test -run '^$$' -fuzz=FuzzBlockDecode -fuzztime=10s ./internal/postings
 
 # Quick perf snapshot in the machine-readable format (see README).
 bench:
 	$(GO) run ./cmd/tixbench -small -table 1 -runs 1 -json
+
+# The perf-trajectory artifact: every table (including the index
+# memory/decode accounting) on the small corpus, as JSON. CI uploads the
+# file so successive PRs can be diffed.
+bench-json:
+	$(GO) run ./cmd/tixbench -small -articles 150 -runs 1 -json > BENCH_5.json
+	@echo "wrote BENCH_5.json"
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

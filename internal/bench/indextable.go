@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/index"
+)
+
+// IndexTable reports the block-compressed index itself rather than a query
+// workload: the postings-memory accounting (encoded versus raw bytes, the
+// compression ratio the acceptance bar is measured against), full-corpus
+// build time, and full-vocabulary decode throughput. Rows carry their
+// numbers in Extra; Seconds holds the timed cost where one exists.
+func (c *Corpus) IndexTable() (*Table, error) {
+	t := &Table{
+		ID:      "index",
+		Caption: "Block-compressed postings: memory footprint, build and decode cost",
+		Columns: []Method{"Index"},
+	}
+	ms := c.Index.MemStats()
+	t.Rows = append(t.Rows, Row{
+		Label: "memory",
+		Extra: fmt.Sprintf("terms=%d postings=%d blocks=%d encoded=%dB (payload=%dB skip=%dB) raw=%dB ratio=%.2fx",
+			ms.Terms, ms.Postings, ms.Blocks, ms.EncodedBytes, ms.PayloadBytes, ms.SkipBytes, ms.RawBytes, ms.Ratio),
+		Cells: []Cell{{Method: "Index", M: Measurement{Method: "Index", Results: int(ms.Postings)}}},
+	})
+
+	start := time.Now()
+	rebuilt := index.Build(c.Index.Store(), c.Index.Tokenizer())
+	buildSecs := time.Since(start).Seconds()
+	if rebuilt.TotalOccurrences() != c.Index.TotalOccurrences() {
+		return nil, fmt.Errorf("bench: rebuilt index has %d occurrences, corpus index %d",
+			rebuilt.TotalOccurrences(), c.Index.TotalOccurrences())
+	}
+	t.Rows = append(t.Rows, Row{
+		Label: "build",
+		Extra: fmt.Sprintf("occurrences=%d", rebuilt.TotalOccurrences()),
+		Cells: []Cell{{Method: "Index", M: Measurement{Method: "Index", Seconds: buildSecs, Results: rebuilt.NumTerms()}}},
+	})
+
+	start = time.Now()
+	decoded := 0
+	for _, term := range c.Index.TermsByFreq() {
+		decoded += len(c.Index.List(term).Materialize())
+	}
+	decodeSecs := time.Since(start).Seconds()
+	if int64(decoded) != ms.Postings {
+		return nil, fmt.Errorf("bench: decoded %d of %d postings", decoded, ms.Postings)
+	}
+	rate := 0.0
+	if decodeSecs > 0 {
+		rate = float64(decoded) / decodeSecs
+	}
+	t.Rows = append(t.Rows, Row{
+		Label: "decode",
+		Extra: fmt.Sprintf("postings/s=%.0f", rate),
+		Cells: []Cell{{Method: "Index", M: Measurement{Method: "Index", Seconds: decodeSecs, Results: decoded}}},
+	})
+	return t, nil
+}

@@ -26,10 +26,16 @@ func FuzzLoad(f *testing.F) {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
+	var bufV1 bytes.Buffer
+	if err := d.SaveV1(&bufV1); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(valid)
 	f.Add(valid[:len(valid)-trailerLen]) // legacy, no trailer
 	f.Add(valid[:len(valid)/2])
+	f.Add(bufV1.Bytes()) // v1 raw-posting format
 	f.Add([]byte(fileMagic))
+	f.Add([]byte(fileMagicV2))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -8,23 +8,36 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/index"
+	"repro/internal/postings"
 	"repro/internal/storage"
 	"repro/internal/xmltree"
 )
 
-// Database file format (version 1):
+// Database file format:
 //
-//	magic   "TIXDB1\n"
+//	magic   "TIXDB1\n" (v1) or "TIXDB2\n" (v2)
 //	options stemming byte (0/1), uvarint stopword count, stopwords
 //	docs    uvarint count; per doc: name, serialized XML
-//	index   presence byte; if 1: uvarint term count; per term: the term,
-//	        uvarint posting count, postings as uvarint (doc, node, pos,
-//	        offset) with pos delta-encoded within a (term, doc) run
+//	index   presence byte; if 1 the version-specific index section
 //	trailer "TIXSUM1\n" + 4-byte little-endian IEEE CRC32 of every byte
 //	        before the trailer
+//
+// v1 index section: uvarint term count; per term: the term, uvarint
+// posting count, postings as uvarint (doc, node, pos, offset) with pos
+// delta-encoded within a (term, doc) run.
+//
+// v2 index section stores each term's encoded blocks verbatim, so loading
+// adopts the bytes without re-encoding: uvarint term count; per term: the
+// term, uvarint posting count, uvarint block count, then per block the
+// skip entry as uvarints (posting count in block, payload byte length,
+// first doc, last doc − first doc, last pos, max per-doc frequency),
+// followed by the concatenated block payloads. Every block is fully
+// validated by postings.NewBlockList at load, so a truncated or tampered
+// v2 payload is rejected even when the trailer is missing.
 //
 // Strings are uvarint length + bytes. The XML serialization round-trips
 // through the same parser used at load time, so the region encoding and
@@ -35,19 +48,37 @@ import (
 // accepted as legacy), and old loaders that stop at the payload simply
 // never read the trailing 12 bytes. A present-but-partial trailer, a
 // checksum mismatch, or bytes after the trailer are rejected with an error
-// wrapping ErrCorruptSnapshot.
+// wrapping ErrCorruptSnapshot. Load dispatches on the magic, so v1
+// snapshots keep loading (their postings are block-encoded on restore);
+// SaveV1 keeps writing them for older readers.
 const fileMagic = "TIXDB1\n"
+
+// fileMagicV2 marks snapshots whose index section stores encoded
+// posting blocks verbatim.
+const fileMagicV2 = "TIXDB2\n"
 
 // sumMagic introduces the integrity trailer.
 const sumMagic = "TIXSUM1\n"
 
 // ErrCorruptSnapshot marks database-file integrity failures: a truncated
-// trailer, a checksum mismatch, or trailing garbage. Test with errors.Is.
+// trailer, a checksum mismatch, trailing garbage, or an invalid encoded
+// posting block. Test with errors.Is.
 var ErrCorruptSnapshot = errors.New("db: corrupt database file")
 
 // Save writes the database — documents, options and the inverted index —
-// to w, followed by the CRC32 integrity trailer.
+// to w in the v2 format (encoded posting blocks verbatim), followed by
+// the CRC32 integrity trailer.
 func (d *DB) Save(w io.Writer) error {
+	return d.save(w, fileMagicV2, d.writeIndexV2)
+}
+
+// SaveV1 writes the database in the v1 format (raw uvarint postings), for
+// readers that predate the block-compressed index section.
+func (d *DB) SaveV1(w io.Writer) error {
+	return d.save(w, fileMagic, d.writeIndexV1)
+}
+
+func (d *DB) save(w io.Writer, magic string, writeIndex func(*bufio.Writer) error) error {
 	h := crc32.NewIEEE()
 	// Everything flushed through bw is hashed; the trailer itself is
 	// written to w directly afterwards, so it stays outside its own sum.
@@ -62,7 +93,7 @@ func (d *DB) Save(w io.Writer) error {
 		_, err := w.Write(tr[:])
 		return err
 	}
-	if _, err := bw.WriteString(fileMagic); err != nil {
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	// Options.
@@ -94,6 +125,15 @@ func (d *DB) Save(w io.Writer) error {
 	if err := bw.WriteByte(1); err != nil {
 		return err
 	}
+	if err := writeIndex(bw); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// writeIndexV1 emits the raw-posting index section (one uvarint tuple per
+// posting, materialized from the block storage).
+func (d *DB) writeIndexV1(bw *bufio.Writer) error {
 	terms := d.idx.TermsByFreq()
 	writeUvarint(bw, uint64(len(terms)))
 	for _, term := range terms {
@@ -115,7 +155,40 @@ func (d *DB) Save(w io.Writer) error {
 			writeUvarint(bw, uint64(p.Offset))
 		}
 	}
-	return finish()
+	return nil
+}
+
+// writeIndexV2 emits the block-compressed index section: skip tables as
+// uvarints, block payloads verbatim — no re-encode at load.
+func (d *DB) writeIndexV2(bw *bufio.Writer) error {
+	terms := d.idx.TermsByFreq()
+	writeUvarint(bw, uint64(len(terms)))
+	for _, term := range terms {
+		writeString(bw, term)
+		bl := d.idx.BlockList(term)
+		skips := bl.Skips()
+		payload := bl.Payload()
+		writeUvarint(bw, uint64(bl.Len()))
+		writeUvarint(bw, uint64(len(skips)))
+		prevEnd := uint32(0)
+		for bi, sk := range skips {
+			blockEnd := len(payload)
+			if bi+1 < len(skips) {
+				blockEnd = int(skips[bi+1].Off)
+			}
+			writeUvarint(bw, uint64(sk.End-prevEnd))
+			writeUvarint(bw, uint64(blockEnd)-uint64(sk.Off))
+			writeUvarint(bw, uint64(sk.FirstDoc))
+			writeUvarint(bw, uint64(sk.LastDoc-sk.FirstDoc))
+			writeUvarint(bw, uint64(sk.LastPos))
+			writeUvarint(bw, uint64(sk.MaxFreq))
+			prevEnd = sk.End
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SaveFile writes the database to path.
@@ -185,8 +258,8 @@ func verifyTrailer(br *bufio.Reader, h hash.Hash32) error {
 	return nil
 }
 
-// Load reads a database written by Save, verifying the integrity trailer
-// when present.
+// Load reads a database written by Save or SaveV1, dispatching on the
+// magic and verifying the integrity trailer when present.
 func Load(r io.Reader) (*DB, error) {
 	raw := bufio.NewReader(r)
 	br := &crcReader{r: raw, h: crc32.NewIEEE()}
@@ -194,7 +267,13 @@ func Load(r io.Reader) (*DB, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("db: load: %w", err)
 	}
-	if string(magic) != fileMagic {
+	var loadIndex func(*DB, *crcReader) error
+	switch string(magic) {
+	case fileMagic:
+		loadIndex = loadIndexV1
+	case fileMagicV2:
+		loadIndex = loadIndexV2
+	default:
 		return nil, fmt.Errorf("db: load: bad magic %q", magic)
 	}
 	stem, err := br.ReadByte()
@@ -237,29 +316,37 @@ func Load(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("db: load: %w", err)
 	}
-	if hasIndex == 0 {
-		if err := verifyTrailer(raw, br.h); err != nil {
+	if hasIndex != 0 {
+		if err := loadIndex(d, br); err != nil {
 			return nil, err
 		}
-		return d, nil
 	}
-	nTerms, err := readUvarint(br)
-	if err != nil {
+	if err := verifyTrailer(raw, br.h); err != nil {
 		return nil, err
 	}
-	postings := make(map[string][]index.Posting, nTerms)
+	return d, nil
+}
+
+// loadIndexV1 reads the raw-posting index section and block-encodes it
+// via index.Restore.
+func loadIndexV1(d *DB, br *crcReader) error {
+	nTerms, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	raw := make(map[string][]index.Posting, nTerms)
 	for i := uint64(0); i < nTerms; i++ {
 		term, err := readString(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nPost, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		const sanity = 1 << 31
 		if nPost > sanity {
-			return nil, fmt.Errorf("db: load: implausible posting count %d for %q", nPost, term)
+			return fmt.Errorf("db: load: implausible posting count %d for %q", nPost, term)
 		}
 		// Cap the preallocation: a lying count on a corrupted file would
 		// otherwise attempt a multi-GiB make before any read fails.
@@ -269,19 +356,19 @@ func Load(r io.Reader) (*DB, error) {
 		for j := uint64(0); j < nPost; j++ {
 			docV, err := readUvarint(br)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			nodeV, err := readUvarint(br)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			posV, err := readUvarint(br)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			offV, err := readUvarint(br)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			doc := storage.DocID(docV)
 			var pos uint32
@@ -298,17 +385,97 @@ func Load(r io.Reader) (*DB, error) {
 				Offset: uint32(offV),
 			})
 		}
-		postings[term] = ps
+		raw[term] = ps
 	}
-	idx, err := index.Restore(d.store, d.tok, postings)
+	idx, err := index.Restore(d.store, d.tok, raw)
 	if err != nil {
-		return nil, fmt.Errorf("db: load: %w", err)
+		return fmt.Errorf("db: load: %w", err)
 	}
 	d.idx = idx
-	if err := verifyTrailer(raw, br.h); err != nil {
-		return nil, err
+	return nil
+}
+
+// loadIndexV2 reads the block-compressed index section: skip tables are
+// reconstructed from their uvarint deltas and the payload bytes adopted
+// verbatim; postings.NewBlockList fully validates every block, so a
+// malformed section is rejected here rather than during query decode.
+func loadIndexV2(d *DB, br *crcReader) error {
+	nTerms, err := readUvarint(br)
+	if err != nil {
+		return err
 	}
-	return d, nil
+	lists := make(map[string]*postings.BlockList, nTerms)
+	for i := uint64(0); i < nTerms; i++ {
+		term, err := readString(br)
+		if err != nil {
+			return err
+		}
+		nPost, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		const sanity = 1 << 31
+		if nPost > sanity {
+			return fmt.Errorf("db: load: implausible posting count %d for %q", nPost, term)
+		}
+		nBlocks, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		if nBlocks > nPost {
+			return fmt.Errorf("db: load: %d blocks for %d postings of %q: %w", nBlocks, nPost, term, ErrCorruptSnapshot)
+		}
+		skips := make([]postings.Skip, 0, min(nBlocks, 1<<16))
+		var off, end uint64
+		for b := uint64(0); b < nBlocks; b++ {
+			var v [6]uint64
+			for k := range v {
+				if v[k], err = readUvarint(br); err != nil {
+					return err
+				}
+			}
+			cnt, byteLen, firstDoc, docSpan, lastPos, maxFreq := v[0], v[1], v[2], v[3], v[4], v[5]
+			if cnt < 1 || cnt > postings.BlockSize {
+				return fmt.Errorf("db: load: block %d of %q holds %d postings: %w", b, term, cnt, ErrCorruptSnapshot)
+			}
+			end += cnt
+			if end > nPost {
+				return fmt.Errorf("db: load: blocks of %q cover more than %d postings: %w", term, nPost, ErrCorruptSnapshot)
+			}
+			if byteLen == 0 || off+byteLen > math.MaxUint32 {
+				return fmt.Errorf("db: load: implausible block payload length %d for %q: %w", byteLen, term, ErrCorruptSnapshot)
+			}
+			if firstDoc+docSpan >= math.MaxInt32 {
+				return fmt.Errorf("db: load: implausible document range for %q: %w", term, ErrCorruptSnapshot)
+			}
+			if lastPos > math.MaxUint32 || maxFreq > cnt {
+				return fmt.Errorf("db: load: implausible skip entry for %q: %w", term, ErrCorruptSnapshot)
+			}
+			skips = append(skips, postings.Skip{
+				FirstDoc: storage.DocID(firstDoc),
+				LastDoc:  storage.DocID(firstDoc + docSpan),
+				LastPos:  uint32(lastPos),
+				MaxFreq:  uint32(maxFreq),
+				Off:      uint32(off),
+				End:      uint32(end),
+			})
+			off += byteLen
+		}
+		if end != nPost {
+			return fmt.Errorf("db: load: blocks of %q cover %d of %d postings: %w", term, end, nPost, ErrCorruptSnapshot)
+		}
+		payload, err := readBytes(br, off)
+		if err != nil {
+			return err
+		}
+		bl, err := postings.NewBlockList(int(nPost), skips, payload)
+		if err != nil {
+			return fmt.Errorf("db: load: postings for %q: %w: %w", term, ErrCorruptSnapshot, err)
+		}
+		lists[term] = bl
+	}
+	d.idx = index.RestoreBlocks(d.store, d.tok, lists)
+	return nil
 }
 
 // LoadDBFile reads a database file written by SaveFile.
@@ -340,6 +507,24 @@ func readUvarint(r io.ByteReader) (uint64, error) {
 	return v, nil
 }
 
+// readBytes reads exactly n bytes in bounded chunks: a lying length on a
+// corrupted file must not force a giant up-front allocation before the
+// short read surfaces.
+func readBytes(r byteReader, n uint64) ([]byte, error) {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for remaining := n; remaining > 0; {
+		k := min(remaining, chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, fmt.Errorf("db: load: %w", err)
+		}
+		remaining -= k
+	}
+	return buf, nil
+}
+
 func readString(r byteReader) (string, error) {
 	n, err := readUvarint(r)
 	if err != nil {
@@ -349,19 +534,9 @@ func readString(r byteReader) (string, error) {
 	if n > maxString {
 		return "", fmt.Errorf("db: load: implausible string length %d", n)
 	}
-	// Read in bounded chunks: a lying length prefix on a corrupted file
-	// must not force a giant up-front allocation before the short read
-	// surfaces.
-	const chunk = 1 << 16
-	buf := make([]byte, 0, min(n, chunk))
-	for remaining := n; remaining > 0; {
-		k := min(remaining, chunk)
-		start := len(buf)
-		buf = append(buf, make([]byte, k)...)
-		if _, err := io.ReadFull(r, buf[start:]); err != nil {
-			return "", fmt.Errorf("db: load: %w", err)
-		}
-		remaining -= k
+	buf, err := readBytes(r, n)
+	if err != nil {
+		return "", err
 	}
 	return string(buf), nil
 }

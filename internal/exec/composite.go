@@ -71,7 +71,8 @@ func (c *Comp1) Run(emit Emit) error {
 		// Per-term "selection": materialize one witness per (ancestor,
 		// occurrence) embedding, copying both bound node records.
 		var recs []witnessRec
-		for _, p := range c.Query.postings(c.Index, terms, ti) {
+		for cur := c.Query.list(c.Index, terms, ti).Cursor(); cur.Valid(); cur.Advance() {
+			p := cur.Cur()
 			occ := scoring.Occ{Term: ti, Pos: p.Pos, Node: p.Node}
 			leaf := *c.Acc.Node(p.Doc, p.Node)
 			for a := leaf.Parent; a != storage.NoNode; {
@@ -195,9 +196,9 @@ func (c *Comp2) Run(emit Emit) error {
 	}
 	nTerms := len(c.Query.Terms)
 	terms := normalizeTerms(c.Index, c.Query.Terms)
-	lists := make([][]index.Posting, nTerms)
+	lists := make([]index.List, nTerms)
 	for i := range terms {
-		lists[i] = c.Query.postings(c.Index, terms, i)
+		lists[i] = c.Query.list(c.Index, terms, i)
 	}
 
 	for _, doc := range c.Index.Store().Docs() {
@@ -207,7 +208,8 @@ func (c *Comp2) Run(emit Emit) error {
 		occsByOrd := map[int32][]scoring.Occ{}
 		for ti := range terms {
 			var positions []uint32
-			for _, p := range docSlice(lists[ti], doc.ID) {
+			for cur := lists[ti].Range(doc.ID, doc.ID+1).Cursor(); cur.Valid(); cur.Advance() {
+				p := cur.Cur()
 				positions = append(positions, p.Pos)
 				if c.Query.Complex {
 					// The composite plan tags occurrences onto every

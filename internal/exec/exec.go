@@ -14,7 +14,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/index"
 	"repro/internal/scoring"
@@ -75,6 +74,11 @@ func (d DefaultScorer) Complex(counts []int, occs []scoring.Occ, nz, total int) 
 // and the scoring mode.
 type TermQuery struct {
 	Terms []string
+	// Lists, when non-nil, supplies the posting list for each term as a
+	// zero-copy view (raw or block-compressed) instead of an index lookup.
+	// Its length must equal len(Terms). Takes precedence over
+	// PostingLists.
+	Lists []index.List
 	// PostingLists, when non-nil, supplies the posting list for each term
 	// directly instead of an index lookup — this is how phrase matches
 	// from PhraseFinder feed TermJoin as pseudo-terms (Sec. 5.1.2: "counts
@@ -97,26 +101,26 @@ func (q *TermQuery) validate(method string) error {
 	if q.Scorer == nil {
 		return fmt.Errorf("exec: %s requires a scorer", method)
 	}
-	if q.PostingLists != nil && len(q.PostingLists) != len(q.Terms) {
+	if q.Lists != nil && len(q.Lists) != len(q.Terms) {
+		return fmt.Errorf("exec: %s: %d lists for %d terms", method, len(q.Lists), len(q.Terms))
+	}
+	if q.Lists == nil && q.PostingLists != nil && len(q.PostingLists) != len(q.Terms) {
 		return fmt.Errorf("exec: %s: %d posting lists for %d terms", method, len(q.PostingLists), len(q.Terms))
 	}
 	return nil
 }
 
-// postings resolves term i of the query to its posting list.
-func (q *TermQuery) postings(idx *index.Index, normalized []string, i int) []index.Posting {
-	if q.PostingLists != nil {
-		return q.PostingLists[i]
+// list resolves term i of the query to its posting-list view: explicit
+// Lists first, then PostingLists (wrapped raw), then the index's
+// block-compressed list.
+func (q *TermQuery) list(idx *index.Index, normalized []string, i int) index.List {
+	if q.Lists != nil {
+		return q.Lists[i]
 	}
-	return idx.Postings(normalized[i])
-}
-
-// docSlice returns the contiguous run of postings belonging to doc (the
-// list is sorted by document, so two binary searches suffice).
-func docSlice(ps []index.Posting, doc storage.DocID) []index.Posting {
-	lo := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= doc })
-	hi := sort.Search(len(ps), func(i int) bool { return ps[i].Doc > doc })
-	return ps[lo:hi]
+	if q.PostingLists != nil {
+		return index.NewRawList(q.PostingLists[i])
+	}
+	return idx.List(normalized[i])
 }
 
 // PhrasePostings converts phrase matches into a posting list usable as a

@@ -103,8 +103,7 @@ func (b *BlockingSource) Close() error { b.buf = nil; return nil }
 type IndexScan struct {
 	Index *index.Index
 	Term  string
-	list  []index.Posting
-	pos   int
+	cur   *index.Cursor
 }
 
 // Open resolves the term through the index tokenizer.
@@ -112,18 +111,17 @@ func (s *IndexScan) Open() error {
 	if s.Index == nil {
 		return fmt.Errorf("exec: IndexScan without an index")
 	}
-	s.list = s.Index.Postings(s.Index.Tokenizer().Normalize(s.Term))
-	s.pos = 0
+	s.cur = s.Index.List(s.Index.Tokenizer().Normalize(s.Term)).Cursor()
 	return nil
 }
 
 // Next yields the next occurrence.
 func (s *IndexScan) Next() (ScoredNode, bool, error) {
-	if s.pos >= len(s.list) {
+	if !s.cur.Valid() {
 		return ScoredNode{}, false, nil
 	}
-	p := s.list[s.pos]
-	s.pos++
+	p := s.cur.Cur()
+	s.cur.Advance()
 	return ScoredNode{Doc: p.Doc, Ord: p.Node, Score: 1}, true, nil
 }
 

@@ -207,6 +207,24 @@ func (g *Guard) Tick() error {
 	return g.Check()
 }
 
+// TickN records n units of work at once — what batch consumers (block
+// decodes, document-count scans) use so skipping work does not skip
+// accountability. It preserves Tick's cadence: the full Check runs if any
+// multiple of CheckEvery was crossed by the batch.
+func (g *Guard) TickN(n int) error {
+	if g == nil {
+		return nil
+	}
+	if n <= 0 {
+		return g.Err()
+	}
+	t := g.ticks.Add(int64(n))
+	if (t-int64(n))/g.every == t/g.every {
+		return g.Err()
+	}
+	return g.Check()
+}
+
 // Check performs the full cooperative check immediately: latched failure,
 // context cancellation, wall-clock deadline, and the access budget. Access
 // methods call it once at Run entry (so an already-dead query never starts

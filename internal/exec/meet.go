@@ -45,9 +45,9 @@ func (g *GenMeet) Run(emit Emit) error {
 	}
 	nTerms := len(g.Query.Terms)
 	terms := normalizeTerms(g.Index, g.Query.Terms)
-	lists := make([][]index.Posting, nTerms)
+	lists := make([]index.List, nTerms)
 	for i := range terms {
-		lists[i] = g.Query.postings(g.Index, terms, i)
+		lists[i] = g.Query.list(g.Index, terms, i)
 	}
 
 	for _, doc := range g.Index.Store().Docs() {
@@ -82,7 +82,8 @@ func (g *GenMeet) Run(emit Emit) error {
 		}
 		any := false
 		for ti := range terms {
-			for _, p := range docSlice(lists[ti], doc.ID) {
+			for cur := lists[ti].Range(doc.ID, doc.ID+1).Cursor(); cur.Valid(); cur.Advance() {
+				p := cur.Cur()
 				if err := g.Guard.Tick(); err != nil {
 					return err
 				}

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/index"
@@ -70,12 +69,12 @@ func (p *ParallelTermJoin) Run(emit Emit) error {
 		return nil
 	}
 
-	// Pre-resolve posting lists once so each worker can slice its document
-	// range without re-normalizing.
+	// Pre-resolve posting lists once so each worker can take its document
+	// range as a zero-copy view without re-normalizing.
 	terms := normalizeTerms(p.Index, p.Query.Terms)
-	lists := make([][]index.Posting, len(terms))
+	lists := make([]index.List, len(terms))
 	for i := range terms {
-		lists[i] = p.Query.postings(p.Index, terms, i)
+		lists[i] = p.Query.list(p.Index, terms, i)
 	}
 
 	// Contiguous DocID ranges per worker.
@@ -117,14 +116,13 @@ func (p *ParallelTermJoin) Run(emit Emit) error {
 				}
 			}()
 			pt := parts[w]
-			sub := make([][]index.Posting, len(lists))
-			for i, ps := range lists {
-				loIdx := sort.Search(len(ps), func(k int) bool { return ps[k].Doc >= pt.loDoc })
-				hiIdx := sort.Search(len(ps), func(k int) bool { return ps[k].Doc >= pt.hiDoc })
-				sub[i] = ps[loIdx:hiIdx]
+			sub := make([]index.List, len(lists))
+			for i, l := range lists {
+				sub[i] = l.Range(pt.loDoc, pt.hiDoc)
 			}
 			q := p.Query
-			q.PostingLists = sub
+			q.Lists = sub
+			q.PostingLists = nil
 			acc := storage.NewAccessor(p.Index.Store())
 			tj := &TermJoin{Index: p.Index, Acc: acc, Query: q, ChildCounts: p.ChildCounts, Guard: p.Guard}
 			out, err := Collect(tj.Run)

@@ -42,9 +42,10 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 		return err
 	}
 	terms := normalizeTerms(p.Index, p.Phrase)
-	first := p.Index.Postings(terms[0])
+	first := p.Index.List(terms[0])
 	if len(terms) == 1 {
-		for _, occ := range first {
+		for cur := first.Cursor(); cur.Valid(); cur.Advance() {
+			occ := cur.Cur()
 			if err := p.Guard.NoteEmit(); err != nil {
 				return err
 			}
@@ -57,12 +58,13 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 		if err := p.Guard.Tick(); err != nil {
 			return err
 		}
-		cursors[i] = index.NewCursor(p.Index.Postings(t))
+		cursors[i] = p.Index.List(t).Cursor()
 	}
 	// Merge: for each occurrence of the first term at position q, the
 	// phrase matches iff term i+1 occurs at q+i+1 (same document; adjacency
 	// in the shared word-position space implies the same text node).
-	for _, occ := range first {
+	for fc := first.Cursor(); fc.Valid(); fc.Advance() {
+		occ := fc.Cur()
 		if err := p.Guard.Tick(); err != nil {
 			return err
 		}
@@ -134,10 +136,11 @@ func (c *Comp3) Run(emit func(PhraseMatch)) error {
 	var candidates map[nodeKey]bool
 	for _, term := range terms {
 		now := map[nodeKey]bool{}
-		for _, p := range c.Index.Postings(term) {
+		for cur := c.Index.List(term).Cursor(); cur.Valid(); cur.Advance() {
 			if err := c.Guard.Tick(); err != nil {
 				return err
 			}
+			p := cur.Cur()
 			now[nodeKey{p.Doc, p.Node}] = true
 		}
 		if candidates == nil {

@@ -73,7 +73,7 @@ func (t *TermJoin) Run(emit Emit) error {
 	terms := normalizeTerms(t.Index, t.Query.Terms)
 	cursors := make([]*index.Cursor, nTerms)
 	for i := range terms {
-		cursors[i] = index.NewCursor(t.Query.postings(t.Index, terms, i))
+		cursors[i] = t.Query.list(t.Index, terms, i).Cursor()
 	}
 
 	var stack []*tjEntry

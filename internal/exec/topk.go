@@ -58,6 +58,15 @@ func (t *TopK) Offer(n ScoredNode) {
 	}
 }
 
+// Threshold returns the k-th best score when the heap is full — the
+// pruning cut-off — and false while fewer than k elements are retained.
+func (t *TopK) Threshold() (float64, bool) {
+	if t.k <= 0 || t.h.Len() < t.k {
+		return 0, false
+	}
+	return t.h[0].Score, true
+}
+
 // Results returns the retained elements in the RankedBefore order.
 func (t *TopK) Results() []ScoredNode {
 	out := append([]ScoredNode(nil), t.h...)

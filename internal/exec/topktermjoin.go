@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/index"
+	"repro/internal/postings"
 	"repro/internal/storage"
 )
 
@@ -12,14 +13,22 @@ import (
 // for Threshold evaluation (Chang & Hwang's minimal probing and Bruno et
 // al.'s upper-bound pruning, Sec. 5.3 [8, 5]).
 //
-// It derives, per document, an upper bound on the score any element of
-// that document can attain — for the simple scoring function the weighted
-// whole-document term counts; for the complex function that base plus the
-// maximal proximity bonus (each adjacent occurrence pair contributes at
-// most 1/(1+1), and the child ratio is at most 1). Documents are processed
-// in decreasing bound order, and evaluation stops as soon as the next
-// bound cannot displace the current k-th best score. The result is exactly
-// the full TermJoin's top k.
+// It derives an upper bound on the score any element of a document can
+// attain — for the simple scoring function the weighted whole-document
+// term counts; for the complex function that base plus the maximal
+// proximity bonus (each adjacent occurrence pair contributes at most
+// 1/(1+1), and the child ratio is at most 1) — and skips every document
+// whose bound cannot displace the current k-th best score.
+//
+// When every posting list is block-compressed the bounds come straight
+// from the skip tables (WAND-style block-max pruning): the document space
+// is swept in ascending order as a sequence of intervals over which the
+// set of candidate blocks is constant, each interval is bounded by the
+// sum of its blocks' MaxFreq statistics, and intervals that cannot beat
+// the k-th score are skipped without decoding a single block. Documents
+// inside a surviving interval are still bounded exactly (via a
+// document-stream-only scan) before the full per-document TermJoin runs.
+// The result is exactly the full TermJoin's top k in both modes.
 type TopKTermJoin struct {
 	Index *index.Index
 	Query TermQuery
@@ -29,10 +38,17 @@ type TopKTermJoin struct {
 	// DocsEvaluated reports, after Run, how many documents were actually
 	// scored (the early-termination payoff).
 	DocsEvaluated int
+	// BlocksSkipped reports, after Run, how many encoded blocks the
+	// block-max sweep passed over without decoding.
+	BlocksSkipped int
+	// DisablePruning evaluates every candidate document — the oracle the
+	// differential tests compare the pruned paths against.
+	DisablePruning bool
 	// Bound overrides the per-document upper bound: given the per-term
 	// whole-document counts and the total occurrence count, it must return
 	// a value ≥ any element score in that document. Nil uses the default
-	// described above.
+	// described above. A custom Bound forces the document-at-a-time path
+	// (block-max statistics only bound the default).
 	Bound func(counts []int, totalOcc int) float64
 	// Guard, when non-nil, is the cooperative cancellation and resource
 	// budget, checked during the bound-building pass, between documents,
@@ -52,14 +68,56 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 		return nil, err
 	}
 	t.DocsEvaluated = 0
+	t.BlocksSkipped = 0
 
 	terms := normalizeTerms(t.Index, t.Query.Terms)
-	lists := make([][]index.Posting, len(terms))
+	lists := make([]index.List, len(terms))
+	blocked := true
 	for i := range terms {
-		lists[i] = t.Query.postings(t.Index, terms, i)
+		lists[i] = t.Query.list(t.Index, terms, i)
+		if lists[i].Len() > 0 && lists[i].Blocks() == nil {
+			blocked = false
+		}
 	}
+	tk := NewTopK(t.K)
+	if t.Bound == nil && blocked {
+		if err := t.runBlockMax(lists, tk); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := t.runExhaustive(lists, tk); err != nil {
+			return nil, err
+		}
+	}
+	return tk.Results(), nil
+}
 
-	// Per-document term counts (one pass over each posting list).
+// evalDoc runs the regular TermJoin restricted to one document, feeding
+// the top-k heap.
+func (t *TopKTermJoin) evalDoc(lists []index.List, doc storage.DocID, tk *TopK) error {
+	t.DocsEvaluated++
+	sub := make([]index.List, len(lists))
+	for i, l := range lists {
+		sub[i] = l.Range(doc, doc+1)
+	}
+	q := t.Query
+	q.Lists = sub
+	q.PostingLists = nil
+	tj := &TermJoin{
+		Index:       t.Index,
+		Acc:         storage.NewAccessor(t.Index.Store()),
+		Query:       q,
+		ChildCounts: t.ChildCounts,
+		Guard:       t.Guard,
+	}
+	return tj.Run(tk.Emit())
+}
+
+// runExhaustive is the document-at-a-time path: one counting pass over
+// every posting, documents ordered by decreasing bound, stop at the first
+// bound the k-th score beats. It serves custom Bound functions, raw
+// posting lists, and the unpruned oracle (DisablePruning).
+func (t *TopKTermJoin) runExhaustive(lists []index.List, tk *TopK) error {
 	type docInfo struct {
 		doc    storage.DocID
 		counts []int
@@ -67,14 +125,15 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 		bound  float64
 	}
 	byDoc := map[storage.DocID]*docInfo{}
-	for ti, ps := range lists {
-		for _, p := range ps {
+	for ti, l := range lists {
+		for cur := l.Cursor(); cur.Valid(); cur.Advance() {
 			if err := t.Guard.Tick(); err != nil {
-				return nil, err
+				return err
 			}
+			p := cur.Cur()
 			di := byDoc[p.Doc]
 			if di == nil {
-				di = &docInfo{doc: p.Doc, counts: make([]int, len(terms))}
+				di = &docInfo{doc: p.Doc, counts: make([]int, len(lists))}
 				byDoc[p.Doc] = di
 			}
 			di.counts[ti]++
@@ -97,44 +156,158 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 		return docs[i].doc < docs[j].doc
 	})
 
-	tk := NewTopK(t.K)
-	kth := func() (float64, bool) {
-		res := tk.Results()
-		if len(res) < t.K {
-			return 0, false
-		}
-		return res[len(res)-1].Score, true
-	}
 	for _, di := range docs {
 		if err := t.Guard.Check(); err != nil {
-			return nil, err
+			return err
 		}
-		if cut, full := kth(); full && di.bound <= cut {
-			break // no element of any remaining document can displace the k-th
+		if !t.DisablePruning {
+			if cut, full := tk.Threshold(); full && di.bound <= cut {
+				break // no element of any remaining document can displace the k-th
+			}
 		}
-		t.DocsEvaluated++
-		// Run the regular TermJoin restricted to this document by slicing
-		// each posting list to the document's range.
-		sub := make([][]index.Posting, len(lists))
-		for i, ps := range lists {
-			lo := sort.Search(len(ps), func(k int) bool { return ps[k].Doc >= di.doc })
-			hi := sort.Search(len(ps), func(k int) bool { return ps[k].Doc > di.doc })
-			sub[i] = ps[lo:hi]
-		}
-		q := t.Query
-		q.PostingLists = sub
-		tj := &TermJoin{
-			Index:       t.Index,
-			Acc:         storage.NewAccessor(t.Index.Store()),
-			Query:       q,
-			ChildCounts: t.ChildCounts,
-			Guard:       t.Guard,
-		}
-		if err := tj.Run(tk.Emit()); err != nil {
-			return nil, err
+		if err := t.evalDoc(lists, di.doc, tk); err != nil {
+			return err
 		}
 	}
-	return tk.Results(), nil
+	return nil
+}
+
+// runBlockMax is the block-max path: sweep the document space in
+// ascending order as intervals over which every list's candidate block
+// set is constant, bound each interval by skip-table MaxFreq sums alone,
+// and decode only intervals that can still displace the k-th score.
+//
+// Exactness: documents are handled in strictly ascending order and the
+// heap's tie-break prefers lower document ids, so an element from a later
+// document tying the k-th score can never displace it — a skip under
+// bound ≤ k-th is therefore lossless, matching the exhaustive path.
+func (t *TopKTermJoin) runBlockMax(lists []index.List, tk *TopK) error {
+	skips := make([][]postings.Skip, len(lists))
+	ptr := make([]int, len(lists))
+	for i, l := range lists {
+		skips[i] = l.Blocks().Skips() // nil for empty lists
+	}
+	counts := make([]int, len(lists))
+
+	next := storage.DocID(0) // all documents < next are fully handled
+	for {
+		if err := t.Guard.Tick(); err != nil {
+			return err
+		}
+		// Advance past blocks wholly before the frontier and find the
+		// interval [d, B) on which every list's block set is constant.
+		d := storage.DocID(-1)
+		for i := range skips {
+			for ptr[i] < len(skips[i]) && skips[i][ptr[i]].LastDoc < next {
+				ptr[i]++
+			}
+			if ptr[i] == len(skips[i]) {
+				continue
+			}
+			lo := skips[i][ptr[i]].FirstDoc
+			if lo < next {
+				lo = next
+			}
+			if d < 0 || lo < d {
+				d = lo
+			}
+		}
+		if d < 0 {
+			return nil // every list exhausted
+		}
+		B := storage.DocID(-1)
+		for i := range skips {
+			if ptr[i] == len(skips[i]) {
+				continue
+			}
+			sk := skips[i][ptr[i]]
+			edge := sk.LastDoc + 1
+			if sk.FirstDoc > d {
+				edge = sk.FirstDoc
+			}
+			if B < 0 || edge < B {
+				B = edge
+			}
+		}
+
+		// Upper-bound the interval from the skip tables alone: a document
+		// in [d, B) may span several consecutive blocks, so sum MaxFreq
+		// over every block starting before B.
+		ubOcc := 0
+		for i := range skips {
+			counts[i] = 0
+			for j := ptr[i]; j < len(skips[i]) && skips[i][j].FirstDoc < B; j++ {
+				counts[i] += int(skips[i][j].MaxFreq)
+			}
+			ubOcc += counts[i]
+		}
+		if ubOcc == 0 {
+			next = B
+			continue
+		}
+		if !t.DisablePruning {
+			if cut, full := tk.Threshold(); full && t.defaultBound(counts, ubOcc) <= cut {
+				// Nothing in the interval can displace the k-th: skip it
+				// without decoding. Blocks wholly consumed by the skip are
+				// the pruning payoff.
+				for i := range skips {
+					for j := ptr[i]; j < len(skips[i]) && skips[i][j].LastDoc < B; j++ {
+						t.BlocksSkipped++
+					}
+				}
+				next = B
+				continue
+			}
+		}
+
+		// The interval survives: resolve exact per-document counts with a
+		// document-stream-only scan, then bound and evaluate each document
+		// in ascending order.
+		type docInfo struct {
+			counts []int
+			occ    int
+		}
+		byDoc := map[storage.DocID]*docInfo{}
+		for i, l := range lists {
+			bl := l.Blocks()
+			err := bl.DocCounts(d, B, func(doc storage.DocID, n int) error {
+				if err := t.Guard.TickN(n); err != nil {
+					return err
+				}
+				di := byDoc[doc]
+				if di == nil {
+					di = &docInfo{counts: make([]int, len(lists))}
+					byDoc[doc] = di
+				}
+				di.counts[i] += n
+				di.occ += n
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		docs := make([]storage.DocID, 0, len(byDoc))
+		for doc := range byDoc {
+			docs = append(docs, doc)
+		}
+		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+		for _, doc := range docs {
+			if err := t.Guard.Check(); err != nil {
+				return err
+			}
+			di := byDoc[doc]
+			if !t.DisablePruning {
+				if cut, full := tk.Threshold(); full && t.defaultBound(di.counts, di.occ) <= cut {
+					continue // exact bound says this document cannot place
+				}
+			}
+			if err := t.evalDoc(lists, doc, tk); err != nil {
+				return err
+			}
+		}
+		next = B
+	}
 }
 
 // defaultBound upper-bounds any element score in a document.

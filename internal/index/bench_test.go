@@ -1,0 +1,60 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/synth"
+	"repro/internal/tokenize"
+)
+
+// benchStore generates a mid-sized synthetic corpus once per benchmark —
+// Build cost is dominated by tokenization plus posting accumulation, the
+// paths the per-node dedup rework touched.
+func benchStore(b *testing.B) *storage.Store {
+	b.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Articles = 60
+	cfg.Seed = 17
+	cfg.ControlTerms = map[string]int{"needle": 500, "haystack": 300}
+	c, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := storage.NewStore()
+	if _, err := s.AddTree("corpus.xml", c.Root); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkBuild measures full index construction: tokenize, accumulate,
+// sort-check, block-encode. The satellite fix this pins removed the
+// per-text-node seen map from the ancestor walk; regressions show up here
+// as allocs/op.
+func BenchmarkBuild(b *testing.B) {
+	s := benchStore(b)
+	tok := tokenize.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := Build(s, tok)
+		if idx.NumTerms() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkMaterialize measures full-list decode throughput, the cost the
+// lazy cursor avoids paying upfront.
+func BenchmarkMaterialize(b *testing.B) {
+	s := benchStore(b)
+	idx := Build(s, tokenize.New())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(idx.List("needle").Materialize()); got == 0 {
+			b.Fatal("empty list")
+		}
+	}
+}

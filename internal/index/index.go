@@ -9,6 +9,13 @@
 // space as the region encoding of internal/xmltree, so containment tests
 // against element regions work directly), and the word offset within the
 // text node.
+//
+// Storage is block-compressed (internal/postings): each term's list is
+// encoded into 128-posting delta+varint blocks with a skip table, cutting
+// postings memory several-fold. Cursors decode lazily and seek via the
+// skip table; the legacy []Posting surface remains available through
+// Postings (which materializes) and NewRawList/NewCursor (which wrap raw
+// slices), so both representations flow through the same operators.
 package index
 
 import (
@@ -16,113 +23,121 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/postings"
 	"repro/internal/storage"
 	"repro/internal/tokenize"
 	"repro/internal/xmltree"
 )
 
 // Posting is one occurrence of a term.
-type Posting struct {
-	Doc    storage.DocID
-	Node   int32  // ordinal of the containing text node
-	Pos    uint32 // absolute word position (region-encoding key space)
-	Offset uint32 // word offset within the text node
-}
+type Posting = postings.Posting
 
-// Less orders postings by (Doc, Pos) — document order.
-func (p Posting) Less(q Posting) bool {
-	if p.Doc != q.Doc {
-		return p.Doc < q.Doc
-	}
-	return p.Pos < q.Pos
-}
+// Cursor iterates a posting list in document order with one-posting
+// lookahead, as the merge-based access methods need. See
+// internal/postings for the seek semantics.
+type Cursor = postings.Cursor
+
+// List is a read-only view over one term's postings, raw or
+// block-compressed.
+type List = postings.List
+
+// NewCursor returns a cursor over a raw, (Doc, Pos)-sorted posting slice.
+func NewCursor(ps []Posting) *Cursor { return postings.NewCursor(ps) }
+
+// NewRawList wraps a raw, (Doc, Pos)-sorted posting slice as a List
+// without copying.
+func NewRawList(ps []Posting) List { return postings.NewRawList(ps) }
 
 // Index is a positional inverted index over every document of a store.
 type Index struct {
-	store    *storage.Store
-	tok      *tokenize.Tokenizer
-	postings map[string][]Posting
-	nodeFreq map[string]int // number of distinct text nodes containing the term
-	total    int64          // total occurrences across all terms
+	store *storage.Store
+	tok   *tokenize.Tokenizer
+	lists map[string]*postings.BlockList
+	total int64 // total occurrences across all terms
 }
 
 // Build tokenizes every text node of every document in s and returns the
 // index. The same tokenizer must be used later for query phrases.
 func Build(s *storage.Store, tok *tokenize.Tokenizer) *Index {
 	idx := &Index{
-		store:    s,
-		tok:      tok,
-		postings: make(map[string][]Posting),
-		nodeFreq: make(map[string]int),
+		store: s,
+		tok:   tok,
 	}
+	raw := make(map[string][]Posting)
 	for _, doc := range s.Docs() {
 		for ord := range doc.Nodes {
 			rec := &doc.Nodes[ord]
 			if rec.Kind != xmltree.Text {
 				continue
 			}
-			seen := map[string]bool{}
 			for _, t := range tok.Tokenize(rec.Text) {
-				idx.postings[t.Term] = append(idx.postings[t.Term], Posting{
+				raw[t.Term] = append(raw[t.Term], Posting{
 					Doc:    doc.ID,
 					Node:   int32(ord),
 					Pos:    rec.Start + t.Offset,
 					Offset: t.Offset,
 				})
 				idx.total++
-				if !seen[t.Term] {
-					seen[t.Term] = true
-					idx.nodeFreq[t.Term]++
-				}
 			}
 		}
 	}
 	// Text nodes are visited in document order per document and documents in
 	// DocID order, so posting lists are already sorted; assert cheaply in
-	// debug-style by re-sorting only if needed.
-	//tixlint:ignore mapiter per-key normalization writing only idx.postings[term]; no cross-key state, so iteration order cannot leak
-	for term, ps := range idx.postings {
+	// debug-style by re-sorting only if needed. Node frequency falls out of
+	// the sorted stream during encoding ((doc, node) run transitions), so no
+	// per-text-node dedup set is needed on the hot build path.
+	idx.lists = make(map[string]*postings.BlockList, len(raw))
+	//tixlint:ignore mapiter per-key encode writing only idx.lists[term]; no cross-key state, so iteration order cannot leak
+	for term, ps := range raw {
 		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
 			sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
-			idx.postings[term] = ps
 		}
+		idx.lists[term] = postings.Encode(ps)
 	}
 	return idx
 }
 
-// Restore reconstitutes an index from previously-built posting lists (the
-// persistence path of internal/db): it validates ordering and recomputes
-// the derived statistics. The posting map is adopted, not copied.
-func Restore(s *storage.Store, tok *tokenize.Tokenizer, postings map[string][]Posting) (*Index, error) {
+// Restore reconstitutes an index from previously-built raw posting lists
+// (the v1 persistence path of internal/db): it validates ordering,
+// recomputes the derived statistics, and block-encodes each list.
+func Restore(s *storage.Store, tok *tokenize.Tokenizer, raw map[string][]Posting) (*Index, error) {
 	idx := &Index{
-		store:    s,
-		tok:      tok,
-		postings: postings,
-		nodeFreq: make(map[string]int, len(postings)),
+		store: s,
+		tok:   tok,
+		lists: make(map[string]*postings.BlockList, len(raw)),
 	}
 	// Validate in sorted term order so a corrupt snapshot reports the
 	// same first offender on every run.
-	terms := make([]string, 0, len(postings))
-	for term := range postings {
+	terms := make([]string, 0, len(raw))
+	for term := range raw {
 		terms = append(terms, term)
 	}
 	sort.Strings(terms)
 	for _, term := range terms {
-		ps := postings[term]
+		ps := raw[term]
 		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
 			return nil, fmt.Errorf("index: restored postings for %q are out of order", term)
 		}
 		idx.total += int64(len(ps))
-		lastNode := int32(-1)
-		lastDoc := storage.DocID(-1)
-		for _, p := range ps {
-			if p.Doc != lastDoc || p.Node != lastNode {
-				idx.nodeFreq[term]++
-				lastDoc, lastNode = p.Doc, p.Node
-			}
-		}
+		idx.lists[term] = postings.Encode(ps)
 	}
 	return idx, nil
+}
+
+// RestoreBlocks reconstitutes an index from already-validated block lists
+// (the v2 persistence path of internal/db). The map is adopted, not
+// copied; every BlockList must come from postings.NewBlockList or Encode.
+func RestoreBlocks(s *storage.Store, tok *tokenize.Tokenizer, lists map[string]*postings.BlockList) *Index {
+	idx := &Index{
+		store: s,
+		tok:   tok,
+		lists: lists,
+	}
+	//tixlint:ignore mapiter integer accumulation over list lengths is order-independent
+	for _, bl := range lists {
+		idx.total += int64(bl.Len())
+	}
+	return idx
 }
 
 // Store returns the store the index was built over.
@@ -131,20 +146,36 @@ func (idx *Index) Store() *storage.Store { return idx.store }
 // Tokenizer returns the tokenizer the index was built with.
 func (idx *Index) Tokenizer() *tokenize.Tokenizer { return idx.tok }
 
+// List returns the posting list for term (lowercased exact match) as a
+// zero-copy view, ordered by (Doc, Pos). Unknown terms yield an empty
+// list. This is the access method operators should use: cursors over it
+// decode lazily.
+func (idx *Index) List(term string) List {
+	return idx.lists[term].All()
+}
+
+// BlockList exposes term's encoded blocks for persistence and block-max
+// pruning; nil for unknown terms.
+func (idx *Index) BlockList(term string) *postings.BlockList {
+	return idx.lists[term]
+}
+
 // Postings returns the posting list for term (lowercased exact match),
-// ordered by (Doc, Pos). The returned slice must not be modified.
+// ordered by (Doc, Pos). It materializes (decodes) the block-compressed
+// list on every call — use List for query execution and keep Postings
+// for compatibility and tests. The returned slice must not be modified.
 func (idx *Index) Postings(term string) []Posting {
-	return idx.postings[term]
+	return idx.lists[term].All().Materialize()
 }
 
 // TermFreq returns the total number of occurrences of term.
 func (idx *Index) TermFreq(term string) int {
-	return len(idx.postings[term])
+	return idx.lists[term].Len()
 }
 
 // NodeFreq returns the number of distinct text nodes containing term.
 func (idx *Index) NodeFreq(term string) int {
-	return idx.nodeFreq[term]
+	return idx.lists[term].NodeFreq()
 }
 
 // IDF returns the inverse document frequency of term over text nodes:
@@ -153,7 +184,7 @@ func (idx *Index) NodeFreq(term string) int {
 // the maximum IDF.
 func (idx *Index) IDF(term string) float64 {
 	totalNodes := idx.totalTextNodes()
-	nf := idx.nodeFreq[term]
+	nf := idx.lists[term].NodeFreq()
 	if nf == 0 {
 		nf = 1
 	}
@@ -173,7 +204,7 @@ func (idx *Index) totalTextNodes() int {
 }
 
 // NumTerms returns the vocabulary size.
-func (idx *Index) NumTerms() int { return len(idx.postings) }
+func (idx *Index) NumTerms() int { return len(idx.lists) }
 
 // TotalOccurrences returns the total number of indexed occurrences.
 func (idx *Index) TotalOccurrences() int64 { return idx.total }
@@ -181,12 +212,12 @@ func (idx *Index) TotalOccurrences() int64 { return idx.total }
 // TermsByFreq returns all terms sorted by descending total frequency; ties
 // break lexicographically. Useful for workload construction.
 func (idx *Index) TermsByFreq() []string {
-	terms := make([]string, 0, len(idx.postings))
-	for t := range idx.postings {
+	terms := make([]string, 0, len(idx.lists))
+	for t := range idx.lists {
 		terms = append(terms, t)
 	}
 	sort.Slice(terms, func(i, j int) bool {
-		fi, fj := len(idx.postings[terms[i]]), len(idx.postings[terms[j]])
+		fi, fj := idx.lists[terms[i]].Len(), idx.lists[terms[j]].Len()
 		if fi != fj {
 			return fi > fj
 		}
@@ -202,11 +233,11 @@ func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error
 	best := ""
 	bestDiff := math.MaxFloat64
 	//tixlint:ignore mapiter result is order-independent: strict (diff, lexicographic) tie-break picks the same winner whatever order the map yields
-	for t, ps := range idx.postings {
+	for t, bl := range idx.lists {
 		if exclude[t] {
 			continue
 		}
-		d := math.Abs(float64(len(ps) - want))
+		d := math.Abs(float64(bl.Len() - want))
 		if d < bestDiff || (d == bestDiff && t < best) {
 			best, bestDiff = t, d
 		}
@@ -217,37 +248,34 @@ func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error
 	return best, nil
 }
 
-// Cursor iterates a posting list in document order with one-posting
-// lookahead, as the merge-based access methods need.
-type Cursor struct {
-	list []Posting
-	pos  int
+// MemStats summarizes the index's postings-memory footprint: encoded
+// (payload + skip-table) bytes versus what the same postings would cost
+// as raw 16-byte structs, and the resulting compression ratio.
+type MemStats struct {
+	Terms        int     // vocabulary size
+	Postings     int64   // total encoded postings
+	Blocks       int     // total encoded blocks
+	PayloadBytes int64   // block payload bytes
+	SkipBytes    int64   // skip-table bytes
+	EncodedBytes int64   // PayloadBytes + SkipBytes
+	RawBytes     int64   // baseline: Postings * 16
+	Ratio        float64 // RawBytes / EncodedBytes (0 when empty)
 }
 
-// NewCursor returns a cursor over ps.
-func NewCursor(ps []Posting) *Cursor { return &Cursor{list: ps} }
-
-// Valid reports whether the cursor is positioned on a posting.
-func (c *Cursor) Valid() bool { return c.pos < len(c.list) }
-
-// Cur returns the current posting; it must not be called when !Valid().
-func (c *Cursor) Cur() Posting { return c.list[c.pos] }
-
-// Advance moves to the next posting.
-func (c *Cursor) Advance() { c.pos++ }
-
-// Remaining returns the number of postings at or after the cursor.
-func (c *Cursor) Remaining() int { return len(c.list) - c.pos }
-
-// SeekPos advances the cursor to the first posting in doc with Pos >= pos
-// (or to a later document). Postings before the cursor are never revisited.
-func (c *Cursor) SeekPos(doc storage.DocID, pos uint32) {
-	i := c.pos + sort.Search(len(c.list)-c.pos, func(i int) bool {
-		p := c.list[c.pos+i]
-		if p.Doc != doc {
-			return p.Doc > doc
-		}
-		return p.Pos >= pos
-	})
-	c.pos = i
+// MemStats reports the compression accounting over every term's list.
+func (idx *Index) MemStats() MemStats {
+	ms := MemStats{Terms: len(idx.lists)}
+	//tixlint:ignore mapiter integer accumulation over per-list sizes is order-independent
+	for _, bl := range idx.lists {
+		ms.Postings += int64(bl.Len())
+		ms.Blocks += bl.NumBlocks()
+		ms.PayloadBytes += int64(bl.PayloadBytes())
+		ms.SkipBytes += int64(bl.SkipBytes())
+		ms.RawBytes += int64(bl.RawBytes())
+	}
+	ms.EncodedBytes = ms.PayloadBytes + ms.SkipBytes
+	if ms.EncodedBytes > 0 {
+		ms.Ratio = float64(ms.RawBytes) / float64(ms.EncodedBytes)
+	}
+	return ms
 }

@@ -5,8 +5,8 @@ import (
 )
 
 // GuardCheck flags loops in the execution packages that fetch node
-// records through storage/index accessors without consulting the query's
-// exec.Guard.
+// records through storage/index accessors — or step postings cursors
+// through compressed blocks — without consulting the query's exec.Guard.
 //
 // PR 2's invariant: every access method charges its storage touches
 // against one cooperative Guard (Tick/NoteEmit/Check), so cancellation,
@@ -31,6 +31,13 @@ var guardcheckPkgs = map[string]bool{"exec": true, "shard": true}
 // accessorMethods lists index accessors charged per call; storage.Accessor
 // methods all charge, so any method on it counts.
 var indexAccessorMethods = map[string]bool{"Postings": true}
+
+// Postings consumption is charged the same way: cursor methods that
+// decode or step through compressed blocks, and the whole-list decoders.
+// (exec aliases index.Cursor/List to these, so the named types resolve
+// to package postings.)
+var postingsCursorMethods = map[string]bool{"Cur": true, "Advance": true, "SeekPos": true}
+var postingsListMethods = map[string]bool{"Materialize": true, "DocCounts": true}
 
 func runGuardCheck(pass *Pass) {
 	if !guardcheckPkgs[pass.Pkg.Segment()] {
@@ -118,6 +125,10 @@ func firstAccessorCall(pass *Pass, n ast.Node) string {
 			found = "Accessor." + sel.Sel.Name
 		case typeFromPkg(recv, "index", "Index") && indexAccessorMethods[sel.Sel.Name]:
 			found = "Index." + sel.Sel.Name
+		case typeFromPkg(recv, "postings", "Cursor") && postingsCursorMethods[sel.Sel.Name]:
+			found = "Cursor." + sel.Sel.Name
+		case typeFromPkg(recv, "postings", "List") && postingsListMethods[sel.Sel.Name]:
+			found = "List." + sel.Sel.Name
 		}
 		return true
 	})

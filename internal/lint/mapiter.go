@@ -27,21 +27,23 @@ import (
 // Anything else needs a sort first or a justified //tixlint:ignore.
 var MapIter = &Analyzer{
 	Name: "mapiter",
-	Doc:  "range over map in a determinism-critical package (synth, shard, bench, index, db)",
+	Doc:  "range over map in a determinism-critical package (synth, shard, bench, index, db, postings)",
 	Run:  runMapIter,
 }
 
 // mapiterPkgs are the determinism-critical package segments: corpus
 // generation, sharded execution + snapshot container, benchmark/golden
-// emission, index + snapshot persistence (db owns the v1 snapshot
-// writer). Non-test files only; tests assert on artifacts rather than
-// produce them.
+// emission, index + snapshot persistence (db owns the snapshot writers),
+// and the postings codec (block encoding must be byte-stable for the v2
+// snapshot format and the differential tests). Non-test files only; tests
+// assert on artifacts rather than produce them.
 var mapiterPkgs = map[string]bool{
-	"synth": true,
-	"shard": true,
-	"bench": true,
-	"index": true,
-	"db":    true,
+	"synth":    true,
+	"shard":    true,
+	"bench":    true,
+	"index":    true,
+	"db":       true,
+	"postings": true,
 }
 
 func runMapIter(pass *Pass) {

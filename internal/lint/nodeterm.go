@@ -6,10 +6,11 @@ import (
 
 // NoDeterm flags nondeterminism sources — wall-clock reads and the
 // process-global math/rand generator — inside packages whose output must
-// replay bit-for-bit for a fixed seed: corpus synthesis (synth) and index
-// construction (index). Tables 1–5 of the paper reproduction and the
-// golden snapshot tests depend on Generate(seed) and index building being
-// pure functions of their inputs.
+// replay bit-for-bit for a fixed seed: corpus synthesis (synth), index
+// construction (index), and the block-postings codec (postings). Tables
+// 1–5 of the paper reproduction and the golden snapshot tests depend on
+// Generate(seed), index building, and block encoding being pure functions
+// of their inputs.
 //
 // Seeded generator construction (rand.New, rand.NewSource, rand.NewZipf,
 // rand.NewPCG, rand.NewChaCha8) is the sanctioned pattern and stays
@@ -17,11 +18,11 @@ import (
 // are checked too — a fixture that depends on the wall clock flakes.
 var NoDeterm = &Analyzer{
 	Name: "nodeterm",
-	Doc:  "time.Now or global math/rand inside a deterministic package (synth, index)",
+	Doc:  "time.Now or global math/rand inside a deterministic package (synth, index, postings)",
 	Run:  runNoDeterm,
 }
 
-var nodetermPkgs = map[string]bool{"synth": true, "index": true}
+var nodetermPkgs = map[string]bool{"synth": true, "index": true, "postings": true}
 
 // wallClockFuncs are the time-package reads that break replayability.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}

@@ -5,6 +5,7 @@ package exec
 import (
 	"errors"
 
+	"fixture/postings"
 	"fixture/storage"
 )
 
@@ -67,4 +68,44 @@ func fetch(g *Guard, acc *storage.Accessor, o int32) int32 {
 		return 0
 	}
 	return acc.Node(o).Parent
+}
+
+// ScanUnguarded drains a postings cursor with no guard anywhere in scope:
+// each Cur/Advance may decode a compressed block.
+func ScanUnguarded(l postings.List) uint32 {
+	var total uint32
+	for cur := postings.NewCursor(l); cur.Valid(); cur.Advance() { // want "guardcheck: loop calls storage accessor Cursor.Cur without consulting exec.Guard"
+		total += cur.Cur().Pos
+	}
+	return total
+}
+
+// ScanGuarded ticks per cursor step — the sanctioned pattern.
+func ScanGuarded(g *Guard, l postings.List) (uint32, error) {
+	var total uint32
+	for cur := postings.NewCursor(l); cur.Valid(); cur.Advance() {
+		if err := g.Tick(); err != nil {
+			return 0, err
+		}
+		total += cur.Cur().Pos
+	}
+	return total, nil
+}
+
+// DecodeUnguarded materializes whole lists inside a loop without a guard.
+func DecodeUnguarded(lists []postings.List) int {
+	total := 0
+	for _, l := range lists { // want "guardcheck: loop calls storage accessor List.Materialize without consulting exec.Guard"
+		total += len(l.Materialize())
+	}
+	return total
+}
+
+// LenLoop only reads uncharged metadata; no guard is required.
+func LenLoop(lists []postings.List) int {
+	total := 0
+	for _, l := range lists {
+		total += l.Len()
+	}
+	return total
 }

@@ -1,0 +1,127 @@
+package postings
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// encodeFuzzInput serializes a block list into the self-describing byte
+// format FuzzBlockDecode parses, so valid encodings can seed the corpus.
+func encodeFuzzInput(bl *BlockList) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(bl.Len()))
+	out = binary.AppendUvarint(out, uint64(bl.NumBlocks()))
+	for _, sk := range bl.Skips() {
+		out = binary.AppendUvarint(out, uint64(sk.FirstDoc))
+		out = binary.AppendUvarint(out, uint64(sk.LastDoc))
+		out = binary.AppendUvarint(out, uint64(sk.LastPos))
+		out = binary.AppendUvarint(out, uint64(sk.MaxFreq))
+		out = binary.AppendUvarint(out, uint64(sk.Off))
+		out = binary.AppendUvarint(out, uint64(sk.End))
+	}
+	return append(out, bl.Payload()...)
+}
+
+// FuzzBlockDecode feeds arbitrary skip tables and payloads through
+// NewBlockList: it must either reject them with ErrCorrupt or produce a
+// list whose decode paths (Materialize, cursor iteration, DocCounts) are
+// self-consistent — and it must never panic or allocate proportionally to
+// claimed (rather than actual) sizes.
+func FuzzBlockDecode(f *testing.F) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, BlockSize, 2*BlockSize + 7} {
+		f.Add(encodeFuzzInput(Encode(genList(r, n))))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o := 0
+		readUv := func() (uint64, bool) {
+			if o >= len(data) {
+				return 0, false
+			}
+			v, n := binary.Uvarint(data[o:])
+			if n <= 0 {
+				return 0, false
+			}
+			o += n
+			return v, true
+		}
+		nPost, ok := readUv()
+		if !ok || nPost > 1<<20 {
+			return
+		}
+		nBlocks, ok := readUv()
+		// A real table needs at least one posting per block; anything the
+		// input cannot back with bytes is not worth allocating for.
+		if !ok || nBlocks > nPost || nBlocks > uint64(len(data)) {
+			return
+		}
+		skips := make([]Skip, 0, nBlocks)
+		for i := uint64(0); i < nBlocks; i++ {
+			var vs [6]uint64
+			for j := range vs {
+				v, ok := readUv()
+				if !ok {
+					return
+				}
+				vs[j] = v
+			}
+			skips = append(skips, Skip{
+				FirstDoc: storage.DocID(int32(vs[0])),
+				LastDoc:  storage.DocID(int32(vs[1])),
+				LastPos:  uint32(vs[2]),
+				MaxFreq:  uint32(vs[3]),
+				Off:      uint32(vs[4]),
+				End:      uint32(vs[5]),
+			})
+		}
+		payload := data[o:]
+
+		bl, err := NewBlockList(int(nPost), skips, payload)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection not marked ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted: every downstream decode must agree with itself.
+		ps := bl.All().Materialize()
+		if len(ps) != int(nPost) {
+			t.Fatalf("accepted list materializes %d of %d postings", len(ps), nPost)
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Less(ps[i-1]) {
+				t.Fatalf("accepted list out of order at %d", i)
+			}
+		}
+		i := 0
+		for c := bl.All().Cursor(); c.Valid(); c.Advance() {
+			if c.Cur() != ps[i] {
+				t.Fatalf("cursor posting %d = %+v, want %+v", i, c.Cur(), ps[i])
+			}
+			i++
+		}
+		if i != len(ps) {
+			t.Fatalf("cursor streamed %d of %d postings", i, len(ps))
+		}
+		if len(ps) > 0 {
+			total := 0
+			err := bl.DocCounts(0, ps[len(ps)-1].Doc+1, func(d storage.DocID, n int) error {
+				total += n
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != len(ps) {
+				t.Fatalf("DocCounts covered %d of %d postings", total, len(ps))
+			}
+		}
+	})
+}

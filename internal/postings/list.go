@@ -1,0 +1,127 @@
+package postings
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// List is a read-only view over a posting list — either a raw []Posting
+// slice or a window of a block-compressed BlockList. The zero value is an
+// empty list. Lists are values: cheap to copy, safe to share.
+type List struct {
+	raw    []Posting
+	bl     *BlockList
+	lo, hi int // posting-index window into bl (block mode only)
+}
+
+// NewRawList wraps an already-materialized posting slice (which must be
+// sorted by (Doc, Pos)) without copying.
+func NewRawList(ps []Posting) List {
+	return List{raw: ps}
+}
+
+// All returns a List over the whole block list (nil-safe).
+func (b *BlockList) All() List {
+	if b == nil || b.n == 0 {
+		return List{}
+	}
+	return List{bl: b, lo: 0, hi: b.n}
+}
+
+// Len returns the number of postings in the view.
+func (l List) Len() int {
+	if l.bl != nil {
+		return l.hi - l.lo
+	}
+	return len(l.raw)
+}
+
+// Blocks returns the underlying BlockList when the view is block-backed
+// and spans the entire list — the precondition for skip-table pruning —
+// and nil otherwise.
+func (l List) Blocks() *BlockList {
+	if l.bl != nil && l.lo == 0 && l.hi == l.bl.n {
+		return l.bl
+	}
+	return nil
+}
+
+// Cursor returns a fresh cursor positioned at the first posting.
+func (l List) Cursor() *Cursor {
+	if l.bl != nil {
+		return &Cursor{bl: l.bl, lo: l.lo, hi: l.hi, i: l.lo, blk: -1}
+	}
+	return &Cursor{raw: l.raw, hi: len(l.raw)}
+}
+
+// Range narrows the view to postings with lo <= Doc < hi. Block-backed
+// views resolve the boundaries via the skip table plus a document-stream
+// scan of at most one block per edge — no full decode.
+func (l List) Range(lo, hi storage.DocID) List {
+	if l.bl == nil {
+		a := sort.Search(len(l.raw), func(i int) bool { return l.raw[i].Doc >= lo })
+		b := a + sort.Search(len(l.raw)-a, func(i int) bool { return l.raw[a+i].Doc >= hi })
+		return List{raw: l.raw[a:b]}
+	}
+	a := l.bl.lowerBound(lo)
+	b := l.bl.lowerBound(hi)
+	if a < l.lo {
+		a = l.lo
+	}
+	if b > l.hi {
+		b = l.hi
+	}
+	if a >= b {
+		return List{}
+	}
+	return List{bl: l.bl, lo: a, hi: b}
+}
+
+// lowerBound returns the index of the first posting with Doc >= doc, or
+// b.n if none.
+func (b *BlockList) lowerBound(doc storage.DocID) int {
+	// First block whose LastDoc >= doc.
+	lo, hi := 0, len(b.skips)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.skips[mid].LastDoc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(b.skips) {
+		return b.n
+	}
+	if b.skips[lo].FirstDoc >= doc {
+		return b.blockStart(lo)
+	}
+	// The boundary falls inside block lo: resolve with a doc-only decode.
+	docs := b.decodeDocs(lo, nil)
+	start := b.blockStart(lo)
+	j := sort.Search(len(docs), func(k int) bool { return docs[k] >= doc })
+	return start + j
+}
+
+// Materialize returns the postings as a flat slice. Raw-backed views
+// return the underlying slice (callers must not modify it); block-backed
+// views allocate and decode.
+func (l List) Materialize() []Posting {
+	if l.bl == nil {
+		return l.raw
+	}
+	if l.lo == l.hi {
+		return nil
+	}
+	out := make([]Posting, 0, l.hi-l.lo)
+	first := l.bl.blockFor(l.lo)
+	last := l.bl.blockFor(l.hi - 1)
+	for i := first; i <= last; i++ {
+		out = l.bl.mustDecodeBlock(i, out)
+	}
+	// Trim the partial edge blocks down to the window.
+	start := l.bl.blockStart(first)
+	out = out[l.lo-start:]
+	return out[:l.hi-l.lo]
+}

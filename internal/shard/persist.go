@@ -19,9 +19,10 @@ import (
 //	magic    "TIXSHD1\n"
 //	layout   strategy byte, uvarint shard count
 //	docs     uvarint count; per doc (global order): name, uvarint shard
-//	segments per shard: uvarint byte length, then a complete v1 segment
-//	         snapshot (db.Save output, its own "TIXSUM1\n"+CRC32 trailer
-//	         intact)
+//	segments per shard: uvarint byte length, then a complete segment
+//	         snapshot (db.Save output — TIXDB2 with block-compressed
+//	         postings, or TIXDB1 from older writers; its own
+//	         "TIXSUM1\n"+CRC32 trailer intact)
 //	trailer  "TIXSUM1\n" + 4-byte little-endian IEEE CRC32 of every byte
 //	         before the trailer
 //
@@ -32,8 +33,8 @@ import (
 // trailer is not optional.
 const fileMagic = "TIXSHD1\n"
 
-// sumMagic introduces the integrity trailer (shared with the v1 segment
-// format).
+// sumMagic introduces the integrity trailer (shared with the embedded
+// segment formats).
 const sumMagic = "TIXSUM1\n"
 
 // ErrCorruptSnapshot marks sharded-container integrity failures. Test
@@ -47,8 +48,10 @@ var ErrCorruptSnapshot = errors.New("shard: corrupt sharded database file")
 const maxShards = 1 << 16
 
 // Save writes the sharded database — layout, document placement, and one
-// complete v1 snapshot per segment — to w, followed by the container
-// integrity trailer.
+// complete db.Save snapshot per segment — to w, followed by the container
+// integrity trailer. Segments are embedded verbatim, so the segment
+// format (v2 block-compressed, or v1 when re-wrapping an old file) flows
+// through unchanged.
 func (s *DB) Save(w io.Writer) error {
 	h := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, h))

@@ -365,7 +365,7 @@ func (e *Engine) scoreAndPick(acc *storage.Accessor, doc *storage.Document, anch
 	}
 	// Build the pseudo-term posting lists: 0.8-weighted primary phrases,
 	// 0.6-weighted secondary phrases (ScoreFoo of Fig. 9).
-	var lists [][]index.Posting
+	var lists []index.List
 	var weights []float64
 	var names []string
 	add := func(phrase string, w float64) error {
@@ -373,18 +373,18 @@ func (e *Engine) scoreAndPick(acc *storage.Accessor, doc *storage.Document, anch
 		if len(terms) == 0 {
 			return fmt.Errorf("xq: empty phrase in Score clause")
 		}
-		var ps []index.Posting
+		var l index.List
 		if len(terms) == 1 {
-			ps = e.Index.Postings(e.Index.Tokenizer().Normalize(terms[0]))
+			l = e.Index.List(e.Index.Tokenizer().Normalize(terms[0]))
 		} else {
 			pf := &exec.PhraseFinder{Index: e.Index, Phrase: terms, Guard: e.Guard}
 			ms, err := exec.CollectPhrase(pf.Run)
 			if err != nil {
 				return err
 			}
-			ps = exec.PhrasePostings(ms)
+			l = index.NewRawList(exec.PhrasePostings(ms))
 		}
-		lists = append(lists, ps)
+		lists = append(lists, l)
 		weights = append(weights, w)
 		names = append(names, phrase)
 		return nil
@@ -404,9 +404,9 @@ func (e *Engine) scoreAndPick(acc *storage.Accessor, doc *storage.Document, anch
 		Index: e.Index,
 		Acc:   acc,
 		Query: exec.TermQuery{
-			Terms:        names,
-			PostingLists: lists,
-			Scorer:       weightedScorer(weights),
+			Terms:  names,
+			Lists:  lists,
+			Scorer: weightedScorer(weights),
 		},
 		Guard: e.Guard,
 	}

@@ -49,23 +49,27 @@ cover:
 		if (pct + 0 < 70) { print "coverage below 70% floor for internal/shard"; exit 1 } }'
 
 # Ten seconds of coverage-guided fuzzing each over db.Load (corrupted
-# snapshots) and postings.FuzzBlockDecode (corrupted block payloads and
-# skip tables): enough to catch regressions in the corrupted-input
-# handling without slowing CI.
+# snapshots), postings.FuzzBlockDecode (corrupted block payloads and skip
+# tables), and postings.FuzzMemtableMerge (merged memtable/segment views
+# vs. the flat oracle): enough to catch regressions in the
+# corrupted-input and merge-cursor handling without slowing CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/db
 	$(GO) test -run '^$$' -fuzz=FuzzBlockDecode -fuzztime=10s ./internal/postings
+	$(GO) test -run '^$$' -fuzz=FuzzMemtableMerge -fuzztime=10s ./internal/postings
 
 # Quick perf snapshot in the machine-readable format (see README).
 bench:
 	$(GO) run ./cmd/tixbench -small -table 1 -runs 1 -json
 
 # The perf-trajectory artifact: every table (including the index
-# memory/decode accounting) on the small corpus, as JSON. CI uploads the
-# file so successive PRs can be diffed.
+# memory/decode accounting and the ingest experiment) on the small
+# corpus, as JSON. CI uploads the file so successive PRs can be diffed.
+# The shards experiment's extra planted pair is scaled to what 150
+# articles can absorb (the default 150,000 only fits the full corpus).
 bench-json:
-	$(GO) run ./cmd/tixbench -small -articles 150 -runs 1 -json > BENCH_5.json
-	@echo "wrote BENCH_5.json"
+	$(GO) run ./cmd/tixbench -small -articles 150 -runs 1 -shard-freq 2000 -json > BENCH_6.json
+	@echo "wrote BENCH_6.json"
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	tixbench [-table all|1|2|3|4|5|pick|shards|index] [-articles N] [-seed S] [-runs R] [-json]
+//	tixbench [-table all|1|2|3|4|5|pick|shards|index|ingest] [-articles N] [-seed S] [-runs R] [-json]
 //	tixbench -table shards -shards 1,2,4,8 -json
 //
 // The "index" table reports the block-compressed index itself: the
 // postings-memory accounting (encoded vs raw bytes and the compression
 // ratio), corpus build time, and full-vocabulary decode throughput.
+//
+// The "ingest" table measures the live-mutation path: per-document add
+// throughput into an empty database, the same run under a concurrent
+// search loop, and the cost of compacting the resulting memtable/segment
+// stack back to one flat index. Each row self-checks against a
+// bulk-loaded oracle.
 //
 // The "shards" experiment splits the corpus into parts, loads them into
 // sharded databases at each requested shard count, and times the parallel
@@ -38,7 +44,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: all, 1, 2, 3, 4, 5, pick, shards, index")
+		table    = flag.String("table", "all", "which experiment: all, 1, 2, 3, 4, 5, pick, shards, index, ingest")
 		articles = flag.Int("articles", 5000, "synthetic corpus size in articles (~90 elements each)")
 		seed     = flag.Int64("seed", 42, "corpus generation seed")
 		runs     = flag.Int("runs", 3, "timed runs per cell (trimmed mean)")
@@ -94,7 +100,7 @@ func run(table string, articles int, seed int64, runs int, small bool, shardFreq
 
 	var which []string
 	if table == "all" {
-		which = []string{"1", "2", "3", "4", "5", "pick", "ablation", "shards", "index"}
+		which = []string{"1", "2", "3", "4", "5", "pick", "ablation", "shards", "index", "ingest"}
 	} else {
 		which = strings.Split(table, ",")
 	}
@@ -125,6 +131,8 @@ func writeTables(c *bench.Corpus, which []string, seed int64) error {
 			t, err = c.ShardTable(shardCounts)
 		case "index":
 			t, err = c.IndexTable()
+		case "ingest":
+			t, err = c.IngestTable()
 		default:
 			return fmt.Errorf("unknown table %q", w)
 		}

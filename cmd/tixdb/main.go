@@ -8,7 +8,12 @@
 //	tixdb -load a.xml -terms "search,engine" -topk 5
 //	tixdb -load a.xml -phrase "information retrieval"
 //	tixdb -load a.xml -stats
+//	tixdb -open db.tix -delete a.xml -save db.tix   # retire a document
 //	tixdb -demo                # run the paper's Query 2 on the Fig. 1 data
+//
+// -delete (repeatable) removes documents by name after loading; combined
+// with -save the written snapshot contains only the surviving corpus, with
+// its index compacted.
 //
 // With -timeout, evaluation is abandoned cooperatively once the deadline
 // passes and the process exits with status 2 (distinct from status 1 for
@@ -41,8 +46,9 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
-	var loads multiFlag
+	var loads, deletes multiFlag
 	flag.Var(&loads, "load", "XML file to load (repeatable)")
+	flag.Var(&deletes, "delete", "document name to delete after loading (repeatable)")
 	var (
 		query   = flag.String("query", "", "extended-XQuery query to evaluate")
 		terms   = flag.String("terms", "", "comma-separated terms for a TermJoin search")
@@ -59,7 +65,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abandon evaluation after this duration and exit with status 2 (0 = none)")
 	)
 	flag.Parse()
-	if err := run(loads, *query, *terms, *phrase, *topk, *complex, *stats, *demo, *stem, *save, *open, *shards, *explain, *timeout); err != nil {
+	if err := run(loads, deletes, *query, *terms, *phrase, *topk, *complex, *stats, *demo, *stem, *save, *open, *shards, *explain, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tixdb:", err)
 		if errors.Is(err, exec.ErrDeadlineExceeded) {
 			os.Exit(2)
@@ -68,7 +74,7 @@ func main() {
 	}
 }
 
-func run(loads []string, query, terms, phrase string, topk int, complex, stats, demo, stem bool, save, open string, shards int, explain bool, timeout time.Duration) error {
+func run(loads, deletes []string, query, terms, phrase string, topk int, complex, stats, demo, stem bool, save, open string, shards int, explain bool, timeout time.Duration) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -120,6 +126,12 @@ Threshold $a/@score > 4 stop after 5`
 	}
 	if !demo && len(loads) == 0 && open == "" {
 		return fmt.Errorf("nothing loaded; use -load, -open or -demo")
+	}
+	for _, name := range deletes {
+		if err := d.Delete(name); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "deleted %s\n", name)
 	}
 	if save != "" {
 		d.Warm() // persist the indexes too

@@ -20,6 +20,16 @@
 // /healthz, and (with -pprof) the net/http/pprof profiling endpoints. It
 // shuts down gracefully on SIGINT/SIGTERM, draining in-flight queries.
 //
+// With -ingest the document mutation endpoints are enabled and the corpus
+// can be grown, replaced, and shrunk while the server answers queries:
+//
+//	curl -s -X POST localhost:8080/docs -d '{"name":"new.xml","xml":"<a>hi</a>"}'
+//	curl -s -X PUT localhost:8080/docs/new.xml -d '{"xml":"<a>bye</a>"}'
+//	curl -s -X DELETE localhost:8080/docs/new.xml
+//
+// Without the flag those endpoints answer 501, keeping the default server
+// read-only.
+//
 // Queries run under per-request resource budgets: -query-timeout bounds
 // wall-clock evaluation time (408 on expiry), -max-accesses bounds store
 // reads per query (422 on exhaustion), and a client disconnect cancels the
@@ -63,6 +73,7 @@ type options struct {
 	stem         bool
 	maxResults   int
 	maxBody      int64
+	ingest       bool
 	pprofOn      bool
 	quiet        bool
 	drain        time.Duration
@@ -84,6 +95,7 @@ func main() {
 	flag.BoolVar(&o.stem, "stem", true, "index with the light plural stemmer")
 	flag.IntVar(&o.maxResults, "max-results", 100, "per-request result cap")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "per-request body size cap in bytes")
+	flag.BoolVar(&o.ingest, "ingest", false, "enable the document mutation endpoints (POST/PUT/DELETE /docs)")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.BoolVar(&o.quiet, "quiet", false, "disable per-request logging")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
@@ -125,8 +137,8 @@ func run(o options) error {
 			return err
 		}
 	}
-	if len(o.loads) == 0 && o.open == "" {
-		return fmt.Errorf("nothing to serve; use -load or -open")
+	if len(o.loads) == 0 && o.open == "" && !o.ingest {
+		return fmt.Errorf("nothing to serve; use -load, -open, or -ingest to start empty")
 	}
 	st := d.Stats() // force index construction before serving
 	if o.faultEvery > 0 || (o.faultLatency > 0 && o.faultLatEvry > 0) {
@@ -145,7 +157,11 @@ func run(o options) error {
 	s.MaxResults = o.maxResults
 	s.MaxBodyBytes = o.maxBody
 	s.EnablePprof = o.pprofOn
+	s.EnableIngest = o.ingest
 	s.QueryTimeout = o.queryTimeout
+	if o.ingest {
+		fmt.Fprintln(os.Stderr, "ingestion enabled: POST /docs, PUT /docs/{name}, DELETE /docs/{name}")
+	}
 	if !o.quiet {
 		s.Logger = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestIngestTable runs the live-mutation experiment at test scale. The
+// table is self-checking — every row compares the grown database's probe
+// answer against a bulk-loaded oracle — so the assertions here only pin
+// the table's shape and that the timed paths actually ran.
+func TestIngestTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest table re-ingests the full test corpus twice")
+	}
+	c := corpus(t)
+	tab, err := c.IngestTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"add", "add+query", "compact"}
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(want))
+	}
+	for i, label := range want {
+		row := tab.Rows[i]
+		if row.Label != label {
+			t.Fatalf("row %d label = %q, want %q", i, row.Label, label)
+		}
+		if len(row.Cells) != 1 || row.Cells[0].Err != nil {
+			t.Fatalf("row %q: cells %d, err %v", label, len(row.Cells), row.Cells[0].Err)
+		}
+	}
+	if tab.Rows[1].Cells[0].M.Results == 0 {
+		t.Error("add+query row recorded zero concurrent searches")
+	}
+}

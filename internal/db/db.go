@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/algebra"
@@ -26,12 +27,16 @@ import (
 	"repro/internal/xq"
 )
 
-// DB is an XML database instance.
+// DB is an XML database instance. Queries may run concurrently with the
+// document mutation API (Add/Update/Delete): readers work over immutable
+// index snapshots, writers are serialized by the facade's mutation lock.
 type DB struct {
 	store *storage.Store
 	tok   *tokenize.Tokenizer
-	idx   *index.Index // built lazily; invalidated on load
 	opts  Options
+
+	mu   sync.Mutex  // serializes mutations and live-index creation
+	live *index.Live // created on first Index()/Warm()/mutation
 }
 
 // Options configures a database.
@@ -52,6 +57,10 @@ type Options struct {
 	// entry point. The zero value means unlimited. Per-call budgets
 	// (e.g. QueryLimited, TermSearchOptions.Limits) take precedence.
 	Limits exec.Limits
+	// Ingest tunes the live-index LSM behaviour (memtable seal size,
+	// segment fold bound, background compaction). The zero value selects
+	// the defaults; see index.LiveConfig.
+	Ingest index.LiveConfig
 }
 
 // errPanic marks errors produced by recovering a panic at the facade
@@ -104,9 +113,19 @@ func New(opts Options) *DB {
 // Store exposes the underlying node store.
 func (d *DB) Store() *storage.Store { return d.store }
 
-// DocumentCount returns the number of loaded documents without forcing
-// index construction (the cheap health-probe counterpart of Stats).
-func (d *DB) DocumentCount() int { return len(d.store.Docs()) }
+// DocumentCount returns the number of live (non-deleted) documents
+// without forcing index construction (the cheap health-probe counterpart
+// of Stats).
+func (d *DB) DocumentCount() int {
+	d.mu.Lock()
+	l := d.live
+	d.mu.Unlock()
+	n := d.store.NumDocs()
+	if l != nil {
+		n -= l.DeadCount()
+	}
+	return n
+}
 
 // Warm forces construction of every lazily-built structure (today: the
 // inverted index), so that concurrent read-only use afterwards never
@@ -123,11 +142,21 @@ func (d *DB) Tokenizer() *tokenize.Tokenizer { return d.tok }
 func (d *DB) Options() Options { return d.opts }
 
 // LoadTree loads an already-parsed tree under the given document name.
+// Before the index is first built this is a plain store append (bulk
+// loading stays cheap: one index build at the end); once a live index
+// exists the document is additionally ingested into it incrementally.
 func (d *DB) LoadTree(name string, root *xmltree.Node) error {
-	if _, err := d.store.AddTree(name, root); err != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, err := d.store.AddTree(name, root)
+	if err != nil {
 		return err
 	}
-	d.idx = nil
+	if d.live != nil {
+		if ierr := d.live.IndexDoc(d.store.Doc(id)); ierr != nil {
+			return fmt.Errorf("db: index %s: %w", name, ierr)
+		}
+	}
 	return nil
 }
 
@@ -180,16 +209,46 @@ func (d *DB) RemoveDocument(name string) error {
 		}
 	}
 	d.store = fresh
-	d.idx = nil
+	d.live = nil
 	return nil
 }
 
-// Index returns the inverted index, building it on first use after a load.
+// Index returns an immutable snapshot of the inverted index, building the
+// live index on first use after a load. Snapshots are cached per mutation
+// generation: with no writes in flight repeated calls return the same
+// *index.Index, and concurrent queries over one snapshot see a frozen,
+// consistent corpus.
 func (d *DB) Index() *index.Index {
-	if d.idx == nil {
-		d.idx = index.Build(d.store, d.tok)
+	return d.liveIndex().Snapshot()
+}
+
+// liveIndex returns the live (mutable) index, creating it over the
+// store's current contents on first use. An invariant violation during
+// the initial build panics, exactly as index.Build does; the facade entry
+// points recover it into a classified error.
+func (d *DB) liveIndex() *index.Live {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.liveLocked()
+}
+
+func (d *DB) liveLocked() *index.Live {
+	if d.live == nil {
+		l, err := index.NewLive(d.store, d.tok, d.opts.Ingest)
+		if err != nil {
+			panic(err)
+		}
+		d.live = l
 	}
-	return d.idx
+	return d.live
+}
+
+// adoptIndex installs an already-restored flat index as the live base
+// segment (the persistence load path).
+func (d *DB) adoptIndex(idx *index.Index) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.live = index.LiveFromIndex(idx, d.opts.Ingest)
 }
 
 // Stats summarizes the database contents.
@@ -201,16 +260,18 @@ type Stats struct {
 	Occurrences int64
 }
 
-// Stats returns summary statistics (forces index construction).
+// Stats returns summary statistics (forces index construction). The
+// numbers describe the index snapshot's visible corpus: documents hidden
+// behind tombstones are excluded.
 func (d *DB) Stats() Stats {
 	idx := d.Index()
 	st := Stats{
-		Documents:   len(d.store.Docs()),
-		Nodes:       d.store.NumNodes(),
 		Terms:       idx.NumTerms(),
 		Occurrences: idx.TotalOccurrences(),
 	}
-	for _, doc := range d.store.Docs() {
+	for _, doc := range idx.Docs() {
+		st.Documents++
+		st.Nodes += len(doc.Nodes)
 		st.Elements += len(doc.Elements())
 	}
 	return st
@@ -445,7 +506,7 @@ func (d *DB) TwigRefsContext(ctx context.Context, pattern *exec.TwigNode) (out [
 	defer func() { d.observe(opTwig, start, len(out), stats, err) }()
 	defer recoverPanic(&err)
 	guard := exec.NewGuard(ctx, d.opts.Limits)
-	for _, doc := range d.store.Docs() {
+	for _, doc := range d.Index().Docs() {
 		ts := &exec.TwigStack{Store: d.store, Doc: doc.ID, Root: pattern, Guard: guard}
 		matches, terr := ts.Run()
 		stats.Add(ts.AccessStats())

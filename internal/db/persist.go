@@ -69,16 +69,58 @@ var ErrCorruptSnapshot = errors.New("db: corrupt database file")
 // to w in the v2 format (encoded posting blocks verbatim), followed by
 // the CRC32 integrity trailer.
 func (d *DB) Save(w io.Writer) error {
-	return d.save(w, fileMagicV2, d.writeIndexV2)
+	return d.save(w, fileMagicV2, writeIndexV2)
 }
 
 // SaveV1 writes the database in the v1 format (raw uvarint postings), for
 // readers that predate the block-compressed index section.
 func (d *DB) SaveV1(w io.Writer) error {
-	return d.save(w, fileMagic, d.writeIndexV1)
+	return d.save(w, fileMagic, writeIndexV1)
 }
 
-func (d *DB) save(w io.Writer, magic string, writeIndex func(*bufio.Writer) error) error {
+// persistViewLocked resolves the mutable live layer into a persistable
+// (documents, flat index) pair. Caller holds d.mu, so the view is a
+// consistent point-in-time cut: no mutation can land mid-save.
+//
+//   - Never indexed: just the documents, no index section.
+//   - Mutated without deletes: fold memtables and segments into one flat
+//     segment (document ids are already dense), then save its blocks
+//     verbatim.
+//   - With deletes: reload renumbers documents densely, so the sparse
+//     surviving ids cannot be written as-is. Rebuild a fresh store holding
+//     only visible documents (re-densifying ids in original order) and
+//     index it from scratch.
+func (d *DB) persistViewLocked() ([]*storage.Document, *index.Index, error) {
+	if d.live == nil {
+		return d.store.Docs(), nil, nil
+	}
+	if d.live.DeadCount() == 0 {
+		d.live.Compact()
+		return d.store.Docs(), d.live.Snapshot(), nil
+	}
+	fresh := storage.NewStore()
+	for _, doc := range d.store.Docs() {
+		if d.live.IsDead(doc.ID) {
+			continue
+		}
+		if _, err := fresh.AddTree(doc.Name, doc.Root); err != nil {
+			return nil, nil, fmt.Errorf("db: save: %w", err)
+		}
+	}
+	idx, err := index.BuildChecked(fresh, d.tok)
+	if err != nil {
+		return nil, nil, fmt.Errorf("db: save: %w", err)
+	}
+	return fresh.Docs(), idx, nil
+}
+
+func (d *DB) save(w io.Writer, magic string, writeIndex func(*bufio.Writer, *index.Index) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	docs, idx, err := d.persistViewLocked()
+	if err != nil {
+		return err
+	}
 	h := crc32.NewIEEE()
 	// Everything flushed through bw is hashed; the trailer itself is
 	// written to w directly afterwards, so it stays outside its own sum.
@@ -109,14 +151,13 @@ func (d *DB) save(w io.Writer, magic string, writeIndex func(*bufio.Writer) erro
 		writeString(bw, sw)
 	}
 	// Documents.
-	docs := d.store.Docs()
 	writeUvarint(bw, uint64(len(docs)))
 	for _, doc := range docs {
 		writeString(bw, doc.Name)
 		writeString(bw, xmltree.XMLString(doc.Root))
 	}
 	// Index.
-	if d.idx == nil {
+	if idx == nil {
 		if err := bw.WriteByte(0); err != nil {
 			return err
 		}
@@ -125,7 +166,7 @@ func (d *DB) save(w io.Writer, magic string, writeIndex func(*bufio.Writer) erro
 	if err := bw.WriteByte(1); err != nil {
 		return err
 	}
-	if err := writeIndex(bw); err != nil {
+	if err := writeIndex(bw, idx); err != nil {
 		return err
 	}
 	return finish()
@@ -133,12 +174,12 @@ func (d *DB) save(w io.Writer, magic string, writeIndex func(*bufio.Writer) erro
 
 // writeIndexV1 emits the raw-posting index section (one uvarint tuple per
 // posting, materialized from the block storage).
-func (d *DB) writeIndexV1(bw *bufio.Writer) error {
-	terms := d.idx.TermsByFreq()
+func writeIndexV1(bw *bufio.Writer, idx *index.Index) error {
+	terms := idx.TermsByFreq()
 	writeUvarint(bw, uint64(len(terms)))
 	for _, term := range terms {
 		writeString(bw, term)
-		ps := d.idx.Postings(term)
+		ps := idx.Postings(term)
 		writeUvarint(bw, uint64(len(ps)))
 		lastDoc := storage.DocID(-1)
 		lastPos := uint32(0)
@@ -160,12 +201,17 @@ func (d *DB) writeIndexV1(bw *bufio.Writer) error {
 
 // writeIndexV2 emits the block-compressed index section: skip tables as
 // uvarints, block payloads verbatim — no re-encode at load.
-func (d *DB) writeIndexV2(bw *bufio.Writer) error {
-	terms := d.idx.TermsByFreq()
+func writeIndexV2(bw *bufio.Writer, idx *index.Index) error {
+	terms := idx.TermsByFreq()
 	writeUvarint(bw, uint64(len(terms)))
 	for _, term := range terms {
 		writeString(bw, term)
-		bl := d.idx.BlockList(term)
+		bl := idx.BlockList(term)
+		if bl == nil {
+			// persistViewLocked always hands over a flat index; a merged
+			// list here is an invariant violation, not a user error.
+			return fmt.Errorf("db: save: no flat block list for %q", term)
+		}
 		skips := bl.Skips()
 		payload := bl.Payload()
 		writeUvarint(bw, uint64(bl.Len()))
@@ -391,7 +437,7 @@ func loadIndexV1(d *DB, br *crcReader) error {
 	if err != nil {
 		return fmt.Errorf("db: load: %w", err)
 	}
-	d.idx = idx
+	d.adoptIndex(idx)
 	return nil
 }
 
@@ -474,7 +520,7 @@ func loadIndexV2(d *DB, br *crcReader) error {
 		}
 		lists[term] = bl
 	}
-	d.idx = index.RestoreBlocks(d.store, d.tok, lists)
+	d.adoptIndex(index.RestoreBlocks(d.store, d.tok, lists))
 	return nil
 }
 

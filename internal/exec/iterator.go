@@ -103,6 +103,10 @@ func (b *BlockingSource) Close() error { b.buf = nil; return nil }
 type IndexScan struct {
 	Index *index.Index
 	Term  string
+	// Guard, when non-nil, is ticked once per posting, so plans built over
+	// long merged lists (live-index snapshots with many layers) observe
+	// cancellation and budgets without a blocking operator above them.
+	Guard *Guard
 	cur   *index.Cursor
 }
 
@@ -117,6 +121,9 @@ func (s *IndexScan) Open() error {
 
 // Next yields the next occurrence.
 func (s *IndexScan) Next() (ScoredNode, bool, error) {
+	if err := s.Guard.Tick(); err != nil {
+		return ScoredNode{}, false, err
+	}
 	if !s.cur.Valid() {
 		return ScoredNode{}, false, nil
 	}

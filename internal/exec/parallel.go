@@ -43,7 +43,7 @@ func (p *ParallelTermJoin) Run(emit Emit) error {
 	if err := p.Guard.Check(); err != nil {
 		return err
 	}
-	nDocs := len(p.Index.Store().Docs())
+	nDocs := p.Index.Store().NumDocs()
 	if nDocs == 0 {
 		return nil
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -25,6 +26,12 @@ func brutePhrase(idx *index.Index, phrase []string) []PhraseMatch {
 	var out []PhraseMatch
 	norm := normalizeTerms(idx, phrase)
 	for _, doc := range idx.Store().Docs() {
+		// Same int32 ordinal cap the build path enforces: a silent
+		// narrowing here would make the oracle disagree with the index on
+		// pathological corpora instead of failing loudly.
+		if len(doc.Nodes) > math.MaxInt32 {
+			panic("brutePhrase: node ordinal overflows int32")
+		}
 		for ord := range doc.Nodes {
 			rec := &doc.Nodes[ord]
 			if rec.Kind != xmltree.Text {

@@ -1,0 +1,52 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrPostingOrder marks a posting stream that violates the (Doc, Pos)
+// document-order invariant the block encoder and every merge-based
+// operator depend on. It used to be silently repaired by a re-sort in
+// Build, which masked upstream numbering bugs; now it surfaces as a
+// classified error naming the offending term.
+var ErrPostingOrder = errors.New("index: posting stream out of document order")
+
+// ErrOrdinalOverflow marks a document whose node count does not fit the
+// int32 ordinal a Posting records; the silent narrowing it replaces would
+// have wrapped and produced postings pointing at the wrong nodes.
+var ErrOrdinalOverflow = errors.New("index: node ordinal overflows int32")
+
+// BuildError is the classified failure of a fallible index build or a
+// memtable append: it carries the invariant that broke and, when known,
+// the term and document where it was first observed.
+type BuildError struct {
+	Term string // offending term ("" when not term-specific)
+	Doc  string // offending document name ("" when not known)
+	Err  error  // ErrPostingOrder or ErrOrdinalOverflow
+}
+
+func (e *BuildError) Error() string {
+	msg := e.Err.Error()
+	if e.Term != "" {
+		msg += fmt.Sprintf(" (term %q)", e.Term)
+	}
+	if e.Doc != "" {
+		msg += fmt.Sprintf(" (document %q)", e.Doc)
+	}
+	return msg
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// checkOrdinalCap validates that a document with n nodes can be indexed
+// at all: node ordinals are recorded as int32 in every posting, so a
+// pathological node count must be rejected before the cast, not wrapped
+// by it.
+func checkOrdinalCap(n int, doc string) error {
+	if int64(n) > int64(math.MaxInt32) {
+		return &BuildError{Doc: doc, Err: ErrOrdinalOverflow}
+	}
+	return nil
+}

@@ -48,23 +48,64 @@ func NewCursor(ps []Posting) *Cursor { return postings.NewCursor(ps) }
 // without copying.
 func NewRawList(ps []Posting) List { return postings.NewRawList(ps) }
 
-// Index is a positional inverted index over every document of a store.
+// Index is a positional inverted index over the documents of a store. A
+// static index (Build/Restore) is a single flat segment of block lists. A
+// live snapshot (Live.Snapshot) additionally unions extra immutable
+// segments, frozen/active memtable runs and a tombstone set behind the
+// same surface: every read-side method works over either shape, and a
+// snapshot is immutable — safe to share across queries without locks.
 type Index struct {
 	store *storage.Store
 	tok   *tokenize.Tokenizer
-	lists map[string]*postings.BlockList
-	total int64 // total occurrences across all terms
+	lists map[string]*postings.BlockList // base segment (term → blocks)
+	total int64                          // total occurrences across all segments
+
+	// Live-snapshot extensions; all nil/zero for a static index.
+	extra  []*segment           // immutable segments beyond the base, doc-ascending
+	mems   []*memView           // memtable runs, oldest first
+	tomb   *postings.Tombstones // deleted documents, filtered at the cursor layer
+	capped bool                 // limit visible documents to docCap
+	docCap int                  // visible document count when capped
+	gen    uint64               // generation the snapshot was built at
+}
+
+// live reports whether the index is a multi-part live snapshot rather
+// than a single flat segment.
+func (idx *Index) live() bool {
+	return idx.extra != nil || idx.mems != nil || idx.tomb != nil || idx.capped
 }
 
 // Build tokenizes every text node of every document in s and returns the
-// index. The same tokenizer must be used later for query phrases.
+// index. The same tokenizer must be used later for query phrases. Build
+// panics on an invariant violation (see BuildChecked for the fallible
+// path); the violations are programming errors — a correctly numbered
+// store cannot produce them.
 func Build(s *storage.Store, tok *tokenize.Tokenizer) *Index {
+	idx, err := BuildChecked(s, tok)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// BuildChecked tokenizes every text node of every document in s and
+// returns the index, surfacing invariant violations as a classified
+// *BuildError instead of repairing them: an out-of-order posting stream
+// (ErrPostingOrder, naming the offending term) or a document whose node
+// count overflows the int32 posting ordinal (ErrOrdinalOverflow). The
+// previous behaviour — silently re-sorting a disordered stream — masked
+// upstream numbering bugs that every merge-based operator depends on not
+// having.
+func BuildChecked(s *storage.Store, tok *tokenize.Tokenizer) (*Index, error) {
 	idx := &Index{
 		store: s,
 		tok:   tok,
 	}
 	raw := make(map[string][]Posting)
 	for _, doc := range s.Docs() {
+		if err := checkOrdinalCap(len(doc.Nodes), doc.Name); err != nil {
+			return nil, err
+		}
 		for ord := range doc.Nodes {
 			rec := &doc.Nodes[ord]
 			if rec.Kind != xmltree.Text {
@@ -81,20 +122,31 @@ func Build(s *storage.Store, tok *tokenize.Tokenizer) *Index {
 			}
 		}
 	}
-	// Text nodes are visited in document order per document and documents in
-	// DocID order, so posting lists are already sorted; assert cheaply in
-	// debug-style by re-sorting only if needed. Node frequency falls out of
-	// the sorted stream during encoding ((doc, node) run transitions), so no
-	// per-text-node dedup set is needed on the hot build path.
+	// Text nodes are visited in document order per document and documents
+	// in DocID order, so posting lists must already be sorted; a violation
+	// means the region numbering upstream is broken and is surfaced, not
+	// repaired. The lexicographically smallest offender is reported so a
+	// corrupt store names the same term on every run. Node frequency falls
+	// out of the sorted stream during encoding ((doc, node) run
+	// transitions), so no per-text-node dedup set is needed.
+	bad := ""
+	//tixlint:ignore mapiter strict lexicographic minimum over offenders is order-independent
+	for term, ps := range raw {
+		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
+			if bad == "" || term < bad {
+				bad = term
+			}
+		}
+	}
+	if bad != "" {
+		return nil, &BuildError{Term: bad, Err: ErrPostingOrder}
+	}
 	idx.lists = make(map[string]*postings.BlockList, len(raw))
 	//tixlint:ignore mapiter per-key encode writing only idx.lists[term]; no cross-key state, so iteration order cannot leak
 	for term, ps := range raw {
-		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Less(ps[j]) }) {
-			sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
-		}
 		idx.lists[term] = postings.Encode(ps)
 	}
-	return idx
+	return idx, nil
 }
 
 // Restore reconstitutes an index from previously-built raw posting lists
@@ -146,17 +198,68 @@ func (idx *Index) Store() *storage.Store { return idx.store }
 // Tokenizer returns the tokenizer the index was built with.
 func (idx *Index) Tokenizer() *tokenize.Tokenizer { return idx.tok }
 
+// Generation returns the live generation the snapshot was built at; 0 for
+// a static index.
+func (idx *Index) Generation() uint64 { return idx.gen }
+
+// Docs returns the documents visible to this index snapshot, in DocID
+// order: the store's table capped at the snapshot's document count, with
+// tombstoned documents removed. Operators that walk the corpus (twig
+// matching, composite baselines) iterate these so deleted documents
+// vanish from their results too.
+func (idx *Index) Docs() []*storage.Document {
+	var docs []*storage.Document
+	if idx.capped {
+		docs = idx.store.DocsPrefix(idx.docCap)
+	} else {
+		docs = idx.store.Docs()
+	}
+	if idx.tomb.Len() == 0 {
+		return docs
+	}
+	live := docs[:0]
+	for _, d := range docs {
+		if !idx.tomb.Dead(d.ID) {
+			live = append(live, d)
+		}
+	}
+	return live
+}
+
 // List returns the posting list for term (lowercased exact match) as a
 // zero-copy view, ordered by (Doc, Pos). Unknown terms yield an empty
 // list. This is the access method operators should use: cursors over it
-// decode lazily.
+// decode lazily; over a live snapshot the view merges every segment and
+// memtable run with tombstoned documents filtered out.
 func (idx *Index) List(term string) List {
-	return idx.lists[term].All()
+	if !idx.live() {
+		return idx.lists[term].All()
+	}
+	parts := make([]postings.List, 0, 1+len(idx.extra)+len(idx.mems))
+	if bl := idx.lists[term]; bl != nil {
+		parts = append(parts, bl.All())
+	}
+	for _, seg := range idx.extra {
+		if bl := seg.lists[term]; bl != nil {
+			parts = append(parts, bl.All())
+		}
+	}
+	for _, mv := range idx.mems {
+		if run := mv.lists[term]; len(run.ps) > 0 {
+			parts = append(parts, postings.NewRawList(run.ps))
+		}
+	}
+	return postings.Union(idx.tomb, parts...)
 }
 
 // BlockList exposes term's encoded blocks for persistence and block-max
-// pruning; nil for unknown terms.
+// pruning; nil for unknown terms. Only a flat (static) index has a single
+// block list per term — live snapshots return nil, which makes top-k fall
+// back to its exhaustive path and persistence flatten first.
 func (idx *Index) BlockList(term string) *postings.BlockList {
+	if idx.live() {
+		return nil
+	}
 	return idx.lists[term]
 }
 
@@ -165,17 +268,39 @@ func (idx *Index) BlockList(term string) *postings.BlockList {
 // list on every call — use List for query execution and keep Postings
 // for compatibility and tests. The returned slice must not be modified.
 func (idx *Index) Postings(term string) []Posting {
-	return idx.lists[term].All().Materialize()
+	return idx.List(term).Materialize()
 }
 
-// TermFreq returns the total number of occurrences of term.
+// TermFreq returns the total number of occurrences of term. Over a live
+// snapshot with deletions this counts tombstone-suppressed occurrences
+// too (an upper bound), matching the List.Len contract.
 func (idx *Index) TermFreq(term string) int {
-	return idx.lists[term].Len()
+	if !idx.live() {
+		return idx.lists[term].Len()
+	}
+	return idx.List(term).Len()
 }
 
-// NodeFreq returns the number of distinct text nodes containing term.
+// NodeFreq returns the number of distinct text nodes containing term
+// (an upper bound under tombstones: segments are document-disjoint, so
+// the per-part sum is otherwise exact).
 func (idx *Index) NodeFreq(term string) int {
-	return idx.lists[term].NodeFreq()
+	if !idx.live() {
+		return idx.lists[term].NodeFreq()
+	}
+	n := 0
+	if bl := idx.lists[term]; bl != nil {
+		n += bl.NodeFreq()
+	}
+	for _, seg := range idx.extra {
+		if bl := seg.lists[term]; bl != nil {
+			n += bl.NodeFreq()
+		}
+	}
+	for _, mv := range idx.mems {
+		n += mv.lists[term].nodeFreq
+	}
+	return n
 }
 
 // IDF returns the inverse document frequency of term over text nodes:
@@ -184,7 +309,7 @@ func (idx *Index) NodeFreq(term string) int {
 // the maximum IDF.
 func (idx *Index) IDF(term string) float64 {
 	totalNodes := idx.totalTextNodes()
-	nf := idx.lists[term].NodeFreq()
+	nf := idx.NodeFreq(term)
 	if nf == 0 {
 		nf = 1
 	}
@@ -193,7 +318,7 @@ func (idx *Index) IDF(term string) float64 {
 
 func (idx *Index) totalTextNodes() int {
 	n := 0
-	for _, doc := range idx.store.Docs() {
+	for _, doc := range idx.Docs() {
 		for ord := range doc.Nodes {
 			if doc.Nodes[ord].Kind == xmltree.Text {
 				n++
@@ -203,21 +328,51 @@ func (idx *Index) totalTextNodes() int {
 	return n
 }
 
-// NumTerms returns the vocabulary size.
-func (idx *Index) NumTerms() int { return len(idx.lists) }
+// termFreqs returns the union vocabulary with per-term occurrence counts
+// (upper bounds under tombstones).
+func (idx *Index) termFreqs() map[string]int {
+	freqs := make(map[string]int, len(idx.lists))
+	//tixlint:ignore mapiter integer accumulation keyed by term is order-independent
+	for term, bl := range idx.lists {
+		freqs[term] += bl.Len()
+	}
+	for _, seg := range idx.extra {
+		//tixlint:ignore mapiter integer accumulation keyed by term is order-independent
+		for term, bl := range seg.lists {
+			freqs[term] += bl.Len()
+		}
+	}
+	for _, mv := range idx.mems {
+		for term, run := range mv.lists {
+			freqs[term] += len(run.ps)
+		}
+	}
+	return freqs
+}
 
-// TotalOccurrences returns the total number of indexed occurrences.
+// NumTerms returns the vocabulary size (union across segments and
+// memtable runs).
+func (idx *Index) NumTerms() int {
+	if !idx.live() {
+		return len(idx.lists)
+	}
+	return len(idx.termFreqs())
+}
+
+// TotalOccurrences returns the total number of indexed occurrences
+// (including tombstone-suppressed ones on a live snapshot).
 func (idx *Index) TotalOccurrences() int64 { return idx.total }
 
 // TermsByFreq returns all terms sorted by descending total frequency; ties
 // break lexicographically. Useful for workload construction.
 func (idx *Index) TermsByFreq() []string {
-	terms := make([]string, 0, len(idx.lists))
-	for t := range idx.lists {
+	freqs := idx.termFreqs()
+	terms := make([]string, 0, len(freqs))
+	for t := range freqs {
 		terms = append(terms, t)
 	}
 	sort.Slice(terms, func(i, j int) bool {
-		fi, fj := idx.lists[terms[i]].Len(), idx.lists[terms[j]].Len()
+		fi, fj := freqs[terms[i]], freqs[terms[j]]
 		if fi != fj {
 			return fi > fj
 		}
@@ -233,11 +388,11 @@ func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error
 	best := ""
 	bestDiff := math.MaxFloat64
 	//tixlint:ignore mapiter result is order-independent: strict (diff, lexicographic) tie-break picks the same winner whatever order the map yields
-	for t, bl := range idx.lists {
+	for t, freq := range idx.termFreqs() {
 		if exclude[t] {
 			continue
 		}
-		d := math.Abs(float64(bl.Len() - want))
+		d := math.Abs(float64(freq - want))
 		if d < bestDiff || (d == bestDiff && t < best) {
 			best, bestDiff = t, d
 		}
@@ -252,30 +407,54 @@ func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error
 // (payload + skip-table) bytes versus what the same postings would cost
 // as raw 16-byte structs, and the resulting compression ratio.
 type MemStats struct {
-	Terms        int     // vocabulary size
-	Postings     int64   // total encoded postings
-	Blocks       int     // total encoded blocks
-	PayloadBytes int64   // block payload bytes
-	SkipBytes    int64   // skip-table bytes
-	EncodedBytes int64   // PayloadBytes + SkipBytes
-	RawBytes     int64   // baseline: Postings * 16
-	Ratio        float64 // RawBytes / EncodedBytes (0 when empty)
+	Terms         int     // vocabulary size
+	Postings      int64   // total encoded postings
+	Blocks        int     // total encoded blocks
+	PayloadBytes  int64   // block payload bytes
+	SkipBytes     int64   // skip-table bytes
+	MemtableBytes int64   // raw bytes held in uncompressed memtable runs
+	EncodedBytes  int64   // PayloadBytes + SkipBytes + MemtableBytes
+	RawBytes      int64   // baseline: Postings * 16
+	Ratio         float64 // RawBytes / EncodedBytes (0 when empty)
 }
 
-// MemStats reports the compression accounting over every term's list.
+// MemStats reports the compression accounting over every term's list,
+// spanning all segments plus (uncompressed) memtable runs.
 func (idx *Index) MemStats() MemStats {
-	ms := MemStats{Terms: len(idx.lists)}
-	//tixlint:ignore mapiter integer accumulation over per-list sizes is order-independent
-	for _, bl := range idx.lists {
-		ms.Postings += int64(bl.Len())
-		ms.Blocks += bl.NumBlocks()
-		ms.PayloadBytes += int64(bl.PayloadBytes())
-		ms.SkipBytes += int64(bl.SkipBytes())
-		ms.RawBytes += int64(bl.RawBytes())
+	ms := MemStats{Terms: idx.NumTerms()}
+	segs := make([]map[string]*postings.BlockList, 0, 1+len(idx.extra))
+	if idx.lists != nil {
+		segs = append(segs, idx.lists)
 	}
-	ms.EncodedBytes = ms.PayloadBytes + ms.SkipBytes
+	for _, seg := range idx.extra {
+		segs = append(segs, seg.lists)
+	}
+	for _, lists := range segs {
+		//tixlint:ignore mapiter integer accumulation over per-list sizes is order-independent
+		for _, bl := range lists {
+			ms.Postings += int64(bl.Len())
+			ms.Blocks += bl.NumBlocks()
+			ms.PayloadBytes += int64(bl.PayloadBytes())
+			ms.SkipBytes += int64(bl.SkipBytes())
+			ms.RawBytes += int64(bl.RawBytes())
+		}
+	}
+	for _, mv := range idx.mems {
+		//tixlint:ignore mapiter integer accumulation over per-run sizes is order-independent
+		for _, run := range mv.lists {
+			n := int64(len(run.ps))
+			ms.Postings += n
+			ms.MemtableBytes += n * rawPostingBytes
+			ms.RawBytes += n * rawPostingBytes
+		}
+	}
+	ms.EncodedBytes = ms.PayloadBytes + ms.SkipBytes + ms.MemtableBytes
 	if ms.EncodedBytes > 0 {
 		ms.Ratio = float64(ms.RawBytes) / float64(ms.EncodedBytes)
 	}
 	return ms
 }
+
+// rawPostingBytes mirrors the in-memory footprint of one uncompressed
+// Posting used by the compression baseline in internal/postings.
+const rawPostingBytes = 16

@@ -23,6 +23,12 @@ type Cursor struct {
 	blk  int       // decoded block index, -1 if none
 	base int       // absolute index of dec[0]
 	dec  []Posting // decoded postings of block blk
+
+	// Merged mode (see Union): the cursor is a settled k-way merge over
+	// sub-cursors with tombstoned documents skipped.
+	subs []*Cursor
+	tomb *Tombstones
+	cur  int // index of the sub-cursor holding the minimum, -1 if exhausted
 }
 
 // NewCursor returns a cursor over a raw posting slice (sorted by
@@ -32,10 +38,18 @@ func NewCursor(ps []Posting) *Cursor {
 }
 
 // Valid reports whether the cursor points at a posting.
-func (c *Cursor) Valid() bool { return c.i < c.hi }
+func (c *Cursor) Valid() bool {
+	if c.subs != nil {
+		return c.mergedValid()
+	}
+	return c.i < c.hi
+}
 
 // Cur returns the current posting. Call only when Valid.
 func (c *Cursor) Cur() Posting {
+	if c.subs != nil {
+		return c.mergedCur()
+	}
 	if c.bl == nil {
 		return c.raw[c.i]
 	}
@@ -46,10 +60,22 @@ func (c *Cursor) Cur() Posting {
 }
 
 // Advance moves to the next posting.
-func (c *Cursor) Advance() { c.i++ }
+func (c *Cursor) Advance() {
+	if c.subs != nil {
+		c.mergedAdvance()
+		return
+	}
+	c.i++
+}
 
 // Remaining returns the number of postings left, including the current.
-func (c *Cursor) Remaining() int { return c.hi - c.i }
+// Merged cursors report an upper bound when tombstones are in play.
+func (c *Cursor) Remaining() int {
+	if c.subs != nil {
+		return c.mergedRemaining()
+	}
+	return c.hi - c.i
+}
 
 // loadBlock decodes block b into the cursor's buffer.
 func (c *Cursor) loadBlock(b int) {
@@ -62,6 +88,10 @@ func (c *Cursor) loadBlock(b int) {
 // current position with p.Doc > doc, or p.Doc == doc and p.Pos >= pos.
 // The cursor never moves backward.
 func (c *Cursor) SeekPos(doc storage.DocID, pos uint32) {
+	if c.subs != nil {
+		c.mergedSeekPos(doc, pos)
+		return
+	}
 	if c.i >= c.hi {
 		return
 	}

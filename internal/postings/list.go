@@ -6,13 +6,17 @@ import (
 	"repro/internal/storage"
 )
 
-// List is a read-only view over a posting list — either a raw []Posting
-// slice or a window of a block-compressed BlockList. The zero value is an
+// List is a read-only view over a posting list — a raw []Posting slice, a
+// window of a block-compressed BlockList, or a merged union of several
+// such views with tombstone filtering (see Union). The zero value is an
 // empty list. Lists are values: cheap to copy, safe to share.
 type List struct {
 	raw    []Posting
 	bl     *BlockList
 	lo, hi int // posting-index window into bl (block mode only)
+
+	sub  []List      // merged mode: the unioned parts (non-nil)
+	tomb *Tombstones // merged mode: documents filtered out of the union
 }
 
 // NewRawList wraps an already-materialized posting slice (which must be
@@ -29,8 +33,13 @@ func (b *BlockList) All() List {
 	return List{bl: b, lo: 0, hi: b.n}
 }
 
-// Len returns the number of postings in the view.
+// Len returns the number of postings in the view. Merged views count
+// tombstone-suppressed postings too, so under deletions Len is an upper
+// bound on what a cursor will yield.
 func (l List) Len() int {
+	if l.sub != nil {
+		return l.mergedLen()
+	}
 	if l.bl != nil {
 		return l.hi - l.lo
 	}
@@ -49,6 +58,9 @@ func (l List) Blocks() *BlockList {
 
 // Cursor returns a fresh cursor positioned at the first posting.
 func (l List) Cursor() *Cursor {
+	if l.sub != nil {
+		return l.mergedCursor()
+	}
 	if l.bl != nil {
 		return &Cursor{bl: l.bl, lo: l.lo, hi: l.hi, i: l.lo, blk: -1}
 	}
@@ -59,6 +71,9 @@ func (l List) Cursor() *Cursor {
 // views resolve the boundaries via the skip table plus a document-stream
 // scan of at most one block per edge — no full decode.
 func (l List) Range(lo, hi storage.DocID) List {
+	if l.sub != nil {
+		return l.mergedRange(lo, hi)
+	}
 	if l.bl == nil {
 		a := sort.Search(len(l.raw), func(i int) bool { return l.raw[i].Doc >= lo })
 		b := a + sort.Search(len(l.raw)-a, func(i int) bool { return l.raw[a+i].Doc >= hi })
@@ -106,8 +121,12 @@ func (b *BlockList) lowerBound(doc storage.DocID) int {
 
 // Materialize returns the postings as a flat slice. Raw-backed views
 // return the underlying slice (callers must not modify it); block-backed
-// views allocate and decode.
+// and merged views allocate and decode, and merged views exclude
+// tombstoned documents.
 func (l List) Materialize() []Posting {
+	if l.sub != nil {
+		return l.mergedMaterialize()
+	}
 	if l.bl == nil {
 		return l.raw
 	}

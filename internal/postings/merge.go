@@ -1,0 +1,234 @@
+package postings
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// This file adds the LSM read path: a merged List view that unions the
+// postings of several underlying views (immutable block segments plus
+// in-memory memtable runs) behind the exact cursor contract of a single
+// list, with tombstone filtering applied during the merge so deleted
+// documents vanish from every operator without the operators changing.
+//
+// Segments produced by the live index cover disjoint, ascending document
+// ranges (document ids are allocated monotonically and never reused), so
+// the k-way merge is effectively a concatenation with cheap min-scans; the
+// implementation nevertheless handles arbitrary interleaving, which the
+// fuzz target exercises.
+
+// Tombstones is an immutable set of deleted documents. A nil *Tombstones
+// is a valid empty set. Mutation is copy-on-write (WithDead), so readers
+// holding a snapshot never observe changes.
+type Tombstones struct {
+	dead map[storage.DocID]struct{}
+}
+
+// NewTombstones returns a set containing ids (nil when ids is empty).
+func NewTombstones(ids ...storage.DocID) *Tombstones {
+	return (*Tombstones)(nil).WithDead(ids...)
+}
+
+// Dead reports whether doc is tombstoned. Safe on a nil receiver.
+func (t *Tombstones) Dead(doc storage.DocID) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.dead[doc]
+	return ok
+}
+
+// Len returns the number of tombstoned documents. Safe on a nil receiver.
+func (t *Tombstones) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.dead)
+}
+
+// WithDead returns a set additionally containing ids. The receiver is not
+// modified; when ids adds nothing new the receiver is returned unchanged.
+func (t *Tombstones) WithDead(ids ...storage.DocID) *Tombstones {
+	fresh := 0
+	for _, id := range ids {
+		if !t.Dead(id) {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		return t
+	}
+	dead := make(map[storage.DocID]struct{}, t.Len()+fresh)
+	if t != nil {
+		//tixlint:ignore mapiter set copy; insertion order does not affect the resulting set
+		for id := range t.dead {
+			dead[id] = struct{}{}
+		}
+	}
+	for _, id := range ids {
+		dead[id] = struct{}{}
+	}
+	return &Tombstones{dead: dead}
+}
+
+// IDs returns the tombstoned documents in ascending order.
+func (t *Tombstones) IDs() []storage.DocID {
+	if t == nil {
+		return nil
+	}
+	out := make([]storage.DocID, 0, len(t.dead))
+	for id := range t.dead {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns a view over the (Doc, Pos)-ordered union of parts with
+// documents in tomb filtered out. Empty parts are dropped and nested
+// unions with a compatible tombstone set are flattened; a single surviving
+// part with no tombstones is returned directly, so a live index that has
+// seen no mutations keeps the block-backed fast paths (Blocks, skip-table
+// seeks, block-max pruning) of a static one.
+//
+// Under tombstones, Len and Remaining count suppressed postings too — they
+// become upper bounds, which is the same contract block-max pruning already
+// assumes of its statistics.
+func Union(tomb *Tombstones, parts ...List) List {
+	kept := make([]List, 0, len(parts))
+	for _, p := range parts {
+		if p.Len() == 0 {
+			continue
+		}
+		if p.sub != nil && (p.tomb == nil || p.tomb == tomb) {
+			kept = append(kept, p.sub...)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if tomb.Len() == 0 {
+		tomb = nil
+	}
+	switch {
+	case len(kept) == 0:
+		return List{}
+	case len(kept) == 1 && tomb == nil:
+		return kept[0]
+	}
+	return List{sub: kept, tomb: tomb}
+}
+
+// mergedLen sums the part sizes (an upper bound under tombstones).
+func (l List) mergedLen() int {
+	n := 0
+	for _, p := range l.sub {
+		n += p.Len()
+	}
+	return n
+}
+
+// mergedCursor builds the k-way merge cursor and settles it on the first
+// live posting.
+func (l List) mergedCursor() *Cursor {
+	subs := make([]*Cursor, len(l.sub))
+	for i, p := range l.sub {
+		subs[i] = p.Cursor()
+	}
+	c := &Cursor{subs: subs, tomb: l.tomb}
+	c.settle()
+	return c
+}
+
+// mergedRange narrows every part and re-unions, keeping the tombstone set.
+func (l List) mergedRange(lo, hi storage.DocID) List {
+	parts := make([]List, 0, len(l.sub))
+	for _, p := range l.sub {
+		parts = append(parts, p.Range(lo, hi))
+	}
+	return Union(l.tomb, parts...)
+}
+
+// mergedMaterialize drains the merge cursor into a fresh slice.
+func (l List) mergedMaterialize() []Posting {
+	out := make([]Posting, 0, l.mergedLen())
+	for c := l.mergedCursor(); c.Valid(); c.Advance() {
+		out = append(out, c.Cur())
+	}
+	return out
+}
+
+// Each calls fn for every posting in the view in (Doc, Pos) order,
+// stopping early when fn returns false. It is the bulk consumption path
+// for merged views: unlike Materialize it never allocates the full slice,
+// and tombstoned documents are already filtered out.
+func (l List) Each(fn func(Posting) bool) {
+	for c := l.Cursor(); c.Valid(); c.Advance() {
+		if !fn(c.Cur()) {
+			return
+		}
+	}
+}
+
+// settle positions the merge cursor on the minimum live posting across the
+// sub-cursors, skipping whole tombstoned documents via SeekPos so a dead
+// run costs one skip-table seek per sub-cursor instead of a posting-by-
+// posting walk.
+func (c *Cursor) settle() {
+	for {
+		best := -1
+		for i, s := range c.subs {
+			if !s.Valid() {
+				continue
+			}
+			if best < 0 || s.Cur().Less(c.subs[best].Cur()) {
+				best = i
+			}
+		}
+		c.cur = best
+		if best < 0 {
+			return
+		}
+		doc := c.subs[best].Cur().Doc
+		if !c.tomb.Dead(doc) {
+			return
+		}
+		for _, s := range c.subs {
+			if s.Valid() && s.Cur().Doc <= doc {
+				s.SeekPos(doc+1, 0)
+			}
+		}
+	}
+}
+
+func (c *Cursor) mergedValid() bool { return c.cur >= 0 }
+
+func (c *Cursor) mergedCur() Posting { return c.subs[c.cur].Cur() }
+
+func (c *Cursor) mergedAdvance() {
+	if c.cur < 0 {
+		return
+	}
+	c.subs[c.cur].Advance()
+	c.settle()
+}
+
+// mergedRemaining sums the sub-cursor remainders — exact without
+// tombstones, an upper bound with them.
+func (c *Cursor) mergedRemaining() int {
+	n := 0
+	for _, s := range c.subs {
+		n += s.Remaining()
+	}
+	return n
+}
+
+func (c *Cursor) mergedSeekPos(doc storage.DocID, pos uint32) {
+	if c.cur < 0 {
+		return
+	}
+	for _, s := range c.subs {
+		s.SeekPos(doc, pos)
+	}
+	c.settle()
+}

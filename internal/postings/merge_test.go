@@ -1,0 +1,294 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// splitParts deals a sorted posting stream into k sorted sub-streams the
+// way the live index produces them (each part is a subsequence, so it
+// stays sorted), optionally block-encoding alternate parts to mix
+// representations.
+func splitParts(ps []Posting, k int, encodeEven bool) []List {
+	raw := make([][]Posting, k)
+	for i, p := range ps {
+		j := i % k
+		raw[j] = append(raw[j], p)
+	}
+	parts := make([]List, 0, k)
+	for j, sub := range raw {
+		if encodeEven && j%2 == 0 {
+			parts = append(parts, Encode(sub).All())
+		} else {
+			parts = append(parts, NewRawList(sub))
+		}
+	}
+	return parts
+}
+
+// filterDead is the merge oracle: the sorted input with tombstoned
+// documents removed.
+func filterDead(ps []Posting, tomb *Tombstones) []Posting {
+	out := []Posting{}
+	for _, p := range ps {
+		if !tomb.Dead(p.Doc) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func drain(c *Cursor) []Posting {
+	out := []Posting{}
+	for ; c.Valid(); c.Advance() {
+		out = append(out, c.Cur())
+	}
+	return out
+}
+
+func TestUnionMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ps := genList(r, r.Intn(600))
+		k := 1 + r.Intn(5)
+		var dead []storage.DocID
+		for _, p := range ps {
+			if r.Intn(10) == 0 {
+				dead = append(dead, p.Doc)
+			}
+		}
+		tomb := NewTombstones(dead...)
+		u := Union(tomb, splitParts(ps, k, trial%2 == 0)...)
+		want := filterDead(ps, tomb)
+
+		if got := append([]Posting{}, u.Materialize()...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Materialize yields %d postings, want %d", trial, len(got), len(want))
+		}
+		if got := drain(u.Cursor()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: cursor drain mismatch", trial)
+		}
+		if u.Len() < len(want) {
+			t.Fatalf("trial %d: Len() = %d below live count %d", trial, u.Len(), len(want))
+		}
+		if tomb == nil && u.Len() != len(want) {
+			t.Fatalf("trial %d: Len() = %d, want exact %d without tombstones", trial, u.Len(), len(want))
+		}
+	}
+}
+
+func TestUnionEmptyMemtablePreservesBlockFastPath(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	base := Encode(genList(r, 300))
+	u := Union(nil, base.All(), NewRawList(nil))
+	if u.Blocks() != base {
+		t.Fatalf("union with empty memtable part lost the block-backed fast path")
+	}
+	u = Union(NewTombstones(), base.All())
+	if u.Blocks() != base {
+		t.Fatalf("union with empty tombstone set lost the block-backed fast path")
+	}
+}
+
+func TestUnionTombstoneOnlyTerm(t *testing.T) {
+	ps := []Posting{{Doc: 3, Node: 1, Pos: 2}, {Doc: 3, Node: 1, Pos: 9}, {Doc: 7, Node: 2, Pos: 1}}
+	tomb := NewTombstones(3, 7)
+	u := Union(tomb, Encode(ps).All())
+	if c := u.Cursor(); c.Valid() {
+		t.Fatalf("cursor over fully tombstoned term is valid at %+v", c.Cur())
+	}
+	if got := u.Materialize(); len(got) != 0 {
+		t.Fatalf("Materialize over fully tombstoned term yields %d postings", len(got))
+	}
+	if u.Len() != 3 {
+		t.Fatalf("Len() = %d, want the suppressed-posting upper bound 3", u.Len())
+	}
+}
+
+func TestUnionDeleteThenReAdd(t *testing.T) {
+	// Document 2 is deleted and re-added under a fresh id (5, allocated
+	// monotonically) within the same generation: the old postings live in
+	// the base segment, the new ones in the memtable, and only the new id
+	// may surface.
+	base := Encode([]Posting{
+		{Doc: 1, Node: 1, Pos: 4}, {Doc: 2, Node: 1, Pos: 3}, {Doc: 2, Node: 1, Pos: 8},
+	})
+	mem := []Posting{{Doc: 5, Node: 1, Pos: 3}, {Doc: 5, Node: 1, Pos: 8}}
+	u := Union(NewTombstones(2), base.All(), NewRawList(mem))
+	want := []Posting{{Doc: 1, Node: 1, Pos: 4}, {Doc: 5, Node: 1, Pos: 3}, {Doc: 5, Node: 1, Pos: 8}}
+	if got := drain(u.Cursor()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delete+re-add merge = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergedSeekPosInsideTombstonedRun(t *testing.T) {
+	// Docs 0..9, one posting each at Pos 1..3; docs 4..6 tombstoned. A seek
+	// landing inside the dead run must come out at the first live posting
+	// after it.
+	var ps []Posting
+	for d := storage.DocID(0); d < 10; d++ {
+		for pos := uint32(1); pos <= 3; pos++ {
+			ps = append(ps, Posting{Doc: d, Node: 1, Pos: pos})
+		}
+	}
+	tomb := NewTombstones(4, 5, 6)
+	u := Union(tomb, splitParts(ps, 3, true)...)
+
+	c := u.Cursor()
+	c.SeekPos(5, 2)
+	if !c.Valid() || c.Cur().Doc != 7 || c.Cur().Pos != 1 {
+		t.Fatalf("seek into tombstoned run landed at %+v, want doc 7 pos 1", c.Cur())
+	}
+	// Seeking within a live doc still honors positions.
+	c = u.Cursor()
+	c.SeekPos(7, 3)
+	if !c.Valid() || c.Cur().Doc != 7 || c.Cur().Pos != 3 {
+		t.Fatalf("positional seek landed at %+v, want doc 7 pos 3", c.Cur())
+	}
+	// Seeking past the end exhausts the cursor.
+	c.SeekPos(42, 0)
+	if c.Valid() {
+		t.Fatalf("seek past end left cursor valid at %+v", c.Cur())
+	}
+}
+
+func TestMergedRangeMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ps := genList(r, 400)
+	tomb := NewTombstones(ps[len(ps)/2].Doc)
+	u := Union(tomb, splitParts(ps, 3, true)...)
+	maxDoc := ps[len(ps)-1].Doc
+	for lo := storage.DocID(0); lo <= maxDoc; lo += 3 {
+		hi := lo + 5
+		want := []Posting{}
+		for _, p := range filterDead(ps, tomb) {
+			if p.Doc >= lo && p.Doc < hi {
+				want = append(want, p)
+			}
+		}
+		got := append([]Posting{}, u.Range(lo, hi).Materialize()...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Range(%d,%d): got %d postings, want %d", lo, hi, len(got), len(want))
+		}
+	}
+}
+
+func TestListEachStopsEarly(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	ps := genList(r, 200)
+	u := Union(nil, splitParts(ps, 2, true)...)
+	seen := 0
+	u.Each(func(Posting) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("Each visited %d postings after early stop, want 10", seen)
+	}
+}
+
+func TestTombstonesCopyOnWrite(t *testing.T) {
+	var t0 *Tombstones
+	if t0.Dead(1) || t0.Len() != 0 {
+		t.Fatal("nil Tombstones not an empty set")
+	}
+	t1 := t0.WithDead(1, 2)
+	t2 := t1.WithDead(2)
+	if t2 != t1 {
+		t.Fatal("adding an existing id should return the receiver")
+	}
+	t3 := t1.WithDead(3)
+	if t1.Dead(3) {
+		t.Fatal("WithDead mutated its receiver")
+	}
+	if !t3.Dead(1) || !t3.Dead(3) || t3.Len() != 3 {
+		t.Fatalf("t3 = %v, want {1,2,3}", t3.IDs())
+	}
+}
+
+// FuzzMemtableMerge drives the memtable/segment merge path with arbitrary
+// posting streams, part counts, tombstone sets and seek targets: the
+// merged cursor must yield exactly the sorted input minus tombstoned
+// documents, in order, under iteration, seeking and ranging alike.
+func FuzzMemtableMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(1), uint32(0), uint16(0), uint16(0))
+	f.Add([]byte{1, 2, 3, 4, 200, 201, 202}, uint8(3), uint32(0b1010), uint16(2), uint16(1))
+	f.Add([]byte{255, 254, 0, 0, 0, 7, 9}, uint8(5), uint32(1<<31), uint16(9), uint16(300))
+
+	f.Fuzz(func(t *testing.T, data []byte, nParts uint8, tombMask uint32, seekDoc, seekPos uint16) {
+		if len(data) > 1<<12 {
+			return
+		}
+		// Decode a strictly (Doc, Pos)-increasing stream: byte high bits
+		// advance the document, low bits advance the position. Strict
+		// position increase keeps the merge order unambiguous.
+		var ps []Posting
+		doc, pos := storage.DocID(0), uint32(0)
+		for _, b := range data {
+			if d := storage.DocID(b >> 5); d > 0 {
+				doc += d
+				pos = 0
+			}
+			pos += uint32(b&31) + 1
+			ps = append(ps, Posting{Doc: doc, Node: int32(b % 7), Pos: pos, Offset: uint32(b % 11)})
+		}
+		tomb := NewTombstones()
+		for d := storage.DocID(0); d <= doc; d++ {
+			if tombMask>>(uint(d)%32)&1 == 1 {
+				tomb = tomb.WithDead(d)
+			}
+		}
+		k := int(nParts%6) + 1
+		u := Union(tomb, splitParts(ps, k, true)...)
+		want := filterDead(ps, tomb)
+
+		got := drain(u.Cursor())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("merged drain: %d postings, want %d", len(got), len(want))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Less(got[i-1]) {
+				t.Fatalf("merged output out of order at %d", i)
+			}
+		}
+		if u.Len() < len(want) {
+			t.Fatalf("Len() = %d below live posting count %d", u.Len(), len(want))
+		}
+
+		// A fresh-cursor seek must land exactly where a linear scan would.
+		target := Posting{Doc: storage.DocID(seekDoc % 64), Pos: uint32(seekPos)}
+		c := u.Cursor()
+		c.SeekPos(target.Doc, target.Pos)
+		wantIdx := sort.Search(len(want), func(i int) bool {
+			p := want[i]
+			return p.Doc > target.Doc || (p.Doc == target.Doc && p.Pos >= target.Pos)
+		})
+		if wantIdx == len(want) {
+			if c.Valid() {
+				t.Fatalf("seek past end valid at %+v", c.Cur())
+			}
+		} else if !c.Valid() || c.Cur() != want[wantIdx] {
+			t.Fatalf("seek (%d,%d) landed wrong: want %+v", target.Doc, target.Pos, want[wantIdx])
+		}
+		// Remaining never under-reports.
+		if c.Valid() && c.Remaining() < len(want)-wantIdx {
+			t.Fatalf("Remaining() = %d below live remainder %d", c.Remaining(), len(want)-wantIdx)
+		}
+
+		// Range by document window agrees with the oracle.
+		lo, hi := storage.DocID(seekDoc%32), storage.DocID(seekDoc%32)+storage.DocID(seekPos%8)
+		wantRange := []Posting{}
+		for _, p := range want {
+			if p.Doc >= lo && p.Doc < hi {
+				wantRange = append(wantRange, p)
+			}
+		}
+		gotRange := append([]Posting{}, u.Range(lo, hi).Materialize()...)
+		if !reflect.DeepEqual(gotRange, wantRange) {
+			t.Fatalf("Range(%d,%d): %d postings, want %d", lo, hi, len(gotRange), len(wantRange))
+		}
+	})
+}

@@ -40,11 +40,17 @@ var knownRoutes = map[string]bool{
 	"/phrase":  true,
 	"/metrics": true,
 	"/healthz": true,
+	"/docs":    true,
 }
 
 func routeLabel(path string) string {
 	if knownRoutes[path] {
 		return path
+	}
+	// Document mutations carry the name in the path; collapse it so the
+	// label stays bounded.
+	if len(path) > len("/docs/") && path[:len("/docs/")] == "/docs/" {
+		return "/docs/{name}"
 	}
 	return "other"
 }
@@ -105,6 +111,8 @@ func itoa(code int) string {
 	switch code {
 	case 200:
 		return "200"
+	case 201:
+		return "201"
 	case 400:
 		return "400"
 	case 404:
@@ -113,12 +121,16 @@ func itoa(code int) string {
 		return "405"
 	case 408:
 		return "408"
+	case 409:
+		return "409"
 	case 413:
 		return "413"
 	case 422:
 		return "422"
 	case 500:
 		return "500"
+	case 501:
+		return "501"
 	case 503:
 		return "503"
 	}

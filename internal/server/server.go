@@ -8,6 +8,13 @@
 //	POST /terms    {"terms": [...], "topK": 10, "complex": false}
 //	POST /phrase   {"phrase": [...]}
 //
+// With EnableIngest set (tixserve -ingest) and a mutating backend, the
+// document endpoints are live too (see Ingestor):
+//
+//	POST   /docs          {"name": "...", "xml": "..."}  add
+//	PUT    /docs/{name}   {"xml": "..."}                 replace
+//	DELETE /docs/{name}                                  delete
+//
 // Results carry scores and the serialized XML of the matched components.
 // Every handler runs behind a logging/metrics middleware; request bodies
 // are bounded, JSON decoding is strict, and the listener applies full
@@ -28,6 +35,9 @@
 //	timeout         408  evaluation exceeded its deadline (QueryTimeout or client deadline)
 //	canceled        503  the client disconnected mid-evaluation
 //	unavailable     503  a storage fault or recovered internal panic
+//	conflict        409  adding a document name that already exists
+//	not_found       404  updating/deleting a document that is not loaded
+//	not_implemented 501  ingestion disabled or unsupported by the backend
 //
 // Query evaluation runs under the request's context — a client disconnect
 // cancels the scan cooperatively — bounded by the server's QueryTimeout.
@@ -94,6 +104,10 @@ type Server struct {
 	// returns 408 with code "timeout". Client disconnects cancel the scan
 	// regardless.
 	QueryTimeout time.Duration
+	// EnableIngest exposes the document mutation endpoints (POST/PUT/
+	// DELETE under /docs) when the backend satisfies Ingestor. Off by
+	// default: a read-only query server should not accept writes unasked.
+	EnableIngest bool
 
 	started time.Time
 }
@@ -125,6 +139,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /terms", s.handleTerms)
 	mux.HandleFunc("POST /phrase", s.handlePhrase)
+	mux.HandleFunc("POST /docs", s.handleAddDoc)
+	mux.HandleFunc("PUT /docs/{name}", s.handleUpdateDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
 	if s.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -264,6 +281,12 @@ func errorCode(status int, err error) string {
 		return "unavailable"
 	case http.StatusInternalServerError:
 		return "internal"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusNotImplemented:
+		return "not_implemented"
 	}
 	return "unprocessable"
 }

@@ -248,7 +248,7 @@ func (s *DB) PhraseSearchContext(ctx context.Context, phrase []string) (ms []exe
 		if rerr != nil {
 			return rerr
 		}
-		ids := s.globalOf[i]
+		ids := s.globalIDs(i)
 		for j := range out {
 			out[j].Doc = ids[out[j].Doc]
 		}
@@ -281,7 +281,7 @@ func (s *DB) TwigRefsContext(ctx context.Context, pattern *exec.TwigNode) (out [
 	defer cancel()
 	guard := exec.NewGuard(cctx, s.opts.Limits)
 	err = s.runShards(opTwig, cancel, func(i int, seg *db.DB) error {
-		ids := s.globalOf[i]
+		ids := s.globalIDs(i)
 		var refs []db.TwigRef
 		for _, doc := range seg.Store().Docs() {
 			ts := &exec.TwigStack{Store: seg.Store(), Doc: doc.ID, Root: pattern, Guard: guard}
@@ -320,7 +320,10 @@ func (s *DB) TwigSearchContext(ctx context.Context, pattern *exec.TwigNode) ([]*
 	}
 	out := make([]*xmltree.Node, 0, len(refs))
 	for _, ref := range refs {
-		loc := s.docs[ref.Doc]
+		loc, ok := s.refOf(ref.Doc)
+		if !ok {
+			continue
+		}
 		out = append(out, s.segs[loc.shard].Store().Doc(loc.local).TreeNode(ref.Ord))
 	}
 	return out, nil
@@ -345,11 +348,11 @@ func (s *DB) routeQuery(src string) (int, error) {
 		if name == "" {
 			continue
 		}
-		gid, ok := s.byName[name]
+		owner, ok := s.ShardOf(name)
 		if !ok {
 			return 0, fmt.Errorf("shard: document %q not loaded", name)
 		}
-		if owner := s.docs[gid].shard; shard == -1 {
+		if shard == -1 {
 			shard = owner
 		} else if owner != shard {
 			return 0, ErrCrossShard
@@ -383,7 +386,7 @@ func (s *DB) QueryLimited(ctx context.Context, src string, limits exec.Limits) (
 	if err != nil {
 		return nil, err
 	}
-	ids := s.globalOf[i]
+	ids := s.globalIDs(i)
 	for j := range results {
 		results[j].Doc = ids[results[j].Doc]
 	}
@@ -401,7 +404,7 @@ func (s *DB) QueryRenderedContext(ctx context.Context, src string) ([]string, []
 	if err != nil {
 		return nil, nil, err
 	}
-	ids := s.globalOf[i]
+	ids := s.globalIDs(i)
 	for j := range results {
 		results[j].Doc = ids[results[j].Doc]
 	}

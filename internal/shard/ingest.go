@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/storage"
+)
+
+// Routed ingestion: the sharded counterparts of db.Add/Update/Delete.
+// Documents route to segments exactly as loads do (ByHash keeps the
+// placement stable across restarts; RoundRobin follows the cursor), so a
+// corpus grown through Add matches one bulk-loaded from the same names.
+// Mutations are serialized by the facade lock; queries keep running
+// against per-segment snapshots and translate ids under the read lock.
+//
+// Global ids are never reused. An Update keeps the document's global id
+// (results for the new content carry the old identity) while the segment
+// allocates a fresh local id underneath; a Delete retires the name and
+// leaves a dead global slot behind.
+
+// syncTables realigns the routing tables after a segment mutation failed:
+// when the segment consumed no local document id (e.g. the source failed
+// to parse), the speculative table entries are rolled back; when it did
+// (the document was indexed partially and tombstoned), the dead mapping
+// stays, keeping globalOf aligned with the segment's local numbering.
+// Caller holds s.mu.
+func (s *DB) syncTables(i int, popDocs bool) {
+	n := s.segs[i].Store().NumDocs()
+	if len(s.globalOf[i]) > n {
+		s.globalOf[i] = s.globalOf[i][:n]
+		if popDocs {
+			s.docs = s.docs[:len(s.docs)-1]
+			s.names = s.names[:len(s.names)-1]
+		}
+	}
+}
+
+// Add parses src and ingests it into the segment the document's name
+// routes to. The document is queryable across the facade as soon as Add
+// returns. Adding a loaded name fails with db.ErrDocumentExists.
+func (s *DB) Add(name, src string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("shard: add %q: %w", name, db.ErrDocumentExists)
+	}
+	i := s.pickShard(name)
+	seg := s.segs[i]
+	// Register the id translation before the segment mutation: the moment
+	// the document becomes visible in a segment snapshot, a concurrent
+	// query may need its global id.
+	gid := storage.DocID(len(s.docs))
+	local := storage.DocID(seg.Store().NumDocs())
+	s.docs = append(s.docs, docRef{shard: i, local: local})
+	s.names = append(s.names, name)
+	s.globalOf[i] = append(s.globalOf[i], gid)
+	if err := seg.Add(name, src); err != nil {
+		s.syncTables(i, true)
+		return err
+	}
+	s.byName[name] = gid
+	s.next++
+	s.shardGauge(i)
+	return nil
+}
+
+// Update replaces the named document in place: same global id, same
+// segment, fresh content (and a fresh segment-local id underneath).
+func (s *DB) Update(name, src string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gid, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("shard: update %q: %w", name, db.ErrDocumentNotFound)
+	}
+	old := s.docs[gid]
+	seg := s.segs[old.shard]
+	local := storage.DocID(seg.Store().NumDocs())
+	s.docs[gid] = docRef{shard: old.shard, local: local}
+	s.globalOf[old.shard] = append(s.globalOf[old.shard], gid)
+	if err := seg.Update(name, src); err != nil {
+		s.syncTables(old.shard, false)
+		if seg.Store().DocByName(name) == nil {
+			// The old version was tombstoned before the failure: the
+			// document is gone, not restored.
+			delete(s.byName, name)
+		} else {
+			s.docs[gid] = old
+		}
+		s.shardGauge(old.shard)
+		return err
+	}
+	s.shardGauge(old.shard)
+	return nil
+}
+
+// Delete tombstones the named document in its segment and retires its
+// global id (the slot is never reused). The name becomes available for a
+// future Add, which may route it to the same segment again.
+func (s *DB) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gid, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("shard: delete %q: %w", name, db.ErrDocumentNotFound)
+	}
+	ref := s.docs[gid]
+	if err := s.segs[ref.shard].Delete(name); err != nil {
+		return err
+	}
+	delete(s.byName, name)
+	s.shardGauge(ref.shard)
+	return nil
+}
+
+// Generation returns the sum of the segment generations — a cheap
+// staleness token that changes whenever any segment mutates.
+func (s *DB) Generation() uint64 {
+	var g uint64
+	for _, seg := range s.segs {
+		g += seg.Generation()
+	}
+	return g
+}
+
+// CompactNow synchronously folds every segment's live index.
+func (s *DB) CompactNow() {
+	for _, seg := range s.segs {
+		seg.CompactNow()
+	}
+}
+
+// WaitCompaction blocks until every segment's in-flight background
+// compaction finishes.
+func (s *DB) WaitCompaction() {
+	for _, seg := range s.segs {
+		seg.WaitCompaction()
+	}
+}

@@ -88,6 +88,11 @@ type DB struct {
 	opts Options
 	segs []*db.DB
 
+	// mu guards the routing tables below. Loads and the mutation API
+	// (Add/Update/Delete) write them; query paths translate segment-local
+	// document ids to global ids under the read lock, so queries may run
+	// concurrently with routed ingestion.
+	mu       sync.RWMutex
 	docs     []docRef                 // global DocID -> placement
 	names    []string                 // global DocID -> document name
 	byName   map[string]storage.DocID // document name -> global DocID
@@ -130,9 +135,11 @@ func Wrap(d *db.DB) *DB {
 		Limits:    o.Limits,
 	})
 	s.segs[0] = d
+	s.mu.Lock()
 	for _, doc := range d.Store().Docs() {
 		s.track(doc.Name, 0, doc.ID)
 	}
+	s.mu.Unlock()
 	return s
 }
 
@@ -198,6 +205,8 @@ func (s *DB) pickShard(name string) int {
 
 // ShardOf returns the segment holding the named document.
 func (s *DB) ShardOf(name string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	gid, ok := s.byName[name]
 	if !ok {
 		return 0, false
@@ -205,7 +214,28 @@ func (s *DB) ShardOf(name string) (int, bool) {
 	return s.docs[gid].shard, true
 }
 
+// globalIDs returns the current local-to-global id table of one segment.
+// The table is append-only (stale tails for tombstoned documents are never
+// referenced by results), so the captured slice header stays valid after
+// the lock is released.
+func (s *DB) globalIDs(i int) []storage.DocID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.globalOf[i]
+}
+
+// refOf resolves a global document id to its segment placement.
+func (s *DB) refOf(doc storage.DocID) (docRef, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(doc) < 0 || int(doc) >= len(s.docs) {
+		return docRef{}, false
+	}
+	return s.docs[doc], true
+}
+
 // track records a successfully loaded document in the global numbering.
+// Caller holds s.mu.
 func (s *DB) track(name string, shard int, local storage.DocID) {
 	gid := storage.DocID(len(s.docs))
 	s.docs = append(s.docs, docRef{shard: shard, local: local})
@@ -213,22 +243,30 @@ func (s *DB) track(name string, shard int, local storage.DocID) {
 	s.byName[name] = gid
 	s.globalOf[shard] = append(s.globalOf[shard], gid)
 	s.next++
+	s.shardGauge(shard)
+}
+
+// shardGauge publishes one segment's live-document count. Caller holds
+// s.mu (read or write).
+func (s *DB) shardGauge(shard int) {
 	s.MetricsRegistry().Gauge(fmt.Sprintf(`tix_shard_documents{shard="%d"}`, shard)).
-		Set(int64(len(s.globalOf[shard])))
+		Set(int64(s.segs[shard].DocumentCount()))
 }
 
 // LoadTree loads an already-parsed tree under the given document name into
 // the shard its name (or the round-robin cursor) selects.
 func (s *DB) LoadTree(name string, root *xmltree.Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.byName[name]; dup {
 		return fmt.Errorf("shard: document %q already loaded", name)
 	}
 	i := s.pickShard(name)
+	local := storage.DocID(s.segs[i].Store().NumDocs())
 	if err := s.segs[i].LoadTree(name, root); err != nil {
 		return err
 	}
-	docs := s.segs[i].Store().Docs()
-	s.track(name, i, docs[len(docs)-1].ID)
+	s.track(name, i, local)
 	return nil
 }
 
@@ -261,12 +299,18 @@ func (s *DB) LoadFile(path string) error {
 	return s.LoadReader(filepath.Base(path), f)
 }
 
-// DocumentCount returns the number of loaded documents (across all
-// segments) without forcing index construction.
-func (s *DB) DocumentCount() int { return len(s.docs) }
+// DocumentCount returns the number of live (non-deleted) documents across
+// all segments without forcing index construction.
+func (s *DB) DocumentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName)
+}
 
 // DocName returns the name of a globally-numbered document.
 func (s *DB) DocName(doc storage.DocID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(doc) < 0 || int(doc) >= len(s.names) {
 		return ""
 	}
@@ -312,7 +356,7 @@ func (s *DB) Stats() db.Stats {
 // Within one shard the local order is a subsequence of the global order,
 // so the rewrite preserves any (score, doc, ord) sorting.
 func (s *DB) toGlobal(shard int, nodes []exec.ScoredNode) {
-	ids := s.globalOf[shard]
+	ids := s.globalIDs(shard)
 	for i := range nodes {
 		nodes[i].Doc = ids[nodes[i].Doc]
 	}
@@ -321,19 +365,19 @@ func (s *DB) toGlobal(shard int, nodes []exec.ScoredNode) {
 // Materialize returns the xmltree subtree for a result element (global
 // document id).
 func (s *DB) Materialize(doc storage.DocID, ord int32) *xmltree.Node {
-	if int(doc) < 0 || int(doc) >= len(s.docs) {
+	ref, ok := s.refOf(doc)
+	if !ok {
 		return nil
 	}
-	ref := s.docs[doc]
 	return s.segs[ref.shard].Materialize(ref.local, ord)
 }
 
 // NameOf returns the element tag name of a scored node (global document
 // id).
 func (s *DB) NameOf(n exec.ScoredNode) string {
-	if int(n.Doc) < 0 || int(n.Doc) >= len(s.docs) {
+	ref, ok := s.refOf(n.Doc)
+	if !ok {
 		return ""
 	}
-	ref := s.docs[n.Doc]
 	return s.segs[ref.shard].NameOf(exec.ScoredNode{Doc: ref.local, Ord: n.Ord})
 }

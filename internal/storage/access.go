@@ -14,6 +14,7 @@ import "repro/internal/xmltree"
 // costs.
 type Accessor struct {
 	store *Store
+	docs  []*Document // document table snapshot, stable under concurrent loads
 	Stats AccessStats
 	// Budget, when non-nil, additionally meters every node-record fetch
 	// into a query-wide shared counter (see AccessBudget); exec.Guard
@@ -24,8 +25,11 @@ type Accessor struct {
 }
 
 // NewAccessor returns an accessor over s. It inherits the store's fault
-// injector, if one is installed.
-func NewAccessor(s *Store) *Accessor { return &Accessor{store: s, faults: s.faults} }
+// injector, if one is installed, and snapshots the document table so
+// concurrent ingestion cannot move it mid-query.
+func NewAccessor(s *Store) *Accessor {
+	return &Accessor{store: s, docs: s.Docs(), faults: s.Faults()}
+}
 
 // Store returns the underlying store.
 func (a *Accessor) Store() *Store { return a.store }
@@ -49,7 +53,7 @@ func (a *Accessor) charge(doc DocID, ord int32) {
 // Node fetches the node record at (doc, ord), charging one node read.
 func (a *Accessor) Node(doc DocID, ord int32) *NodeRec {
 	a.charge(doc, ord)
-	return &a.store.docs[doc].Nodes[ord]
+	return &a.docs[doc].Nodes[ord]
 }
 
 // Parent returns the parent ordinal of (doc, ord), or NoNode.
@@ -102,7 +106,7 @@ func (a *Accessor) Text(doc DocID, ord int32) string {
 // SubtreeText concatenates the text of every text node in the subtree of
 // (doc, ord) in document order, charging per record scanned.
 func (a *Accessor) SubtreeText(doc DocID, ord int32) string {
-	d := a.store.docs[doc]
+	d := a.docs[doc]
 	end := d.SubtreeEnd(ord)
 	var out []byte
 	for i := ord; i < end; i++ {
@@ -121,7 +125,7 @@ func (a *Accessor) SubtreeText(doc DocID, ord int32) string {
 // Materialize returns the xmltree subtree rooted at (doc, ord), for handing
 // results back to the user. It charges one node read per subtree node.
 func (a *Accessor) Materialize(doc DocID, ord int32) *xmltree.Node {
-	d := a.store.docs[doc]
+	d := a.docs[doc]
 	end := d.SubtreeEnd(ord)
 	for i := ord; i < end; i++ {
 		a.charge(doc, i)

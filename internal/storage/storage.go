@@ -11,14 +11,18 @@
 // composite baselines touch it per intermediate result, which is what
 // produces the cost separation the paper reports.
 //
-// A Store is not safe for concurrent mutation; concurrent readers are safe
-// once loading is complete, provided access accounting is disabled or each
-// goroutine uses its own Accessor.
+// The store is append-only and internally synchronized: documents may be
+// added (and names released for re-add) concurrently with readers, which
+// is what live ingestion requires. Individual Document records are
+// immutable once loaded, so holding a *Document across mutations is safe.
+// Deleted documents keep their slots — the index layer hides them behind
+// tombstones — and are only reclaimed by a full rebuild.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -58,11 +62,14 @@ type Document struct {
 
 	tagExtent map[TagID][]int32 // element ordinals per tag, document order
 	elements  []int32           // all element ordinals, document order
+	ordOnce   sync.Once         // builds ordToNode exactly once
 	ordToNode []*xmltree.Node   // lazy ordinal → tree node map
 }
 
-// TagDict interns element tag names store-wide.
+// TagDict interns element tag names store-wide. It is safe for concurrent
+// use; assigned ids are stable for the dictionary's lifetime.
 type TagDict struct {
+	mu     sync.RWMutex
 	byName map[string]TagID
 	names  []string
 }
@@ -74,10 +81,18 @@ func NewTagDict() *TagDict {
 
 // Intern returns the TagID for name, assigning a fresh one if needed.
 func (d *TagDict) Intern(name string) TagID {
+	d.mu.RLock()
+	id, ok := d.byName[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
-	id := TagID(len(d.names))
+	id = TagID(len(d.names))
 	d.byName[name] = id
 	d.names = append(d.names, name)
 	return id
@@ -85,12 +100,16 @@ func (d *TagDict) Intern(name string) TagID {
 
 // Lookup returns the TagID for name and whether it is known.
 func (d *TagDict) Lookup(name string) (TagID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.byName[name]
 	return id, ok
 }
 
 // Name returns the tag name for id.
 func (d *TagDict) Name(id TagID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(d.names) {
 		return fmt.Sprintf("tag#%d", id)
 	}
@@ -98,7 +117,11 @@ func (d *TagDict) Name(id TagID) string {
 }
 
 // Len returns the number of interned tags.
-func (d *TagDict) Len() int { return len(d.names) }
+func (d *TagDict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
 
 // AccessStats counts store touches. The baselines in internal/exec report
 // these so experiments can show *why* they are slow, not only that they are.
@@ -133,7 +156,9 @@ const PageSize = 128
 
 // Store holds a set of loaded documents and the shared tag dictionary.
 type Store struct {
-	Tags   *TagDict
+	Tags *TagDict
+
+	mu     sync.RWMutex
 	docs   []*Document
 	byName map[string]DocID
 	faults *FaultInjector
@@ -142,10 +167,18 @@ type Store struct {
 // SetFaults installs a fault injector consulted by every Accessor created
 // afterwards (nil uninstalls). Install before serving; existing accessors
 // keep the injector they were created with.
-func (s *Store) SetFaults(f *FaultInjector) { s.faults = f }
+func (s *Store) SetFaults(f *FaultInjector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = f
+}
 
 // Faults returns the installed fault injector, or nil.
-func (s *Store) Faults() *FaultInjector { return s.faults }
+func (s *Store) Faults() *FaultInjector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults
+}
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -155,16 +188,22 @@ func NewStore() *Store {
 // AddTree loads a numbered xmltree into the store under the given document
 // name and returns its DocID. The tree must already be numbered (Parse does
 // this); AddTree renumbers defensively if the root looks unnumbered.
+//
+// Document ids are allocated monotonically in load order and never reused:
+// a released name re-adds under a fresh id, which is what keeps live-index
+// segments document-disjoint. The flattening work runs outside the store
+// lock; only the final publication is serialized.
 func (s *Store) AddTree(name string, root *xmltree.Node) (DocID, error) {
-	if _, dup := s.byName[name]; dup {
+	s.mu.RLock()
+	_, dup := s.byName[name]
+	s.mu.RUnlock()
+	if dup {
 		return 0, fmt.Errorf("storage: document %q already loaded", name)
 	}
 	if root.End == 0 && len(root.Children) > 0 {
 		xmltree.Number(root)
 	}
-	id := DocID(len(s.docs))
 	doc := &Document{
-		ID:        id,
 		Name:      name,
 		Root:      root,
 		tagExtent: make(map[TagID][]int32),
@@ -216,13 +255,31 @@ func (s *Store) AddTree(name string, root *xmltree.Node) (DocID, error) {
 			doc.elements = append(doc.elements, int32(i))
 		}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("storage: document %q already loaded", name)
+	}
+	id := DocID(len(s.docs))
+	doc.ID = id
 	s.docs = append(s.docs, doc)
 	s.byName[name] = id
 	return id, nil
 }
 
+// ReleaseName forgets the name→id binding of a deleted document so the
+// name can be loaded again (under a fresh id). The document record itself
+// stays in place; the index layer is responsible for hiding it.
+func (s *Store) ReleaseName(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byName, name)
+}
+
 // Doc returns the document with the given id, or nil.
 func (s *Store) Doc(id DocID) *Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(s.docs) {
 		return nil
 	}
@@ -231,6 +288,8 @@ func (s *Store) Doc(id DocID) *Document {
 
 // DocByName returns the document loaded under name, or nil.
 func (s *Store) DocByName(name string) *Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.byName[name]
 	if !ok {
 		return nil
@@ -238,11 +297,47 @@ func (s *Store) DocByName(name string) *Document {
 	return s.docs[id]
 }
 
-// Docs returns all loaded documents in load order.
-func (s *Store) Docs() []*Document { return s.docs }
+// Docs returns a copy of the document table in load order. The *Document
+// records are shared (they are immutable once loaded) but the slice is the
+// caller's: reordering or truncating it cannot corrupt the store's table,
+// and it stays stable while concurrent loads append.
+func (s *Store) Docs() []*Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Document, len(s.docs))
+	copy(out, s.docs)
+	return out
+}
+
+// DocsPrefix returns a copy of the first n documents in load order (all of
+// them when n exceeds the table) — the stable view a snapshot taken at
+// document-count n reads through.
+func (s *Store) DocsPrefix(n int) []*Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n > len(s.docs) {
+		n = len(s.docs)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]*Document, n)
+	copy(out, s.docs[:n])
+	return out
+}
+
+// NumDocs returns the number of loaded documents (including any hidden
+// behind index-layer tombstones).
+func (s *Store) NumDocs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
 
 // NumNodes returns the total number of node records across all documents.
 func (s *Store) NumNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, d := range s.docs {
 		n += len(d.Nodes)
@@ -279,15 +374,16 @@ func (d *Document) SubtreeEnd(ord int32) int32 {
 
 // TreeNode returns the xmltree node with the given ordinal (for result
 // materialization). It costs a subtree walk on first use per document, after
-// which lookups are O(1).
+// which lookups are O(1). Safe for concurrent use: the lazy map is built
+// exactly once.
 func (d *Document) TreeNode(ord int32) *xmltree.Node {
-	if d.ordToNode == nil {
+	d.ordOnce.Do(func() {
 		d.ordToNode = make([]*xmltree.Node, len(d.Nodes))
 		d.Root.Walk(func(n *xmltree.Node) bool {
 			d.ordToNode[n.Ord] = n
 			return true
 		})
-	}
+	})
 	if int(ord) < 0 || int(ord) >= len(d.ordToNode) {
 		return nil
 	}

@@ -1,14 +1,14 @@
 # The canonical check: what CI runs, and what a change must pass before
 # merging. `make check` == the full lint gate (gofmt + vet + tixlint) +
-# build + race-enabled tests + a cancellation/fault stress pass + a
-# coverage floor on the sharded execution layer + a short fuzz smoke over
-# the snapshot loader.
+# build + race-enabled tests + a cancellation/fault stress pass + the
+# replicated-serving chaos drills + a coverage floor on the sharded
+# execution layer + a short fuzz smoke over the snapshot loader.
 
 GO ?= go
 
-.PHONY: check lint tixlint vet build test race bench bench-json fmt-check stress cover fuzz-smoke
+.PHONY: check lint tixlint vet build test race bench bench-json fmt-check stress chaos cover fuzz-smoke
 
-check: lint build race stress cover fuzz-smoke
+check: lint build race stress chaos cover fuzz-smoke
 
 # The static-analysis gate: formatting, go vet, and the project's own
 # analyzers (see cmd/tixlint and DESIGN.md §9). Fails on any finding at
@@ -39,6 +39,16 @@ race:
 stress:
 	$(GO) test -race -count=3 -run 'Cancel|Deadline|Limit|Fault|Guard|Shard' \
 		./internal/exec ./internal/db ./internal/server ./internal/shard
+
+# The replicated-serving chaos drills (DESIGN.md §12): a 3-replica fleet
+# with one replica killed or delayed mid-traffic must show zero
+# client-visible errors, the full breaker lifecycle in metrics, and
+# bounded tail latency; ingestion races injected faults and client
+# disconnects without leaving partial index state. Always under -race —
+# the fleet's hedging and loser-draining are racy by construction.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestIngest' \
+		./internal/fleet ./internal/server
 
 # Coverage floor for the sharded execution layer: the differential +
 # persistence + stress suites must keep internal/shard above 70%.

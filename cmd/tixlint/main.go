@@ -1,8 +1,9 @@
-// Command tixlint runs the project's static-analysis suite: five
+// Command tixlint runs the project's static-analysis suite: six
 // analyzers over go/ast + go/types that mechanically enforce the
 // invariants PRs 2–3 introduced by convention (deterministic iteration,
 // exec.Guard consultation, errors.Is-compatible error handling, context
-// hygiene, seeded randomness).
+// hygiene, seeded randomness, cancellation-aware waits in library
+// retry paths).
 //
 // Usage:
 //

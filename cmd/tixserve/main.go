@@ -36,6 +36,21 @@
 // scan. The -fault-every/-fault-latency flags inject deterministic storage
 // faults and latency for resilience testing; injected faults surface as
 // 503 responses, never crashes.
+//
+// With -replicas N the corpus is loaded into N identical backends behind
+// a self-healing serving tier (see internal/fleet): per-replica circuit
+// breakers eject failing replicas and re-admit them after probing,
+// replica faults are retried on healthy twins, and slow primaries are
+// hedged after -hedge-after (or the live p95, whichever is larger).
+// Traffic readiness is on /readyz, distinct from the /healthz liveness
+// probe. Fault flags can target a single replica for self-healing drills:
+//
+//	tixserve -load articles.xml -replicas 3 -fault-replica 0 -fault-every 50
+//
+// The -rate-limit and -max-inflight flags enable admission control:
+// per-client token buckets (429 when exhausted) in front of a global
+// concurrency gate that sheds rather than queues unboundedly (503).
+// Rejections are typed JSON errors with Retry-After hints.
 package main
 
 import (
@@ -50,6 +65,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -83,6 +99,11 @@ type options struct {
 	faultLatency time.Duration
 	faultLatEvry int64
 	faultSeed    int64
+	replicas     int
+	hedgeAfter   time.Duration
+	faultReplica int
+	rateLimit    float64
+	maxInflight  int
 }
 
 func main() {
@@ -105,6 +126,11 @@ func main() {
 	flag.DurationVar(&o.faultLatency, "fault-latency", 0, "injected latency per matching store access (testing)")
 	flag.Int64Var(&o.faultLatEvry, "fault-latency-every", 0, "apply -fault-latency every k-th store access (0 = off)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "offset for the deterministic fault schedule")
+	flag.IntVar(&o.replicas, "replicas", 1, "number of identical backend replicas behind the self-healing serving tier")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 25*time.Millisecond, "hedge-delay floor before a request is duplicated to a second replica (negative = no hedging)")
+	flag.IntVar(&o.faultReplica, "fault-replica", -1, "restrict fault injection to one replica index (-1 = all; self-healing drills)")
+	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client sustained requests/sec; exhaustion returns 429 (0 = off)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "global concurrent-request gate; overload sheds with 503 (0 = off)")
 	flag.Parse()
 	o.loads = loads
 	if err := run(o); err != nil {
@@ -113,18 +139,19 @@ func main() {
 	}
 }
 
-func run(o options) error {
+// buildReplica constructs one fully-loaded backend from the corpus flags.
+func buildReplica(o options) (*shard.DB, error) {
 	var d *shard.DB
 	if o.open != "" {
 		var err error
 		d, err = shard.OpenFile(o.open)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if o.shards > 0 && o.shards != d.Shards() {
 			d, err = d.Reshard(o.shards, d.Strategy())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Fprintf(os.Stderr, "resharded %s into %d shard(s)\n", o.open, o.shards)
 		}
@@ -134,26 +161,89 @@ func run(o options) error {
 	d.SetLimits(exec.Limits{MaxAccesses: o.maxAccesses})
 	for _, path := range o.loads {
 		if err := d.LoadFile(path); err != nil {
-			return err
+			return nil, err
 		}
 	}
+	d.Stats() // force index construction before serving
+	return d, nil
+}
+
+func run(o options) error {
 	if len(o.loads) == 0 && o.open == "" && !o.ingest {
 		return fmt.Errorf("nothing to serve; use -load, -open, or -ingest to start empty")
 	}
-	st := d.Stats() // force index construction before serving
-	if o.faultEvery > 0 || (o.faultLatency > 0 && o.faultLatEvry > 0) {
-		d.SetFaults(&storage.FaultInjector{
-			FailEvery:    o.faultEvery,
-			Latency:      o.faultLatency,
-			LatencyEvery: o.faultLatEvry,
-			Seed:         o.faultSeed,
-		})
-		fmt.Fprintf(os.Stderr, "fault injection armed: every=%d latency=%s/%d seed=%d\n",
-			o.faultEvery, o.faultLatency, o.faultLatEvry, o.faultSeed)
+	if o.replicas < 1 {
+		o.replicas = 1
 	}
+
+	// Every replica loads the same corpus in the same order, so document
+	// numbering agrees across the tier and any replica can serve any
+	// request.
+	replicas := make([]*shard.DB, 0, o.replicas)
+	for i := 0; i < o.replicas; i++ {
+		d, err := buildReplica(o)
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		replicas = append(replicas, d)
+	}
+
+	if o.faultEvery > 0 || (o.faultLatency > 0 && o.faultLatEvry > 0) {
+		inj := func() *storage.FaultInjector {
+			return &storage.FaultInjector{
+				FailEvery:    o.faultEvery,
+				Latency:      o.faultLatency,
+				LatencyEvery: o.faultLatEvry,
+				Seed:         o.faultSeed,
+			}
+		}
+		armed := "all replicas"
+		if o.faultReplica >= 0 {
+			if o.faultReplica >= len(replicas) {
+				return fmt.Errorf("-fault-replica %d out of range (replicas: %d)", o.faultReplica, len(replicas))
+			}
+			replicas[o.faultReplica].SetFaults(inj())
+			armed = fmt.Sprintf("replica %d", o.faultReplica)
+		} else {
+			for _, d := range replicas {
+				d.SetFaults(inj())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "fault injection armed on %s: every=%d latency=%s/%d seed=%d\n",
+			armed, o.faultEvery, o.faultLatency, o.faultLatEvry, o.faultSeed)
+	}
+
+	var backend server.Backend = replicas[0]
+	if o.replicas > 1 {
+		bs := make([]fleet.Backend, len(replicas))
+		for i, d := range replicas {
+			bs[i] = d
+		}
+		f, err := fleet.New(fleet.Config{
+			HedgeAfter:  o.hedgeAfter,
+			PanicErrors: []error{shard.ErrPanic},
+		}, bs...)
+		if err != nil {
+			return err
+		}
+		backend = f
+		fmt.Fprintf(os.Stderr, "serving tier: %d replicas, hedge-after=%s, health-checked routing on\n",
+			o.replicas, o.hedgeAfter)
+	}
+
+	st := backend.Stats()
 	fmt.Fprintf(os.Stderr, "serving %d document(s), %d nodes, %d terms on %s (%d shard(s), %s)\n",
-		st.Documents, st.Nodes, st.Terms, o.addr, d.Shards(), d.Strategy())
-	s := server.New(d)
+		st.Documents, st.Nodes, st.Terms, o.addr, replicas[0].Shards(), replicas[0].Strategy())
+	s := server.New(backend)
+	if o.rateLimit > 0 || o.maxInflight > 0 {
+		s.Admission = fleet.NewAdmission(fleet.AdmissionConfig{
+			RatePerSec:  o.rateLimit,
+			MaxInflight: o.maxInflight,
+			Metrics:     backend.MetricsRegistry(),
+		})
+		fmt.Fprintf(os.Stderr, "admission control: rate-limit=%g/s max-inflight=%d\n",
+			o.rateLimit, o.maxInflight)
+	}
 	s.MaxResults = o.maxResults
 	s.MaxBodyBytes = o.maxBody
 	s.EnablePprof = o.pprofOn

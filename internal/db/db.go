@@ -63,9 +63,11 @@ type Options struct {
 	Ingest index.LiveConfig
 }
 
-// errPanic marks errors produced by recovering a panic at the facade
-// boundary; db.observe classifies them into tix_query_panics_total.
-var errPanic = errors.New("db: recovered panic")
+// ErrPanic marks errors produced by recovering a panic at the facade
+// boundary; db.observe classifies them into tix_query_panics_total, and
+// the fleet layer treats them as replica faults eligible for retry on a
+// healthy twin.
+var ErrPanic = errors.New("db: recovered panic")
 
 // recoverPanic converts a panic inside the evaluation engine into a
 // returned error, so injected storage faults and operator bugs degrade to
@@ -81,7 +83,7 @@ func recoverPanic(errp *error) {
 		*errp = fmt.Errorf("db: storage fault: %w", ferr)
 		return
 	}
-	*errp = fmt.Errorf("%w: %v", errPanic, r)
+	*errp = fmt.Errorf("%w: %v", ErrPanic, r)
 }
 
 // SetLimits replaces the database's default per-query resource budget

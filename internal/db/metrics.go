@@ -70,7 +70,7 @@ func (d *DB) observe(op string, start time.Time, results int, stats storage.Acce
 			reg.Counter("tix_query_limit_exceeded_total" + lbl).Inc()
 		case errors.Is(err, storage.ErrInjectedFault):
 			reg.Counter("tix_query_faults_total" + lbl).Inc()
-		case errors.Is(err, errPanic):
+		case errors.Is(err, ErrPanic):
 			reg.Counter("tix_query_panics_total" + lbl).Inc()
 		}
 		return

@@ -164,6 +164,20 @@ func (d *DB) WaitCompaction() {
 	}
 }
 
+// CompactionBacklog returns the live index's outstanding compaction work
+// (sealed memtables plus surplus segments; see index.Live.Backlog), or 0
+// before the index is first built. Readiness probes use it to report
+// not-ready when ingestion has outrun folding.
+func (d *DB) CompactionBacklog() int {
+	d.mu.Lock()
+	l := d.live
+	d.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	return l.Backlog()
+}
+
 // IsDeleted reports whether id is tombstoned in the live index.
 func (d *DB) IsDeleted(id storage.DocID) bool {
 	d.mu.Lock()

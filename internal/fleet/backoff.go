@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Sleep waits for d or until ctx is done, whichever comes first, and
+// returns ctx.Err() in the latter case. It is the project's sanctioned
+// replacement for bare time.Sleep in library retry/wait paths (enforced
+// by tixlint's sleephygiene analyzer): a wait that ignores cancellation
+// holds a request's admission slot and goroutine hostage long after the
+// client has gone away.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitterRand feeds backoff jitter. A dedicated locked source (rather than
+// the global one) keeps the fleet's randomness consumption from
+// perturbing anything else in the process; backoff jitter has no
+// determinism requirement, so seeding from the wall clock is fine here.
+var jitterRand = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// Backoff is a jittered exponential backoff schedule: attempt n (0-based)
+// waits a uniformly random duration in (0, min(Base<<n, Max)], the
+// "full jitter" scheme, which decorrelates retry storms from competing
+// clients hitting the same degraded replica.
+type Backoff struct {
+	// Base is the first attempt's maximum wait (default 2ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 250ms).
+	Max time.Duration
+}
+
+// delay returns the jittered wait before retry attempt n (0-based).
+func (b Backoff) delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitterRand.mu.Lock()
+	n := jitterRand.r.Int63n(int64(d))
+	jitterRand.mu.Unlock()
+	return time.Duration(n + 1)
+}
+
+// Wait sleeps the jittered delay for retry attempt n (0-based),
+// respecting ctx cancellation.
+func (b Backoff) Wait(ctx context.Context, attempt int) error {
+	return Sleep(ctx, b.delay(attempt))
+}

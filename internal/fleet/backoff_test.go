@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond}
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := b.Base << attempt
+		if ceil > b.Max {
+			ceil = b.Max
+		}
+		for i := 0; i < 50; i++ {
+			d := b.delay(attempt)
+			if d <= 0 || d > ceil {
+				t.Fatalf("delay(%d) = %v, want in (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff // zero value: Base=2ms, Max=250ms
+	for i := 0; i < 50; i++ {
+		if d := b.delay(0); d <= 0 || d > 2*time.Millisecond {
+			t.Fatalf("zero-value delay(0) = %v, want in (0, 2ms]", d)
+		}
+		if d := b.delay(20); d <= 0 || d > 250*time.Millisecond {
+			t.Fatalf("zero-value delay(20) = %v, want in (0, 250ms]", d)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep = %v, want nil", err)
+	}
+	// Non-positive durations return immediately with the ctx status.
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v, want nil", err)
+	}
+}

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int
+
+const (
+	// StateClosed: the replica is healthy; requests flow freely.
+	StateClosed BreakerState = iota
+	// StateHalfOpen: the cool-down elapsed; a bounded number of probe
+	// requests test whether the replica has recovered.
+	StateHalfOpen
+	// StateOpen: the replica exceeded the failure-rate threshold; requests
+	// are routed elsewhere until the cool-down elapses.
+	StateOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half_open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one replica's circuit breaker. The zero value
+// selects the defaults noted per field.
+type BreakerConfig struct {
+	// Window is the number of recent outcomes the failure rate is computed
+	// over (default 32).
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// breaker may trip — a single early failure must not eject a replica
+	// (default 8).
+	MinSamples int
+	// FailureRatio is the fraction of failures within the window that
+	// opens the breaker (default 0.5).
+	FailureRatio float64
+	// OpenFor is the cool-down an open breaker waits before admitting
+	// half-open probes (default 1s).
+	OpenFor time.Duration
+	// HalfOpenProbes is both the number of concurrent probe requests a
+	// half-open breaker admits and the number of consecutive probe
+	// successes required to close it (default 2).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+// Breaker is a per-replica circuit breaker over a sliding window of
+// request outcomes: closed → open when the windowed failure rate crosses
+// the threshold, open → half-open after a cool-down, half-open → closed
+// after enough consecutive probe successes (or back to open on any probe
+// failure). All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	// onTransition, when non-nil, observes every state change (metrics).
+	// Called with the breaker's lock held; must not call back in.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	ring     []bool // outcome window: true = failure
+	idx      int
+	filled   int
+	openedAt time.Time
+	probes   int // half-open: probe requests in flight
+	proved   int // half-open: consecutive probe successes
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the current state (transitioning open → half-open lazily
+// if the cool-down has elapsed, so metrics and routing agree).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// transition switches states and notifies the observer. Caller holds mu.
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// maybeHalfOpen moves an open breaker whose cool-down has elapsed into
+// half-open. Caller holds mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == StateOpen && time.Since(b.openedAt) >= b.cfg.OpenFor {
+		b.probes = 0
+		b.proved = 0
+		b.transition(StateHalfOpen)
+	}
+}
+
+// Allow reports whether a request may be routed to this replica right
+// now. In half-open it also reserves a probe slot, which the subsequent
+// Record call releases — callers must pair every successful Allow with
+// exactly one Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return false
+	}
+}
+
+// ReleaseProbe returns a probe slot reserved by Allow without recording
+// evidence. Callers use it when an attempt's outcome carries no health
+// signal — our own cancellation of a hedge loser, or a deterministic
+// client-class error the replica answered correctly.
+func (b *Breaker) ReleaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
+// Record feeds one request outcome back into the breaker.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if failure {
+			// The replica is still sick: reopen and restart the cool-down.
+			b.openedAt = time.Now()
+			b.transition(StateOpen)
+			return
+		}
+		b.proved++
+		if b.proved >= b.cfg.HalfOpenProbes {
+			// Recovered: clear the window so stale failures from before the
+			// outage cannot immediately re-trip the breaker.
+			for i := range b.ring {
+				b.ring[i] = false
+			}
+			b.idx, b.filled = 0, 0
+			b.transition(StateClosed)
+		}
+	case StateClosed:
+		b.ring[b.idx] = failure
+		b.idx = (b.idx + 1) % len(b.ring)
+		if b.filled < len(b.ring) {
+			b.filled++
+		}
+		if failure && b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureRatio {
+			b.openedAt = time.Now()
+			b.transition(StateOpen)
+		}
+	default:
+		// Open: a straggler response from before the trip; the window is
+		// frozen until the half-open probes decide.
+	}
+}
+
+// failureRate returns the windowed failure fraction. Caller holds mu.
+func (b *Breaker) failureRate() float64 {
+	if b.filled == 0 {
+		return 0
+	}
+	fails := 0
+	for i := 0; i < b.filled; i++ {
+		if b.ring[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(b.filled)
+}

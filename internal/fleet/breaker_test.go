@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker with a tight window and cool-down so the
+// state machine can be driven quickly and deterministically.
+func testBreaker() *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:         8,
+		MinSamples:     4,
+		FailureRatio:   0.5,
+		OpenFor:        10 * time.Millisecond,
+		HalfOpenProbes: 2,
+	})
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	b := testBreaker()
+	// Three straight failures: 100% failure rate but below MinSamples.
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 3 failures = %v, want closed (MinSamples gate)", got)
+	}
+	b.Record(true) // fourth failure reaches MinSamples
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+}
+
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	b := testBreaker()
+	// 4 successes then 4 failures: rate hits exactly 0.5 on the last.
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state at 3/7 failures = %v, want closed", got)
+	}
+	b.Record(true)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state at 4/8 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+func TestBreakerHalfOpenProbeLifecycle(t *testing.T) {
+	b := testBreaker()
+	var transitions []BreakerState
+	b.onTransition = func(_, to BreakerState) { transitions = append(transitions, to) }
+
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	time.Sleep(15 * time.Millisecond) // past OpenFor
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cool-down = %v, want half_open", got)
+	}
+	// HalfOpenProbes=2: exactly two probe slots, the third is refused.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused its probe quota")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a third concurrent probe")
+	}
+	// Two successful probes close the breaker.
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 probe successes = %v, want closed", got)
+	}
+	// The window was cleared on close: old failures must not re-trip.
+	b.Record(true)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("one failure after recovery re-tripped the breaker: %v", got)
+	}
+	want := []BreakerState{StateOpen, StateHalfOpen, StateClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	b := testBreaker()
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused a probe")
+	}
+	b.Record(true) // probe failed: back to open, cool-down restarts
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request")
+	}
+}
+
+func TestBreakerReleaseProbe(t *testing.T) {
+	b := testBreaker()
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	time.Sleep(15 * time.Millisecond)
+	b.State() // force the lazy open → half-open transition
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused its probe quota")
+	}
+	if b.Allow() {
+		t.Fatal("probe quota not enforced")
+	}
+	// Releasing a slot without evidence frees it for another probe and
+	// does not advance toward closing.
+	b.ReleaseProbe()
+	if !b.Allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after ReleaseProbe = %v, want half_open", got)
+	}
+}
+
+func TestBreakerIgnoresStragglersWhileOpen(t *testing.T) {
+	b := testBreaker()
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	// Straggler outcomes from before the trip arrive while open: the
+	// frozen window must not change state.
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("straggler successes changed open state to %v", got)
+	}
+}

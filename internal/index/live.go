@@ -245,6 +245,21 @@ func (l *Live) maybeCompact() {
 // WaitCompaction blocks until any in-flight background fold finishes.
 func (l *Live) WaitCompaction() { l.wg.Wait() }
 
+// Backlog returns the amount of compaction work outstanding: sealed
+// memtables waiting to be folded plus segments beyond the single flat
+// list a fully-compacted index serves from. Readiness probes compare it
+// against a threshold — a large backlog means queries are paying for
+// many-way merge cursors and block-max pruning is disabled.
+func (l *Live) Backlog() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.frozen)
+	if len(l.segs) > 1 {
+		n += len(l.segs) - 1
+	}
+	return n
+}
+
 // Compact synchronously folds everything — sealed memtables, the active
 // memtable, and all segments — into a single fresh segment, dropping
 // postings of documents tombstoned at the start of the fold. Reads stay

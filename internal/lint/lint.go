@@ -135,7 +135,7 @@ func (p *Pass) Reportf(pos token.Pos, sev Severity, format string, args ...any) 
 
 // Analyzers returns the full registry in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapIter, GuardCheck, ErrWrap, CtxHygiene, NoDeterm}
+	return []*Analyzer{MapIter, GuardCheck, ErrWrap, CtxHygiene, NoDeterm, SleepHygiene}
 }
 
 // metaAnalyzer names the pseudo-analyzer that reports problems with

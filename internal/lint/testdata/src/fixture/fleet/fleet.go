@@ -1,0 +1,61 @@
+// Package fleet mirrors the serving tier's retry/wait paths so
+// sleephygiene has both offending and sanctioned shapes to classify.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errUnavailable = errors.New("fleet: replica unavailable")
+
+// Sleep is the sanctioned ctx-aware wait: a timer raced against
+// cancellation. Nothing here calls time.Sleep, so the analyzer is quiet.
+func Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// RetryBare backs off between attempts with a bare sleep: the wait cannot
+// be cancelled, so a departed client still holds its goroutine.
+func RetryBare(attempts int, try func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = try(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i+1) * time.Millisecond) // want "sleephygiene: bare time.Sleep in library package"
+	}
+	return err
+}
+
+// HedgeBare pauses before duplicating a request — again uncancellable.
+func HedgeBare(delay time.Duration, primary, hedge func() error) error {
+	if err := primary(); err == nil {
+		return nil
+	}
+	time.Sleep(delay) // want "sleephygiene: bare time.Sleep in library package"
+	return hedge()
+}
+
+// RetryCtx is the sanctioned retry loop: every wait goes through the
+// ctx-aware helper and aborts the moment the caller gives up.
+func RetryCtx(ctx context.Context, attempts int, try func() error) error {
+	err := errUnavailable
+	for i := 0; i < attempts; i++ {
+		if err = try(); err == nil {
+			return nil
+		}
+		if werr := Sleep(ctx, time.Duration(i+1)*time.Millisecond); werr != nil {
+			return werr
+		}
+	}
+	return err
+}

@@ -1,0 +1,15 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPacing sleeps to pace itself — test files hold no client's
+// resources, so sleephygiene must stay quiet here.
+func TestPacing(t *testing.T) {
+	time.Sleep(time.Microsecond)
+	if err := RetryBare(1, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -106,6 +106,35 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// of the recorded observations: the upper edge of the first bucket whose
+// cumulative count covers q of the total. It returns 0 when the histogram
+// is empty, and the top finite bucket bound when the quantile falls in the
+// +Inf bucket. The bucket counts are read without a snapshot, so the
+// estimate may lag concurrent Observe calls by a few observations — fine
+// for its consumer, adaptive latency policies (hedge delays).
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i, ub := range HistogramBuckets {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			return ub
+		}
+	}
+	return HistogramBuckets[len(HistogramBuckets)-1]
+}
+
 // Registry holds named instruments. The zero value is not usable; call
 // NewRegistry. All methods are safe for concurrent use.
 type Registry struct {

@@ -48,6 +48,39 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	// 90 fast observations in the le=0.001024 bucket, 10 slow ones in the
+	// le=0.016384 bucket: the p50 reports the fast bound, the p99 the slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.010)
+	}
+	if got := h.Quantile(0.50); got != 0.001024 {
+		t.Errorf("p50 = %g, want 0.001024", got)
+	}
+	if got := h.Quantile(0.99); got != 0.016384 {
+		t.Errorf("p99 = %g, want 0.016384", got)
+	}
+	// Out-of-range q and +Inf-bucket observations degrade safely.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 quantile = %g, want 0", got)
+	}
+	if got := h.Quantile(1.5); got != 0 {
+		t.Errorf("q>1 quantile = %g, want 0", got)
+	}
+	h.Observe(1e9)
+	top := HistogramBuckets[len(HistogramBuckets)-1]
+	if got := h.Quantile(1); got != top {
+		t.Errorf("+Inf quantile = %g, want top bound %g", got, top)
+	}
+}
+
 func TestConcurrentUpdates(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

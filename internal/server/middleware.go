@@ -1,9 +1,13 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // statusWriter captures the status code and body size a handler wrote, for
@@ -40,7 +44,55 @@ var knownRoutes = map[string]bool{
 	"/phrase":  true,
 	"/metrics": true,
 	"/healthz": true,
+	"/readyz":  true,
 	"/docs":    true,
+}
+
+// admissionExempt lists the endpoints admission control never sheds:
+// probes must answer while the tier is overloaded (that is their job),
+// and /metrics is how operators see the overload.
+var admissionExempt = map[string]bool{
+	"/healthz": true,
+	"/readyz":  true,
+	"/metrics": true,
+}
+
+// withAdmission applies the admission controller ahead of the handler
+// tree: requests that fail the per-client token bucket or the global
+// concurrency gate are rejected with typed, retryable 429/503 errors
+// before they touch the backend. No-op when no controller is configured.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Read per request (like QueryTimeout), so the controller can be
+		// configured after the handler tree is built.
+		a := s.Admission
+		if a == nil || admissionExempt[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, err := a.Admit(r.Context(), clientKey(r))
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, fleet.ErrRateLimited) {
+				status = http.StatusTooManyRequests
+			}
+			errorJSON(w, status, err)
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the requester for per-client rate limiting: the
+// remote IP without the ephemeral port, so one client's connections share
+// a bucket. (Deliberately not X-Forwarded-For: an unauthenticated header
+// would let clients mint fresh buckets at will.)
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 func routeLabel(path string) string {
@@ -125,6 +177,8 @@ func itoa(code int) string {
 		return "409"
 	case 413:
 		return "413"
+	case 429:
+		return "429"
 	case 422:
 		return "422"
 	case 500:

@@ -24,7 +24,7 @@
 //
 // Every non-2xx response carries a JSON body of the form
 //
-//	{"error": "<human-readable message>", "code": "<machine code>", "status": <http status>}
+//	{"error": "...", "code": "<machine code>", "status": <http status>, "retryable": <bool>}
 //
 // with these codes:
 //
@@ -35,12 +35,24 @@
 //	timeout         408  evaluation exceeded its deadline (QueryTimeout or client deadline)
 //	canceled        503  the client disconnected mid-evaluation
 //	unavailable     503  a storage fault or recovered internal panic
+//	rate_limited    429  the client exhausted its admission token bucket
+//	overloaded      503  the global concurrency gate shed the request
 //	conflict        409  adding a document name that already exists
 //	not_found       404  updating/deleting a document that is not loaded
 //	not_implemented 501  ingestion disabled or unsupported by the backend
 //
+// Transient statuses (408, 429, 503) set "retryable": true and carry a
+// Retry-After header (integer seconds) so well-behaved clients back off
+// rather than hammering a degraded tier; every other error is
+// deterministic and marked non-retryable.
+//
 // Query evaluation runs under the request's context — a client disconnect
 // cancels the scan cooperatively — bounded by the server's QueryTimeout.
+// With an Admission controller configured, requests pass per-client rate
+// limiting and a global concurrency gate before reaching the backend; the
+// /readyz endpoint reports whether the tier should receive traffic at all
+// (at least one healthy replica, compaction backlog under control),
+// distinct from the pure liveness /healthz.
 package server
 
 import (
@@ -51,10 +63,12 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/db"
 	"repro/internal/exec"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/xmltree"
@@ -108,6 +122,18 @@ type Server struct {
 	// DELETE under /docs) when the backend satisfies Ingestor. Off by
 	// default: a read-only query server should not accept writes unasked.
 	EnableIngest bool
+	// Admission, when non-nil, applies admission control (per-client rate
+	// limiting plus a global concurrency gate) in front of every handler
+	// except the probes (/healthz, /readyz) and /metrics. Rejections
+	// return typed 429/503 errors with Retry-After hints.
+	Admission *fleet.Admission
+	// MaxCompactionBacklog is the /readyz threshold on the backend's
+	// outstanding compaction work (frozen memtables plus uncompacted
+	// surplus segments): above it the server reports not-ready so load
+	// balancers drain traffic until compaction catches up. 0 selects the
+	// default (64); negative disables the check. Only backends exposing
+	// CompactionBacklog() participate.
+	MaxCompactionBacklog int
 
 	started time.Time
 }
@@ -134,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /explain", s.handleExplain)
@@ -149,7 +176,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.withObservability(mux)
+	return s.withObservability(s.withAdmission(mux))
 }
 
 // httpServer builds the hardened listener configuration.
@@ -243,6 +270,35 @@ type ErrorResponse struct {
 	Error  string `json:"error"`
 	Code   string `json:"code"`
 	Status int    `json:"status"`
+	// Retryable reports whether the same request may succeed if retried
+	// after backing off: true exactly for the transient statuses (408,
+	// 429, 503), which also carry a Retry-After header.
+	Retryable bool `json:"retryable"`
+}
+
+// retryable reports whether a status is transient: the request itself is
+// fine and may succeed on a later attempt (or a different replica).
+func retryable(status int) bool {
+	switch status {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// retryAfterSeconds derives the Retry-After hint for a transient error:
+// the admission controller's own estimate when available (rounded up to a
+// whole second, the header's granularity), else a conservative 1s.
+func retryAfterSeconds(err error) int {
+	var ae *fleet.AdmissionError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		secs := int((ae.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	return 1
 }
 
 // evalStatus maps an evaluation error to its HTTP status: deadline → 408,
@@ -261,6 +317,10 @@ func evalStatus(err error) int {
 // errorCode derives the machine-readable code of an error response.
 func errorCode(status int, err error) string {
 	switch {
+	case errors.Is(err, fleet.ErrRateLimited):
+		return "rate_limited"
+	case errors.Is(err, fleet.ErrOverloaded):
+		return "overloaded"
 	case errors.Is(err, exec.ErrDeadlineExceeded):
 		return "timeout"
 	case errors.Is(err, exec.ErrCanceled):
@@ -273,6 +333,8 @@ func errorCode(status int, err error) string {
 	switch status {
 	case http.StatusBadRequest:
 		return "bad_request"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
 	case http.StatusRequestEntityTooLarge:
 		return "payload_too_large"
 	case http.StatusRequestTimeout:
@@ -291,14 +353,20 @@ func errorCode(status int, err error) string {
 	return "unprocessable"
 }
 
-// errorJSON writes the structured JSON error payload.
+// errorJSON writes the structured JSON error payload; transient statuses
+// also carry a Retry-After header.
 func errorJSON(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	canRetry := retryable(status)
+	if canRetry {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(err)))
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(ErrorResponse{
-		Error:  err.Error(),
-		Code:   errorCode(status, err),
-		Status: status,
+		Error:     err.Error(),
+		Code:      errorCode(status, err),
+		Status:    status,
+		Retryable: canRetry,
 	})
 }
 
@@ -348,6 +416,69 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Documents:     s.DB.DocumentCount(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
+}
+
+// ReadyzResponse is the /readyz payload.
+type ReadyzResponse struct {
+	Status string `json:"status"` // "ready" or "unavailable"
+	// Reason explains a not-ready verdict (empty when ready).
+	Reason string `json:"reason,omitempty"`
+	// HealthyReplicas counts backends admitting traffic (-1 when the
+	// backend is not replicated).
+	HealthyReplicas int `json:"healthyReplicas"`
+	// CompactionBacklog is the backend's outstanding compaction work
+	// (frozen memtables plus surplus segments; 0 when not exposed).
+	CompactionBacklog int `json:"compactionBacklog"`
+}
+
+// readinessProber is the optional backend surface /readyz consults; the
+// fleet implements it (ready once ≥1 replica's breaker admits traffic).
+type readinessProber interface {
+	Ready() (ok bool, reason string)
+}
+
+// compactionBackloger is the optional backend surface reporting
+// outstanding compaction work (db.DB, shard.DB and the fleet expose it).
+type compactionBackloger interface {
+	CompactionBacklog() int
+}
+
+// handleReadyz is the traffic-readiness probe, distinct from the /healthz
+// liveness probe: a live process may still be unfit for traffic — every
+// replica's breaker open, or (with ingestion) a compaction backlog deep
+// enough that reads degrade. Not-ready returns 503 with a JSON reason so
+// a load balancer can drain the instance while /healthz keeps it alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyzResponse{Status: "ready", HealthyReplicas: -1}
+	if cb, ok := s.DB.(compactionBackloger); ok {
+		resp.CompactionBacklog = cb.CompactionBacklog()
+	}
+	if rp, ok := s.DB.(readinessProber); ok {
+		if hr, ok := s.DB.(interface{ HealthyReplicas() int }); ok {
+			resp.HealthyReplicas = hr.HealthyReplicas()
+		}
+		if ok, reason := rp.Ready(); !ok {
+			resp.Status = "unavailable"
+			resp.Reason = reason
+		}
+	}
+	if resp.Status == "ready" && s.EnableIngest {
+		max := s.MaxCompactionBacklog
+		if max == 0 {
+			max = 64
+		}
+		if max > 0 && resp.CompactionBacklog > max {
+			resp.Status = "unavailable"
+			resp.Reason = fmt.Sprintf("compaction backlog %d exceeds threshold %d",
+				resp.CompactionBacklog, max)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ready" {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // handleMetrics exposes the registry in the Prometheus text format.

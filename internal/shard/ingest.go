@@ -138,3 +138,13 @@ func (s *DB) WaitCompaction() {
 		seg.WaitCompaction()
 	}
 }
+
+// CompactionBacklog returns the summed outstanding compaction work across
+// all segments (see db.DB.CompactionBacklog).
+func (s *DB) CompactionBacklog() int {
+	var n int
+	for _, seg := range s.segs {
+		n += seg.CompactionBacklog()
+	}
+	return n
+}

@@ -26,9 +26,10 @@ const (
 	opTwig   = "twig"
 )
 
-// errPanic marks errors produced by recovering a panic at the shard
-// facade or worker boundary.
-var errPanic = errors.New("shard: recovered panic")
+// ErrPanic marks errors produced by recovering a panic at the shard
+// facade or worker boundary; the fleet layer treats them as replica
+// faults eligible for retry on a healthy twin.
+var ErrPanic = errors.New("shard: recovered panic")
 
 // recoverPanic converts a panic inside the merge/facade path into a
 // returned error, mirroring db.recoverPanic.
@@ -41,12 +42,12 @@ func recoverPanic(errp *error) {
 }
 
 // panicError classifies a recovered panic value: injected storage faults
-// keep their typed identity, anything else becomes an errPanic.
+// keep their typed identity, anything else becomes an ErrPanic.
 func panicError(r interface{}) error {
 	if ferr, ok := r.(error); ok && errors.Is(ferr, storage.ErrInjectedFault) {
 		return fmt.Errorf("shard: storage fault: %w", ferr)
 	}
-	return fmt.Errorf("%w: %v", errPanic, r)
+	return fmt.Errorf("%w: %v", ErrPanic, r)
 }
 
 // observe records one fan-out operation at the facade: latency, outcome,
@@ -67,7 +68,7 @@ func (s *DB) observe(op string, start time.Time, results int, stats storage.Acce
 			reg.Counter("tix_query_limit_exceeded_total" + lbl).Inc()
 		case errors.Is(err, storage.ErrInjectedFault):
 			reg.Counter("tix_query_faults_total" + lbl).Inc()
-		case errors.Is(err, errPanic):
+		case errors.Is(err, ErrPanic):
 			reg.Counter("tix_query_panics_total" + lbl).Inc()
 		}
 		return

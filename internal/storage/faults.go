@@ -76,6 +76,7 @@ func (f *FaultInjector) Accesses() int64 { return f.n.Load() }
 func (f *FaultInjector) onAccess() {
 	n := f.n.Add(1)
 	if f.LatencyEvery > 0 && f.Latency > 0 && (n+f.Seed)%f.LatencyEvery == 0 {
+		//tixlint:ignore sleephygiene the injected latency IS the feature: a deterministic, uncancellable stall is exactly what resilience drills simulate
 		time.Sleep(f.Latency)
 	}
 	if f.FailEvery > 0 && (n+f.Seed)%f.FailEvery == 0 {

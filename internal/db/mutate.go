@@ -145,6 +145,42 @@ func (d *DB) Delete(name string) (err error) {
 	return nil
 }
 
+// AllocatedDocIDs returns the document-id allocation cursor: the number
+// of ids ever handed out, live or tombstoned. Ids are allocated
+// sequentially and never reused, so two replicas that loaded the same
+// corpus in the same order number documents identically exactly when
+// their cursors stay equal; the replicated fleet compares cursors to
+// detect and repair numbering drift after a partial replicated mutation.
+func (d *DB) AllocatedDocIDs() int {
+	return d.store.NumDocs()
+}
+
+// BurnDocID consumes one document id without making a document visible:
+// a placeholder record is appended to the store and immediately
+// tombstoned in the live index, so the next Add allocates the id after
+// it. The replicated fleet burns ids on replicas that a partially-failed
+// mutation never reached, re-aligning the numbering with the replicas
+// that consumed an id before the failure (see fleet.Fleet.Add). Burned
+// ids never appear in query results and, like all tombstones, are
+// dropped by Save.
+func (d *DB) BurnDocID() error {
+	root, err := xmltree.ParseString("<burned/>")
+	if err != nil {
+		return fmt.Errorf("db: burn doc id: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live := d.liveLocked()
+	name := fmt.Sprintf("\x00burned\x00%d", d.store.NumDocs())
+	id, err := d.store.AddTree(name, root)
+	if err != nil {
+		return fmt.Errorf("db: burn doc id: %w", err)
+	}
+	live.Delete(id)
+	d.store.ReleaseName(name)
+	return nil
+}
+
 // CompactNow synchronously folds the live index's memtables and segments
 // into a single fresh segment, dropping tombstoned postings. Queries stay
 // consistent throughout; afterwards a mutation-free database serves flat,

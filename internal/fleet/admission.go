@@ -157,6 +157,22 @@ func (a *Admission) takeToken(client string, now time.Time) (time.Duration, bool
 	return 0, true
 }
 
+// refundToken returns one token to the client's bucket: a request shed
+// at the concurrency gate never used the admission its token paid for,
+// so charging it would double-penalize clients during overload.
+func (a *Admission) refundToken(client string) {
+	if a.cfg.RatePerSec <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b := a.buckets[client]; b != nil {
+		if b.tokens++; b.tokens > float64(a.cfg.Burst) {
+			b.tokens = float64(a.cfg.Burst)
+		}
+	}
+}
+
 // evictStalest drops the least-recently-used bucket. Caller holds mu.
 func (a *Admission) evictStalest() {
 	var stalest string
@@ -193,14 +209,14 @@ func (a *Admission) noteService(d time.Duration) {
 }
 
 // predictWait estimates how long a newly-queued request would wait for a
-// gate slot: the queue ahead of it plus itself, drained MaxInflight at a
-// time, each batch taking one average service time.
-func (a *Admission) predictWait() time.Duration {
+// gate slot given the queue length including itself: the queue drains
+// MaxInflight at a time, each batch taking one average service time.
+func (a *Admission) predictWait(queue int64) time.Duration {
 	ewma := a.ewmaService()
-	if ewma <= 0 {
+	if ewma <= 0 || queue < 1 {
 		return 0
 	}
-	batches := float64(a.queued.Load()+1) / float64(a.cfg.MaxInflight)
+	batches := float64(queue) / float64(a.cfg.MaxInflight)
 	return time.Duration(math.Ceil(batches) * ewma * float64(time.Second))
 }
 
@@ -239,28 +255,29 @@ func (a *Admission) Admit(ctx context.Context, client string) (release func(), e
 	default:
 	}
 
-	// No free slot: shed rather than queue when the queue is full or the
-	// predicted wait cannot fit inside the request's deadline.
-	predicted := a.predictWait()
-	if dl, ok := ctx.Deadline(); ok && predicted > 0 && time.Now().Add(predicted).After(dl) {
+	// No free slot: reserve the queue slot atomically BEFORE any check, so
+	// concurrent arrivals cannot all pass a check-then-act race and
+	// collectively overshoot MaxQueue. A shed rejection undoes the
+	// reservation and refunds the token the request never used.
+	shed := func(retryAfter time.Duration, reason string) (func(), error) {
+		a.queued.Add(-1)
+		a.refundToken(client)
 		reg.Counter("tix_admission_shed_total").Inc()
-		return nil, &AdmissionError{
-			Sentinel:   ErrOverloaded,
-			RetryAfter: predicted,
-			Reason: fmt.Sprintf("predicted queue wait %s exceeds request deadline",
-				predicted.Round(time.Millisecond)),
-		}
+		return nil, &AdmissionError{Sentinel: ErrOverloaded, RetryAfter: retryAfter, Reason: reason}
 	}
-	if int(a.queued.Load()) >= a.cfg.MaxQueue {
-		reg.Counter("tix_admission_shed_total").Inc()
-		return nil, &AdmissionError{
-			Sentinel:   ErrOverloaded,
-			RetryAfter: maxDuration(predicted, 50*time.Millisecond),
-			Reason:     fmt.Sprintf("admission queue full (%d waiting)", a.cfg.MaxQueue),
-		}
+	q := a.queued.Add(1)
+	predicted := a.predictWait(q)
+	if int64(a.cfg.MaxQueue) < q {
+		return shed(maxDuration(predicted, 50*time.Millisecond),
+			fmt.Sprintf("admission queue full (%d waiting)", a.cfg.MaxQueue))
+	}
+	// Deadline-aware shedding: a request whose predicted queue wait cannot
+	// fit inside its own deadline would only time out in line.
+	if dl, ok := ctx.Deadline(); ok && predicted > 0 && time.Now().Add(predicted).After(dl) {
+		return shed(predicted, fmt.Sprintf("predicted queue wait %s exceeds request deadline",
+			predicted.Round(time.Millisecond)))
 	}
 
-	a.queued.Add(1)
 	reg.Gauge("tix_admission_queued").Add(1)
 	defer func() {
 		a.queued.Add(-1)

@@ -201,6 +201,79 @@ func TestAdmissionDeadlineAwareShedding(t *testing.T) {
 	}
 }
 
+// TestAdmissionQueueNeverOvershootsMaxQueue: the queue slot is reserved
+// atomically, so a burst of concurrent arrivals cannot all pass a
+// check-then-act race and collectively exceed MaxQueue.
+func TestAdmissionQueueNeverOvershootsMaxQueue(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 2})
+	release, err := a.Admit(context.Background(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const arrivals = 20
+	outcomes := make(chan error, arrivals)
+	for i := 0; i < arrivals; i++ {
+		go func() {
+			r, err := a.Admit(context.Background(), "c")
+			outcomes <- err
+			if err == nil {
+				r()
+			}
+		}()
+	}
+	// All arrivals race the gate at once; exactly MaxQueue may wait, the
+	// rest must shed. Wait for the sheds to land, checking the invariant.
+	shedWant := int64(arrivals - 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.reg().Counter("tix_admission_shed_total").Value() < shedWant && time.Now().Before(deadline) {
+		if q := a.queued.Load(); q > 2 {
+			t.Fatalf("queued = %d, exceeds MaxQueue=2", q)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.reg().Counter("tix_admission_shed_total").Value(); got != shedWant {
+		t.Fatalf("shed_total = %d, want %d", got, shedWant)
+	}
+	if q := a.queued.Load(); q != 2 {
+		t.Fatalf("queued = %d after sheds settled, want exactly MaxQueue=2", q)
+	}
+	release() // the two queued requests drain through the single slot
+	served := 0
+	for i := 0; i < arrivals; i++ {
+		if err := <-outcomes; err == nil {
+			served++
+		}
+	}
+	if served != 2 {
+		t.Fatalf("served = %d of %d queued, want 2", served, 2)
+	}
+}
+
+// TestAdmissionShedRefundsToken: a request shed at the concurrency gate
+// never used its rate-limit token, so the token must flow back — the
+// client's next attempt is answered by the gate (503 overloaded), not
+// the rate limiter (429).
+func TestAdmissionShedRefundsToken(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{RatePerSec: 0.001, Burst: 1, MaxInflight: 1, MaxQueue: 8})
+	a.noteService(time.Second) // queue wait prediction ≈ 1s
+
+	release, err := a.Admit(context.Background(), "occupier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	for attempt := 0; attempt < 3; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		_, err := a.Admit(ctx, "x") // burns x's only token, then gate-sheds
+		cancel()
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("attempt %d err = %v, want ErrOverloaded (token not refunded?)", attempt, err)
+		}
+	}
+}
+
 func TestAdmissionEWMAConverges(t *testing.T) {
 	a := newTestAdmission(AdmissionConfig{MaxInflight: 1})
 	for i := 0; i < 100; i++ {

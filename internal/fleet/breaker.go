@@ -70,6 +70,11 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	if c.HalfOpenProbes <= 0 {
 		c.HalfOpenProbes = 2
 	}
+	if c.MinSamples > c.Window {
+		// The window can never hold MinSamples outcomes, so the trip
+		// condition would be unsatisfiable and a sick replica never ejected.
+		c.MinSamples = c.Window
+	}
 	return c
 }
 
@@ -191,18 +196,39 @@ func (b *Breaker) Record(failure bool) {
 			b.transition(StateClosed)
 		}
 	case StateClosed:
-		b.ring[b.idx] = failure
-		b.idx = (b.idx + 1) % len(b.ring)
-		if b.filled < len(b.ring) {
-			b.filled++
-		}
-		if failure && b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureRatio {
-			b.openedAt = time.Now()
-			b.transition(StateOpen)
-		}
+		b.recordClosedLocked(failure)
 	default:
 		// Open: a straggler response from before the trip; the window is
 		// frozen until the half-open probes decide.
+	}
+}
+
+// RecordStray feeds the outcome of an attempt that was routed without a
+// successful Allow — desperation routing when every breaker rejects the
+// request. A stray outcome updates a closed window exactly like Record,
+// but never touches half-open probe bookkeeping: the attempt reserved no
+// probe slot, so it must not release one, and a stray success must not
+// count toward closing the breaker.
+func (b *Breaker) RecordStray(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateClosed {
+		b.recordClosedLocked(failure)
+	}
+}
+
+// recordClosedLocked folds one outcome into the closed-state window,
+// tripping the breaker when the failure rate crosses the threshold.
+// Caller holds mu with state == StateClosed.
+func (b *Breaker) recordClosedLocked(failure bool) {
+	b.ring[b.idx] = failure
+	b.idx = (b.idx + 1) % len(b.ring)
+	if b.filled < len(b.ring) {
+		b.filled++
+	}
+	if failure && b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureRatio {
+		b.openedAt = time.Now()
+		b.transition(StateOpen)
 	}
 }
 

@@ -136,6 +136,62 @@ func TestBreakerReleaseProbe(t *testing.T) {
 	}
 }
 
+// TestBreakerClampsMinSamplesToWindow: a window smaller than the
+// (defaulted) MinSamples used to make the trip condition unsatisfiable —
+// `filled` is capped at Window, so the breaker could never open and a
+// sick replica was never ejected.
+func TestBreakerClampsMinSamplesToWindow(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 4}) // default MinSamples is 8
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after a full window of failures = %v, want open (MinSamples must clamp to Window)", got)
+	}
+}
+
+// TestBreakerStrayOutcomesSkipProbeBookkeeping: outcomes of attempts that
+// never passed Allow (desperation routing) must not release probe slots
+// they never reserved, nor count toward closing a half-open breaker.
+func TestBreakerStrayOutcomesSkipProbeBookkeeping(t *testing.T) {
+	b := testBreaker() // HalfOpenProbes = 2
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused its probe quota")
+	}
+	// Both slots held. Stray successes (from attempts that were refused
+	// above) must neither free a slot nor advance toward closing.
+	b.RecordStray(false)
+	b.RecordStray(false)
+	if b.Allow() {
+		t.Fatal("stray outcome released a probe slot it never reserved")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after stray successes = %v, want half_open (non-probe evidence must not close)", got)
+	}
+	// Real probe outcomes still close the breaker.
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 probe successes = %v, want closed", got)
+	}
+}
+
+// Stray evidence still feeds a closed breaker's window: a desperation
+// attempt that fails is real failure data.
+func TestBreakerStrayFailuresCountWhileClosed(t *testing.T) {
+	b := testBreaker() // MinSamples = 4
+	for i := 0; i < 4; i++ {
+		b.RecordStray(true)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 4 stray failures = %v, want open", got)
+	}
+}
+
 func TestBreakerIgnoresStragglersWhileOpen(t *testing.T) {
 	b := testBreaker()
 	for i := 0; i < 4; i++ {

@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -150,6 +151,20 @@ type Fleet struct {
 	cfg      Config
 	replicas []*replica
 	rr       atomic.Uint64 // round-robin cursor
+
+	// ingestMu serializes replicated mutations fleet-wide: every replica
+	// observes Add/Update/Delete in one total order, so deterministic
+	// document-id allocation stays in lockstep across replicas even under
+	// concurrent ingest requests.
+	ingestMu sync.Mutex
+
+	// degraded latches when a partial mutation may have left the replicas
+	// non-identical and the damage could not be repaired; Ready() then
+	// reports not-ready so operators re-sync instead of serving silently
+	// inconsistent Materialize/NameOf answers.
+	degraded       atomic.Bool
+	degradedMu     sync.Mutex
+	degradedReason string
 }
 
 // New builds a fleet over the given replicas.
@@ -170,6 +185,7 @@ func New(cfg Config, backends ...Backend) (*Fleet, error) {
 		cfg.Metrics.Gauge(fmt.Sprintf(`tix_fleet_breaker_state{replica="%d"}`, i)).Set(int64(StateClosed))
 		f.replicas = append(f.replicas, rep)
 	}
+	cfg.Metrics.Gauge("tix_fleet_degraded").Set(0)
 	return f, nil
 }
 
@@ -205,12 +221,41 @@ func (f *Fleet) HealthyReplicas() int {
 }
 
 // Ready implements the server's readiness probe: the fleet serves once at
-// least one replica is healthy.
+// least one replica is healthy and the replicas are not known to have
+// diverged.
 func (f *Fleet) Ready() (bool, string) {
+	if bad, reason := f.Degraded(); bad {
+		return false, "replicas diverged: " + reason
+	}
 	if h := f.HealthyReplicas(); h == 0 {
 		return false, fmt.Sprintf("no healthy replicas (0/%d breakers admit traffic)", len(f.replicas))
 	}
 	return true, ""
+}
+
+// Degraded reports whether a partial replicated mutation left the
+// replicas potentially non-identical (and irreparable), with the first
+// recorded reason. A degraded fleet keeps serving best-effort but
+// reports not-ready, so orchestration drains it for a re-sync.
+func (f *Fleet) Degraded() (bool, string) {
+	if !f.degraded.Load() {
+		return false, ""
+	}
+	f.degradedMu.Lock()
+	defer f.degradedMu.Unlock()
+	return true, f.degradedReason
+}
+
+// markDegraded latches the degraded state, keeping the first reason
+// (later failures are usually consequences of the first divergence).
+func (f *Fleet) markDegraded(format string, args ...any) {
+	f.degradedMu.Lock()
+	if f.degradedReason == "" {
+		f.degradedReason = fmt.Sprintf(format, args...)
+	}
+	f.degradedMu.Unlock()
+	f.degraded.Store(true)
+	f.cfg.Metrics.Gauge("tix_fleet_degraded").Set(1)
 }
 
 // MetricsRegistry returns the fleet's registry (shared with the HTTP
@@ -221,27 +266,28 @@ func (f *Fleet) MetricsRegistry() *metrics.Registry { return f.cfg.Metrics }
 // shared cursor so concurrent requests spread across the fleet. First
 // choice: an untried replica the breaker admits (Allow reserves a probe
 // slot in half-open, released again when the attempt's outcome is
-// recorded). Fallback: any untried replica even if its breaker is open —
-// when the whole fleet looks dead, trying beats certain failure
-// (availability over ejection; an open breaker ignores the outcome, so
-// desperation traffic cannot pollute its window). Returns nil only when
-// tried covers the fleet.
-func (f *Fleet) pick(tried map[int]bool) *replica {
+// recorded; such picks return reserved=true). Fallback: any untried
+// replica even if its breaker refused the attempt — when the whole fleet
+// looks dead, trying beats certain failure (availability over ejection).
+// Fallback picks return reserved=false: no probe slot was taken, so the
+// attempt's outcome must bypass probe bookkeeping (see recordOutcome).
+// Returns nil only when tried covers the fleet.
+func (f *Fleet) pick(tried map[int]bool) (rep *replica, reserved bool) {
 	start := int(f.rr.Add(1))
 	n := len(f.replicas)
 	for i := 0; i < n; i++ {
 		r := f.replicas[(start+i)%n]
 		if !tried[r.id] && r.breaker.Allow() {
-			return r
+			return r, true
 		}
 	}
 	for i := 0; i < n; i++ {
 		r := f.replicas[(start+i)%n]
 		if !tried[r.id] {
-			return r
+			return r, false
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // hedgeDelay computes the adaptive hedge delay for a primary replica:
@@ -298,20 +344,35 @@ func (f *Fleet) replicaFault(ctx context.Context, err error) bool {
 
 // outcome is one attempt's result.
 type outcome[T any] struct {
-	v       T
-	err     error
-	rep     *replica
-	hedged  bool
-	elapsed time.Duration
+	v        T
+	err      error
+	rep      *replica
+	hedged   bool
+	reserved bool // Allow admitted the attempt (probe slot may be held)
+	elapsed  time.Duration
 }
 
 // recordOutcome feeds one attempt's result into its replica's health
 // state: successes and faults are evidence, everything else (client-class
 // errors, our own loser cancellation) only releases the probe slot Allow
-// may have reserved. fault is pre-classified by the caller because the
+// may have reserved. Desperation attempts (reserved=false) never passed
+// Allow, so they bypass probe bookkeeping entirely — releasing a slot
+// they never took would let a half-open breaker admit more concurrent
+// probes than configured, and their successes must not count toward
+// closing it. fault is pre-classified by the caller because the
 // classification differs between live outcomes (replicaFault, which sees
 // the caller's context) and drained losers (hardFault only).
 func recordOutcome[T any](out outcome[T], fault bool) {
+	if !out.reserved {
+		switch {
+		case out.err == nil:
+			out.rep.breaker.RecordStray(false)
+			out.rep.latency.Observe(out.elapsed.Seconds())
+		case fault:
+			out.rep.breaker.RecordStray(true)
+		}
+		return
+	}
 	switch {
 	case out.err == nil:
 		out.rep.breaker.Record(false)
@@ -361,7 +422,7 @@ func call[T any](f *Fleet, ctx context.Context, op string, fn func(context.Conte
 		}
 	}()
 
-	launch := func(rep *replica, hedged bool) {
+	launch := func(rep *replica, hedged, reserved bool) {
 		tried[rep.id] = true
 		actx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
@@ -371,15 +432,15 @@ func call[T any](f *Fleet, ctx context.Context, op string, fn func(context.Conte
 			start := time.Now()
 			v, err := fn(actx, rep.backend)
 			rep.inflight.Add(-1)
-			resc <- outcome[T]{v: v, err: err, rep: rep, hedged: hedged, elapsed: time.Since(start)}
+			resc <- outcome[T]{v: v, err: err, rep: rep, hedged: hedged, reserved: reserved, elapsed: time.Since(start)}
 		}()
 	}
 
-	primary := f.pick(tried)
+	primary, reserved := f.pick(tried)
 	if primary == nil {
 		return zero, ErrNoReplicas
 	}
-	launch(primary, false)
+	launch(primary, false, reserved)
 
 	var hedgeC <-chan time.Time
 	if f.cfg.HedgeAfter >= 0 && len(f.replicas) > 1 {
@@ -422,22 +483,22 @@ func call[T any](f *Fleet, ctx context.Context, op string, fn func(context.Conte
 			}
 			retries++
 			reg.Counter("tix_fleet_retries_total" + lbl).Inc()
-			next := f.pick(tried)
+			next, res := f.pick(tried)
 			if next == nil {
 				// Every replica has been tried this request; clear the
 				// history so the retry can re-probe the least-bad one.
 				clear(tried)
-				next = f.pick(tried)
+				next, res = f.pick(tried)
 			}
 			if next == nil {
 				return zero, lastErr
 			}
-			launch(next, false)
+			launch(next, false, res)
 		case <-hedgeC:
 			hedgeC = nil
-			if sec := f.pick(tried); sec != nil {
+			if sec, res := f.pick(tried); sec != nil {
 				reg.Counter("tix_fleet_hedges_total" + lbl).Inc()
-				launch(sec, true)
+				launch(sec, true, res)
 			}
 		case <-ctx.Done():
 			return zero, ctxError(ctx.Err())
@@ -506,10 +567,10 @@ func (f *Fleet) Materialize(doc storage.DocID, ord int32) *xmltree.Node {
 // NameOf resolves a scored node's element tag on an admitted replica.
 func (f *Fleet) NameOf(n exec.ScoredNode) string { return f.anyReplica().NameOf(n) }
 
-// anyReplica returns a breaker-admitted replica for cheap deterministic
-// reads, falling back to replica 0. The probe slot taken by Allow in
-// half-open is returned immediately: these reads don't gather health
-// evidence.
+// anyReplica returns a closed-breaker replica for cheap deterministic
+// reads, falling back to the round-robin choice when none is closed.
+// State() is consulted without Allow(): these reads gather no health
+// evidence and must not consume half-open probe slots.
 func (f *Fleet) anyReplica() Backend {
 	start := int(f.rr.Add(1))
 	for i := 0; i < len(f.replicas); i++ {
@@ -535,12 +596,33 @@ func (f *Fleet) CompactionBacklog() int {
 
 // ---- Ingestor surface ------------------------------------------------
 //
-// Mutations are replicated to every replica in replica order. The
-// replicas apply the same deterministic operation, so success everywhere
-// keeps them identical. A mid-fleet Add failure is rolled back from the
-// replicas that already applied it; Update/Delete failures surface the
-// first error (the drift, if any, heals on the next successful mutation
-// of the same name and is visible via per-replica generations).
+// Mutations are replicated to every replica in replica order, serialized
+// by a fleet-wide mutex so all replicas observe mutations in one total
+// order (each backend has only its own lock; without the fleet-level
+// order, two concurrent Adds could apply in different orders on
+// different replicas and allocate different document ids). The replicas
+// apply the same deterministic operation, so success everywhere keeps
+// them identical.
+//
+// Partial failures threaten the numbering invariant directly: document
+// ids are allocated sequentially and never reused, and a replica that
+// applied (or tombstoned a half-indexed document) consumed an id that
+// the replicas the loop never reached did not. After any partial
+// mutation the fleet re-aligns the allocation cursors by burning
+// placeholder ids on the lagging replicas (see realignLocked); damage
+// that cannot be repaired — a failed rollback, content drift from a
+// partially-applied Update/Delete, a replica that hides its allocation
+// cursor — latches the degraded state instead, so Ready() stops
+// advertising a fleet whose replicas may disagree.
+
+// idAllocator is the optional replica surface the numbering repair
+// needs: AllocatedDocIDs exposes the document-id allocation cursor (ids
+// ever handed out, live or tombstoned) and BurnDocID consumes one id
+// without adding a document. *db.DB and *shard.DB both implement it.
+type idAllocator interface {
+	AllocatedDocIDs() int
+	BurnDocID() error
+}
 
 // ingestorOf asserts one replica's mutation surface.
 func (f *Fleet) ingestorOf(i int) (Ingestor, error) {
@@ -551,9 +633,50 @@ func (f *Fleet) ingestorOf(i int) (Ingestor, error) {
 	return ing, nil
 }
 
+// realignLocked re-equalizes the replicas' document-id allocation
+// cursors after a partially-applied mutation: replicas that consumed an
+// id for the failed operation sit ahead of replicas the loop never
+// reached, and every subsequent Add would allocate differently per
+// replica — queries score on one replica while Materialize/NameOf
+// resolve on another, so diverged numbering silently returns the wrong
+// document. Burning placeholder ids on the laggards restores identical
+// numbering. A replica that does not expose its cursor (or whose burn
+// fails) leaves the divergence unverifiable, so the fleet degrades.
+// Caller holds ingestMu.
+func (f *Fleet) realignLocked() {
+	allocs := make([]idAllocator, len(f.replicas))
+	cursors := make([]int, len(f.replicas))
+	maxCur := -1
+	for i, r := range f.replicas {
+		a, ok := r.backend.(idAllocator)
+		if !ok {
+			f.markDegraded("replica %d does not expose id allocation; numbering cannot be verified", i)
+			return
+		}
+		allocs[i] = a
+		cursors[i] = a.AllocatedDocIDs()
+		if cursors[i] > maxCur {
+			maxCur = cursors[i]
+		}
+	}
+	for i, n := range cursors {
+		for ; n < maxCur; n++ {
+			if err := allocs[i].BurnDocID(); err != nil {
+				f.markDegraded("id realignment failed on replica %d: %v", i, err)
+				return
+			}
+			f.cfg.Metrics.Counter("tix_fleet_id_realign_total").Inc()
+		}
+	}
+}
+
 // Add replicates an Add to every replica, rolling back on mid-fleet
-// failure so no replica keeps a document the client was told failed.
+// failure so no replica keeps a document the client was told failed, and
+// re-aligning id allocation so the failure leaves the numbering
+// invariant intact.
 func (f *Fleet) Add(name, src string) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
 	for i := range f.replicas {
 		ing, err := f.ingestorOf(i)
 		if err == nil {
@@ -561,42 +684,73 @@ func (f *Fleet) Add(name, src string) error {
 		}
 		if err != nil {
 			for j := i - 1; j >= 0; j-- {
-				if prev, perr := f.ingestorOf(j); perr == nil {
-					_ = prev.Delete(name)
+				prev, perr := f.ingestorOf(j)
+				if perr == nil {
+					perr = prev.Delete(name)
+				}
+				if perr != nil {
+					f.markDegraded("rollback of add %q failed on replica %d: %v", name, j, perr)
 				}
 			}
+			f.realignLocked()
 			return err
 		}
 	}
 	return nil
 }
 
-// Update replicates a document replacement to every replica.
+// Update replicates a document replacement to every replica. A partial
+// application cannot be rolled back (the old version is already gone on
+// the replicas that applied), so beyond re-aligning id allocation the
+// fleet degrades: the replicas now disagree on the document's content.
 func (f *Fleet) Update(name, src string) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
 	var first error
+	failures := 0
 	for i := range f.replicas {
 		ing, err := f.ingestorOf(i)
 		if err == nil {
 			err = ing.Update(name, src)
 		}
-		if err != nil && first == nil {
-			first = err
+		if err != nil {
+			failures++
+			if first == nil {
+				first = err
+			}
 		}
+	}
+	if failures > 0 && failures < len(f.replicas) {
+		f.markDegraded("update %q applied on %d of %d replicas: %v",
+			name, len(f.replicas)-failures, len(f.replicas), first)
+		f.realignLocked()
 	}
 	return first
 }
 
-// Delete replicates a document deletion to every replica.
+// Delete replicates a document deletion to every replica. A partial
+// application leaves the document live on some replicas, so the fleet
+// degrades (deletes allocate no ids; numbering needs no repair).
 func (f *Fleet) Delete(name string) error {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
 	var first error
+	failures := 0
 	for i := range f.replicas {
 		ing, err := f.ingestorOf(i)
 		if err == nil {
 			err = ing.Delete(name)
 		}
-		if err != nil && first == nil {
-			first = err
+		if err != nil {
+			failures++
+			if first == nil {
+				first = err
+			}
 		}
+	}
+	if failures > 0 && failures < len(f.replicas) {
+		f.markDegraded("delete %q applied on %d of %d replicas: %v",
+			name, len(f.replicas)-failures, len(f.replicas), first)
 	}
 	return first
 }

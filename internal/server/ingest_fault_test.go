@@ -161,6 +161,31 @@ func TestIngestClientDisconnectMidBody(t *testing.T) {
 	}
 }
 
+// cancellingBody is a request body that models a client giving up
+// mid-stream: the first Read yields a partial JSON chunk and cancels the
+// request context; every later Read blocks until the cancellation lands
+// and then reports it. The abort must flow through the body itself —
+// the transport cannot interrupt an in-flight Body.Read, so a body that
+// ignores cancellation (e.g. an io.Pipe left open) deadlocks Do: on
+// cancel the transport waits for its write loop, which waits on Read.
+type cancellingBody struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	chunk  []byte
+	sent   bool
+}
+
+func (b *cancellingBody) Read(p []byte) (int, error) {
+	if !b.sent {
+		b.sent = true
+		n := copy(p, b.chunk)
+		b.cancel() // client gives up mid-body
+		return n, nil
+	}
+	<-b.ctx.Done()
+	return 0, b.ctx.Err()
+}
+
 // TestIngestClientCancellationMidRequest aborts the request via context
 // cancellation while the body is still streaming; the server must treat
 // it exactly like a disconnect — no partial index state.
@@ -168,14 +193,11 @@ func TestIngestClientCancellationMidRequest(t *testing.T) {
 	_, url, d := ingestServer(t)
 	genBefore := d.Generation()
 
-	pr, pw := io.Pipe()
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		pw.Write([]byte(`{"name":"ghost.xml","xml":"<note>ghostterm`)) //nolint:errcheck
-		cancel()                                                       // client gives up mid-body
-		// The pipe stays open: only the context abort ends the request.
-	}()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/docs", pr)
+	defer cancel()
+	body := &cancellingBody{ctx: ctx, cancel: cancel,
+		chunk: []byte(`{"name":"ghost.xml","xml":"<note>ghostterm`)}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/docs", body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +209,6 @@ func TestIngestClientCancellationMidRequest(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
-	pw.Close()
 
 	if gen := d.Generation(); gen != genBefore {
 		t.Errorf("generation moved on a cancelled request: %d → %d", genBefore, gen)

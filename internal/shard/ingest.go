@@ -114,6 +114,31 @@ func (s *DB) Delete(name string) error {
 	return nil
 }
 
+// AllocatedDocIDs returns the global document-id allocation cursor: the
+// number of global ids ever handed out across all segments, live or
+// dead. The replicated fleet compares cursors across replicas to detect
+// and repair numbering drift after a partial replicated mutation.
+func (s *DB) AllocatedDocIDs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// BurnDocID consumes one global document id: a dead, nameless slot is
+// appended to the global table so the next Add allocates the id after
+// it. The replicated fleet burns ids on replicas that a partially-failed
+// mutation never reached (see fleet.Fleet.Add). A burned slot resolves
+// to no segment (refOf reports it unknown), never appears in results,
+// and exists only at runtime — a drifted replica is re-synced by
+// reloading, not by snapshotting its burned slots.
+func (s *DB) BurnDocID() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs = append(s.docs, docRef{shard: -1})
+	s.names = append(s.names, "")
+	return nil
+}
+
 // Generation returns the sum of the segment generations — a cheap
 // staleness token that changes whenever any segment mutates.
 func (s *DB) Generation() uint64 {

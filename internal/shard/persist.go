@@ -64,6 +64,9 @@ func (s *DB) Save(w io.Writer) error {
 	writeUvarint(bw, uint64(len(s.segs)))
 	writeUvarint(bw, uint64(len(s.docs)))
 	for gid, ref := range s.docs {
+		if ref.shard < 0 {
+			return fmt.Errorf("shard: save: global id %d is a burned slot (drifted replica; re-sync from a healthy copy instead of saving)", gid)
+		}
 		writeString(bw, s.names[gid])
 		writeUvarint(bw, uint64(ref.shard))
 	}

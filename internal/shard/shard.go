@@ -224,11 +224,12 @@ func (s *DB) globalIDs(i int) []storage.DocID {
 	return s.globalOf[i]
 }
 
-// refOf resolves a global document id to its segment placement.
+// refOf resolves a global document id to its segment placement. Burned
+// ids (dead slots appended by BurnDocID) resolve to no segment.
 func (s *DB) refOf(doc storage.DocID) (docRef, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if int(doc) < 0 || int(doc) >= len(s.docs) {
+	if int(doc) < 0 || int(doc) >= len(s.docs) || s.docs[doc].shard < 0 {
 		return docRef{}, false
 	}
 	return s.docs[doc], true

@@ -2,13 +2,14 @@
 # merging. `make check` == the full lint gate (gofmt + vet + tixlint) +
 # build + race-enabled tests + a cancellation/fault stress pass + the
 # replicated-serving chaos drills + a coverage floor on the sharded
-# execution layer + a short fuzz smoke over the snapshot loader.
+# execution layer + a short fuzz smoke over the snapshot loader + a
+# five-second open-loop load smoke with the result cache enabled.
 
 GO ?= go
 
-.PHONY: check lint tixlint vet build test race bench bench-json fmt-check stress chaos cover fuzz-smoke
+.PHONY: check lint tixlint vet build test race bench bench-json fmt-check stress chaos cover fuzz-smoke loadsmoke
 
-check: lint build race stress chaos cover fuzz-smoke
+check: lint build race stress chaos cover fuzz-smoke loadsmoke
 
 # The static-analysis gate: formatting, go vet, and the project's own
 # analyzers (see cmd/tixlint and DESIGN.md §9). Fails on any finding at
@@ -67,6 +68,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/db
 	$(GO) test -run '^$$' -fuzz=FuzzBlockDecode -fuzztime=10s ./internal/postings
 	$(GO) test -run '^$$' -fuzz=FuzzMemtableMerge -fuzztime=10s ./internal/postings
+	$(GO) test -run '^$$' -fuzz=FuzzCacheKey -fuzztime=10s ./internal/rescache
+
+# A five-second open-loop load smoke with the result cache on and ingest
+# churn in the mix: fails on any request error, and the JSON report
+# (tixload.json) is the artifact CI uploads for trend diffing.
+loadsmoke:
+	$(GO) run ./cmd/tixload -docs 60 -qps 400 -duration 5s \
+		-cache-bytes 4194304 -ingest-every 100 -json tixload.json
+	@echo "wrote tixload.json"
 
 # Quick perf snapshot in the machine-readable format (see README).
 bench:

@@ -47,6 +47,12 @@
 //
 //	tixserve -load articles.xml -replicas 3 -fault-replica 0 -fault-every 50
 //
+// With -cache-bytes N each replica keeps a generation-keyed result cache
+// (see internal/rescache) of at most N bytes: repeated term, phrase, and
+// query requests are answered from memory while any mutation instantly
+// and exactly invalidates, because the corpus generation is part of every
+// key. Cache traffic is visible on /metrics as tix_rescache_*.
+//
 // The -rate-limit and -max-inflight flags enable admission control:
 // per-client token buckets (429 when exhausted) in front of a global
 // concurrency gate that sheds rather than queues unboundedly (503).
@@ -104,6 +110,7 @@ type options struct {
 	faultReplica int
 	rateLimit    float64
 	maxInflight  int
+	cacheBytes   int64
 }
 
 func main() {
@@ -131,6 +138,7 @@ func main() {
 	flag.IntVar(&o.faultReplica, "fault-replica", -1, "restrict fault injection to one replica index (-1 = all; self-healing drills)")
 	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-client sustained requests/sec; exhaustion returns 429 (0 = off)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "global concurrent-request gate; overload sheds with 503 (0 = off)")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "per-replica result-cache budget in bytes; generation-keyed, exact (0 = off)")
 	flag.Parse()
 	o.loads = loads
 	if err := run(o); err != nil {
@@ -156,7 +164,12 @@ func buildReplica(o options) (*shard.DB, error) {
 			fmt.Fprintf(os.Stderr, "resharded %s into %d shard(s)\n", o.open, o.shards)
 		}
 	} else {
-		d = shard.New(shard.Options{Shards: o.shards, Stemming: o.stem})
+		d = shard.New(shard.Options{Shards: o.shards, Stemming: o.stem, CacheBytes: o.cacheBytes})
+	}
+	if o.cacheBytes > 0 && d.ResultCache() == nil {
+		// The -open path constructs the facade itself; attach the cache
+		// after the fact.
+		d.EnableResultCache(o.cacheBytes)
 	}
 	d.SetLimits(exec.Limits{MaxAccesses: o.maxAccesses})
 	for _, path := range o.loads {

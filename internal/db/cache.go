@@ -1,0 +1,84 @@
+package db
+
+import (
+	"repro/internal/rescache"
+)
+
+// Result caching. The cache sits at the facade: TermSearchContext,
+// PhraseSearchContext and QueryLimited consult it before evaluating,
+// keyed by (canonicalized request, effective limits, generation token).
+// Only successful evaluations are cached; hits still flow through the
+// normal per-op metrics with zero store accesses.
+//
+// The generation token gates coherence. While the live index does not
+// exist yet (bulk loading before the first query, or after a
+// RemoveDocument rebuild), store appends do not advance any generation
+// counter, so two different corpus states would share token 0; CacheToken
+// reports ok=false for that phase and the facade skips caching entirely.
+// Once the live index exists every mutation advances its generation, and
+// the token uniquely identifies the visible corpus (DESIGN.md §13).
+
+// CacheToken returns the generation token cache keys are minted under,
+// with ok=false while the database cannot produce a stable token (no live
+// index yet).
+func (d *DB) CacheToken() (uint64, bool) {
+	d.mu.Lock()
+	l := d.live
+	d.mu.Unlock()
+	if l == nil {
+		return 0, false
+	}
+	return l.Generation(), true
+}
+
+// EnableResultCache attaches a result cache with the given byte budget.
+// It is a no-op when a cache is already attached or maxBytes is not
+// positive. Safe to call at any time; typically done at construction
+// (Options.CacheBytes) or right after opening a snapshot.
+func (d *DB) EnableResultCache(maxBytes int64) {
+	c := rescache.New(rescache.Config{
+		MaxBytes:   maxBytes,
+		Metrics:    d.MetricsRegistry(),
+		Generation: d.CacheToken,
+	})
+	if c == nil {
+		return
+	}
+	if !d.cache.CompareAndSwap(nil, c) {
+		c.Close()
+	}
+}
+
+// ResultCache returns the attached result cache, or nil.
+func (d *DB) ResultCache() *rescache.Cache { return d.cache.Load() }
+
+// Close releases background resources (today: the result-cache sweeper).
+// The database remains usable for queries afterwards.
+func (d *DB) Close() {
+	if c := d.cache.Load(); c != nil {
+		c.Close()
+	}
+}
+
+// purgeCache empties the cache; called when the generation counter may
+// regress (store rebuild, snapshot adoption), so stale entries can never
+// collide with keys minted under the fresh counter.
+func (d *DB) purgeCache() {
+	if c := d.cache.Load(); c != nil {
+		c.Purge()
+	}
+}
+
+// queryCache returns the cache and the generation token to key with, or
+// ok=false when this call must bypass caching.
+func (d *DB) queryCache() (*rescache.Cache, uint64, bool) {
+	c := d.cache.Load()
+	if c == nil {
+		return nil, 0, false
+	}
+	tok, ok := d.CacheToken()
+	if !ok {
+		return nil, 0, false
+	}
+	return c, tok, true
+}

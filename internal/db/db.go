@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/pattern"
+	"repro/internal/rescache"
 	"repro/internal/scoring"
 	"repro/internal/storage"
 	"repro/internal/tokenize"
@@ -37,6 +39,10 @@ type DB struct {
 
 	mu   sync.Mutex  // serializes mutations and live-index creation
 	live *index.Live // created on first Index()/Warm()/mutation
+
+	// cache, when set, memoizes successful term/phrase/query results per
+	// generation token (see cache.go).
+	cache atomic.Pointer[rescache.Cache]
 }
 
 // Options configures a database.
@@ -61,6 +67,9 @@ type Options struct {
 	// segment fold bound, background compaction). The zero value selects
 	// the defaults; see index.LiveConfig.
 	Ingest index.LiveConfig
+	// CacheBytes, when positive, attaches a generation-keyed result cache
+	// with that total byte budget (see internal/rescache and cache.go).
+	CacheBytes int64
 }
 
 // ErrPanic marks errors produced by recovering a panic at the facade
@@ -109,7 +118,11 @@ func New(opts Options) *DB {
 	default:
 		tok = tokenize.New()
 	}
-	return &DB{store: storage.NewStore(), tok: tok, opts: opts}
+	d := &DB{store: storage.NewStore(), tok: tok, opts: opts}
+	if opts.CacheBytes > 0 {
+		d.EnableResultCache(opts.CacheBytes)
+	}
+	return d
 }
 
 // Store exposes the underlying node store.
@@ -212,6 +225,9 @@ func (d *DB) RemoveDocument(name string) error {
 	}
 	d.store = fresh
 	d.live = nil
+	// The rebuilt live index restarts its generation counter; stale
+	// entries must not survive to collide with the fresh numbering.
+	d.purgeCache()
 	return nil
 }
 
@@ -249,8 +265,11 @@ func (d *DB) liveLocked() *index.Live {
 // segment (the persistence load path).
 func (d *DB) adoptIndex(idx *index.Index) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.live = index.LiveFromIndex(idx, d.opts.Ingest)
+	d.mu.Unlock()
+	// The adopted index restarts the generation counter: purge, as in
+	// RemoveDocument.
+	d.purgeCache()
 }
 
 // Stats summarizes the database contents.
@@ -296,6 +315,20 @@ func (d *DB) QueryLimited(ctx context.Context, src string, limits exec.Limits) (
 	start := time.Now()
 	var stats storage.AccessStats
 	defer func() { d.observe(opQuery, start, len(results), stats, err) }()
+	if c, tok, ok := d.queryCache(); ok {
+		key := rescache.QueryKey(tok, src, limits)
+		if hit, found := rescache.GetSlice[xq.Result](c, key); found {
+			results = hit
+			return results, nil
+		}
+		// Registered before recoverPanic so a recovered panic reaches err
+		// first and poisoned results are never cached.
+		defer func() {
+			if err == nil {
+				rescache.PutSlice(c, key, results)
+			}
+		}()
+	}
 	defer recoverPanic(&err)
 	e := &xq.Engine{Store: d.store, Index: d.Index(), Stats: &stats, Guard: exec.NewGuard(ctx, limits)}
 	results, err = e.EvalString(src)
@@ -388,7 +421,7 @@ func (d *DB) TermSearchContext(ctx context.Context, terms []string, opts TermSea
 		},
 	}
 	start := time.Now()
-	guard := exec.NewGuard(ctx, d.limitsOr(opts.Limits))
+	eff := d.limitsOr(opts.Limits)
 	var reporter exec.AccessReporter
 	defer func() {
 		var stats storage.AccessStats
@@ -397,7 +430,23 @@ func (d *DB) TermSearchContext(ctx context.Context, terms []string, opts TermSea
 		}
 		d.observe(opTerms, start, len(results), stats, err)
 	}()
+	if c, tok, ok := d.queryCache(); ok {
+		key := rescache.TermKey(tok, terms, rescache.TermOpts{
+			Complex: opts.Complex, TopK: opts.TopK, MinScore: opts.MinScore,
+			Weights: opts.Weights, Limits: eff,
+		})
+		if hit, found := rescache.GetSlice[exec.ScoredNode](c, key); found {
+			results = hit
+			return results, nil
+		}
+		defer func() {
+			if err == nil {
+				rescache.PutSlice(c, key, results)
+			}
+		}()
+	}
 	defer recoverPanic(&err)
+	guard := exec.NewGuard(ctx, eff)
 	run := func(emit exec.Emit) error {
 		if opts.MinScore > 0 {
 			emit = exec.FilterMinScore(opts.MinScore, emit)
@@ -448,6 +497,18 @@ func (d *DB) PhraseSearchContext(ctx context.Context, phrase []string) (ms []exe
 		}
 		d.observe(opPhrase, start, len(ms), stats, err)
 	}()
+	if c, tok, ok := d.queryCache(); ok {
+		key := rescache.PhraseKey(tok, phrase, d.opts.Limits)
+		if hit, found := rescache.GetSlice[exec.PhraseMatch](c, key); found {
+			ms = hit
+			return ms, nil
+		}
+		defer func() {
+			if err == nil {
+				rescache.PutSlice(c, key, ms)
+			}
+		}()
+	}
 	defer recoverPanic(&err)
 	pf = &exec.PhraseFinder{Index: d.Index(), Phrase: phrase, Guard: exec.NewGuard(ctx, d.opts.Limits)}
 	ms, err = exec.CollectPhrase(pf.Run)

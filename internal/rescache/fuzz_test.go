@@ -1,0 +1,108 @@
+package rescache
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"repro/internal/exec"
+)
+
+// FuzzCacheKey attacks the two properties the cache's correctness hangs
+// on, without re-deriving them from the implementation under test:
+//
+//   - Injectivity: two non-equivalent requests must never share a key.
+//     The fuzzer splits raw bytes into term slices two different ways, so
+//     any separator a buggy encoding might rely on eventually appears
+//     inside a term, and asserts keys collide exactly when the decoded
+//     requests are equal.
+//   - Canonicalization soundness: equivalent spellings must share a key.
+//     Queries are assembled from the same fragments joined with two
+//     different whitespace spellings — equal keys required — and with the
+//     spelling difference moved inside a string literal — different keys
+//     required, because literals are significant bytes.
+//
+// Wired into `make fuzz-smoke`.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("search,engine", "search;engine", "For", "$a", "in", " ", "\n\t", uint(3), uint(3))
+	f.Add("a\x00b", "a,b", "Score", "using", "ScoreFoo", "  ", " ", uint(0), uint(1))
+	f.Add("", ",", "x", "", "y", "\t", "\r\n", uint(10), uint(10))
+	f.Add("‘‘t’’", "t", "Pick", "“q”", "'s'", " \v", " ", uint(1), uint(2))
+
+	f.Fuzz(func(t *testing.T, rawA, rawB, f1, f2, f3, wsA, wsB string, topKA, topKB uint) {
+		// --- Injectivity across the terms encoding ---------------------
+		termsA := strings.Split(rawA, ",")
+		termsB := strings.Split(rawB, ";")
+		optsA := TermOpts{TopK: int(topKA % 64)}
+		optsB := TermOpts{TopK: int(topKB % 64)}
+		kA := TermKey(1, termsA, optsA)
+		kB := TermKey(1, termsB, optsB)
+		equal := slicesEqual(termsA, termsB) && optsA.TopK == optsB.TopK
+		if (kA == kB) != equal {
+			t.Fatalf("TermKey collision mismatch: terms %q/%q topK %d/%d: keys equal=%v, requests equal=%v",
+				termsA, termsB, optsA.TopK, optsB.TopK, kA == kB, equal)
+		}
+		// A different generation must always change the key.
+		if TermKey(2, termsA, optsA) == kA {
+			t.Fatalf("generation not part of the key for terms %q", termsA)
+		}
+		// A different family with an identical payload must never collide.
+		if pk := PhraseKey(1, termsA, exec.Limits{}); pk.raw == kA.raw {
+			t.Fatalf("phrase/terms family collision for %q", termsA)
+		}
+
+		// --- Whitespace canonicalization -------------------------------
+		clean := func(s string) string {
+			var b strings.Builder
+			for i := 0; i < len(s); i++ {
+				c := s[i]
+				// Drop whitespace (per the lexer's byte-wise test), quote
+				// openers (every typographic quote starts 0xE2), and the
+				// separator bytes reused above.
+				if unicode.IsSpace(rune(c)) || c == '"' || c == '\'' || c == 0xE2 || c == ',' || c == ';' {
+					continue
+				}
+				b.WriteByte(c)
+			}
+			return b.String()
+		}
+		ws := func(s string) string {
+			const chars = " \t\n\r"
+			var b strings.Builder
+			b.WriteByte(' ')
+			for i := 0; i < len(s) && i < 8; i++ {
+				b.WriteByte(chars[int(s[i])%len(chars)])
+			}
+			return b.String()
+		}
+		g1, g2, g3 := clean(f1), clean(f2), clean(f3)
+		sa, sb := ws(wsA), ws(wsB)
+		qa := g1 + sa + g2 + sa + g3
+		qb := g1 + sb + g2 + sb + g3
+		if QueryKey(7, qa, exec.Limits{}) != QueryKey(7, qb, exec.Limits{}) {
+			t.Fatalf("whitespace spellings split the key:\n  %q\n  %q", qa, qb)
+		}
+		if n := NormalizeQuery(qa); NormalizeQuery(n) != n {
+			t.Fatalf("NormalizeQuery not idempotent on %q: %q -> %q", qa, n, NormalizeQuery(n))
+		}
+		// Move the spelling difference inside a literal: now it is
+		// significant and the keys must differ.
+		la := g1 + `"` + sa + `"` + g2
+		lb := g1 + `"` + sb + `"` + g2
+		if sa != sb && QueryKey(7, la, exec.Limits{}) == QueryKey(7, lb, exec.Limits{}) {
+			t.Fatalf("string-literal bytes folded:\n  %q\n  %q", la, lb)
+		}
+	})
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"repro/internal/rescache"
+)
+
+// Facade-level result caching: the sharded counterparts of the db cache
+// hooks (db/cache.go). The cache lives on the facade only — segments are
+// constructed without caches — so one logical query is cached once, after
+// the per-shard merge and the local→global id translation. Cached slices
+// are copied on both put and get, so the facade's in-place id rewrites
+// can never corrupt a cached master.
+
+// CacheToken returns the generation token facade cache keys are minted
+// under: the sum of the segment generations, which advances on every
+// routed mutation. ok=false while any segment lacks a live index (bulk
+// loading), when segment store appends would not move the sum.
+func (s *DB) CacheToken() (uint64, bool) {
+	var sum uint64
+	for _, seg := range s.segs {
+		g, ok := seg.CacheToken()
+		if !ok {
+			return 0, false
+		}
+		sum += g
+	}
+	return sum, true
+}
+
+// EnableResultCache attaches a facade result cache with the given byte
+// budget. No-op when one is attached already or maxBytes is not positive.
+func (s *DB) EnableResultCache(maxBytes int64) {
+	c := rescache.New(rescache.Config{
+		MaxBytes:   maxBytes,
+		Metrics:    s.MetricsRegistry(),
+		Generation: s.CacheToken,
+	})
+	if c == nil {
+		return
+	}
+	if !s.cache.CompareAndSwap(nil, c) {
+		c.Close()
+	}
+}
+
+// ResultCache returns the attached facade cache, or nil.
+func (s *DB) ResultCache() *rescache.Cache { return s.cache.Load() }
+
+// Close releases background resources: the facade cache sweeper and the
+// segments' own resources.
+func (s *DB) Close() {
+	if c := s.cache.Load(); c != nil {
+		c.Close()
+	}
+	for _, seg := range s.segs {
+		seg.Close()
+	}
+}
+
+// queryCache returns the facade cache and the token to key with, or
+// ok=false when this call must bypass caching.
+func (s *DB) queryCache() (*rescache.Cache, uint64, bool) {
+	c := s.cache.Load()
+	if c == nil {
+		return nil, 0, false
+	}
+	tok, ok := s.CacheToken()
+	if !ok {
+		return nil, 0, false
+	}
+	return c, tok, true
+}

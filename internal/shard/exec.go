@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/exec"
+	"repro/internal/rescache"
 	"repro/internal/scoring"
 	"repro/internal/storage"
 	"repro/internal/xmltree"
@@ -96,10 +97,28 @@ func (s *DB) TermSearchContext(ctx context.Context, terms []string, opts db.Term
 		}
 		s.observe(opTerms, start, len(results), total, err)
 	}()
+	eff := s.limitsOr(opts.Limits)
+	if c, tok, ok := s.queryCache(); ok {
+		key := rescache.TermKey(tok, terms, rescache.TermOpts{
+			Complex: opts.Complex, TopK: opts.TopK, MinScore: opts.MinScore,
+			Weights: opts.Weights, Limits: eff,
+		})
+		if hit, found := rescache.GetSlice[exec.ScoredNode](c, key); found {
+			results = hit
+			return results, nil
+		}
+		// Registered before recoverPanic so a recovered panic reaches err
+		// first and poisoned results are never cached.
+		defer func() {
+			if err == nil {
+				rescache.PutSlice(c, key, results)
+			}
+		}()
+	}
 	defer recoverPanic(&err)
 	cctx, cancel := fanoutCtx(ctx)
 	defer cancel()
-	guard := exec.NewGuard(cctx, s.limitsOr(opts.Limits))
+	guard := exec.NewGuard(cctx, eff)
 	mode := exec.ChildCountNavigate
 	if opts.Enhanced {
 		mode = exec.ChildCountIndexed
@@ -237,6 +256,18 @@ func (s *DB) PhraseSearchContext(ctx context.Context, phrase []string) (ms []exe
 		}
 		s.observe(opPhrase, start, len(ms), total, err)
 	}()
+	if c, tok, ok := s.queryCache(); ok {
+		key := rescache.PhraseKey(tok, phrase, s.opts.Limits)
+		if hit, found := rescache.GetSlice[exec.PhraseMatch](c, key); found {
+			ms = hit
+			return ms, nil
+		}
+		defer func() {
+			if err == nil {
+				rescache.PutSlice(c, key, ms)
+			}
+		}()
+	}
 	defer recoverPanic(&err)
 	cctx, cancel := fanoutCtx(ctx)
 	defer cancel()
@@ -378,17 +409,29 @@ func (s *DB) QueryContext(ctx context.Context, src string) ([]xq.Result, error) 
 
 // QueryLimited is QueryContext with an explicit per-call resource budget.
 func (s *DB) QueryLimited(ctx context.Context, src string, limits exec.Limits) ([]xq.Result, error) {
+	eff := s.limitsOr(limits)
+	c, tok, cacheable := s.queryCache()
+	var key rescache.Key
+	if cacheable {
+		key = rescache.QueryKey(tok, src, eff)
+		if hit, found := rescache.GetSlice[xq.Result](c, key); found {
+			return hit, nil
+		}
+	}
 	i, err := s.routeQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	results, err := s.segs[i].QueryLimited(ctx, src, s.limitsOr(limits))
+	results, err := s.segs[i].QueryLimited(ctx, src, eff)
 	if err != nil {
 		return nil, err
 	}
 	ids := s.globalIDs(i)
 	for j := range results {
 		results[j].Doc = ids[results[j].Doc]
+	}
+	if cacheable {
+		rescache.PutSlice(c, key, results)
 	}
 	return results, nil
 }

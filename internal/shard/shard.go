@@ -26,10 +26,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/db"
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/rescache"
 	"repro/internal/storage"
 	"repro/internal/xmltree"
 )
@@ -71,6 +73,9 @@ type Options struct {
 	// Limits is the default per-query resource budget. It is shared
 	// across the shard workers of one query, not multiplied per shard.
 	Limits exec.Limits
+	// CacheBytes, when positive, attaches a generation-keyed result cache
+	// to the facade (never to the segments; see cache.go).
+	CacheBytes int64
 }
 
 // docRef locates one globally-numbered document inside its segment.
@@ -98,6 +103,10 @@ type DB struct {
 	byName   map[string]storage.DocID // document name -> global DocID
 	globalOf [][]storage.DocID        // per shard: local DocID -> global
 	next     int                      // round-robin cursor
+
+	// cache, when set, memoizes merged facade results per generation
+	// token (see cache.go).
+	cache atomic.Pointer[rescache.Cache]
 }
 
 // New creates an empty sharded database. Options.Shards below 1 is
@@ -113,12 +122,17 @@ func New(opts Options) *DB {
 		globalOf: make([][]storage.DocID, opts.Shards),
 	}
 	for i := range s.segs {
+		// Segments get no CacheBytes: caching happens once, at the facade,
+		// after the merge and the global-id translation.
 		s.segs[i] = db.New(db.Options{
 			Stemming:  opts.Stemming,
 			Stopwords: opts.Stopwords,
 			Metrics:   opts.Metrics,
 			Limits:    opts.Limits,
 		})
+	}
+	if opts.CacheBytes > 0 {
+		s.EnableResultCache(opts.CacheBytes)
 	}
 	return s
 }

@@ -1,16 +1,34 @@
-// Command tixlint runs the project's static-analysis suite: six
+// Command tixlint runs the project's static-analysis suite: twelve
 // analyzers over go/ast + go/types that mechanically enforce the
-// invariants PRs 2–3 introduced by convention (deterministic iteration,
-// exec.Guard consultation, errors.Is-compatible error handling, context
-// hygiene, seeded randomness, cancellation-aware waits in library
-// retry paths).
+// invariants PRs 2–8 introduced by convention. The per-package checks
+// cover deterministic iteration, exec.Guard consultation,
+// errors.Is-compatible error handling, context hygiene, seeded
+// randomness, cancellation-aware waits, atomic-access hygiene,
+// cache-key completeness, and alias-free accessors; the flow-aware
+// program-scope checks cover the module-wide lock-acquisition graph,
+// goroutine shutdown paths, and tix_* metric-name ownership.
 //
 // Usage:
 //
 //	tixlint [flags] [packages]
 //
 // Packages default to ./... relative to the current directory. Exit
-// status: 0 clean, 1 findings at or above -severity, 2 load failure.
+// status: 0 clean, 1 findings at or above -severity (or a ratchet
+// regression), 2 load failure or bad usage.
+//
+// Two CI modes:
+//
+//	tixlint -changed origin/main ./...
+//
+// runs the whole suite (cross-package analyzers need the whole program)
+// but reports only diagnostics in files that differ from the ref, plus
+// untracked files — the fast pre-merge scope.
+//
+//	tixlint -ratchet .tixlint-ratchet.json ./...
+//
+// compares per-analyzer finding counts against the committed baseline
+// and fails only on regressions; -ratchet-write re-records the baseline
+// after a deliberate change.
 package main
 
 import (
@@ -24,19 +42,28 @@ import (
 
 func main() {
 	var (
-		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-		severity  = flag.String("severity", "warning", "minimum severity that fails the run: info, warning, or error")
-		list      = flag.Bool("list", false, "list the registered analyzers and exit")
-		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
-		dir       = flag.String("C", ".", "directory of the module to analyze")
+		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		severity     = flag.String("severity", "warning", "minimum severity that fails the run: info, warning, or error")
+		list         = flag.Bool("list", false, "list the registered analyzers and exit")
+		analyzers    = flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+		dir          = flag.String("C", ".", "directory of the module to analyze")
+		changed      = flag.String("changed", "", "report only findings in files changed since this git ref (plus untracked files)")
+		ratchetPath  = flag.String("ratchet", "", "compare per-analyzer finding counts against this baseline file; fail only on regressions")
+		ratchetWrite = flag.Bool("ratchet-write", false, "with -ratchet: record the current counts as the new baseline")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		lint.WriteList(os.Stdout)
 		return
+	}
+	if *changed != "" && *ratchetPath != "" {
+		fmt.Fprintln(os.Stderr, "tixlint: -changed and -ratchet are mutually exclusive: the ratchet pins whole-module counts, which a changed-files subset cannot reproduce")
+		os.Exit(2)
+	}
+	if *ratchetWrite && *ratchetPath == "" {
+		fmt.Fprintln(os.Stderr, "tixlint: -ratchet-write requires -ratchet FILE")
+		os.Exit(2)
 	}
 
 	threshold, err := lint.ParseSeverity(*severity)
@@ -71,10 +98,20 @@ func main() {
 	}
 
 	runner := &lint.Runner{Analyzers: selected, CheckUnused: fullSet}
-	diags := runner.Run(prog)
+	diags, stale := runner.RunAll(prog)
+
+	if *changed != "" {
+		set, cerr := lint.ChangedFiles(*dir, *changed)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "tixlint: %v\n", cerr)
+			os.Exit(2)
+		}
+		diags = lint.FilterChanged(diags, set)
+		stale = lint.FilterStaleChanged(stale, set)
+	}
 
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, lint.Report(diags, prog.LoadErrors)); err != nil {
+		if err := lint.WriteJSON(os.Stdout, lint.ReportAll(diags, stale, prog.LoadErrors)); err != nil {
 			fmt.Fprintf(os.Stderr, "tixlint: %v\n", err)
 			os.Exit(2)
 		}
@@ -87,10 +124,35 @@ func main() {
 		}
 	}
 
-	switch {
-	case len(prog.LoadErrors) > 0:
+	if len(prog.LoadErrors) > 0 {
 		os.Exit(2)
-	case failsThreshold(diags, threshold):
+	}
+
+	if *ratchetPath != "" {
+		counts := lint.CountByAnalyzer(diags)
+		if *ratchetWrite {
+			if err := lint.WriteRatchet(*ratchetPath, counts); err != nil {
+				fmt.Fprintf(os.Stderr, "tixlint: %v\n", err)
+				os.Exit(2)
+			}
+			return
+		}
+		base, err := lint.ReadRatchet(*ratchetPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tixlint: %v\n", err)
+			os.Exit(2)
+		}
+		regressions := lint.CheckRatchet(base, counts)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "tixlint: ratchet: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if failsThreshold(diags, threshold) {
 		os.Exit(1)
 	}
 }

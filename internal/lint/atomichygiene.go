@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicHygiene flags struct fields that are accessed through sync/atomic
+// in one code path and plainly in another. Mixing the two publishes the
+// field through incompatible memory models: the atomic path establishes
+// ordering the plain path never observes, so the race detector fires and
+// — worse — on weakly-ordered hardware the plain reader can see a torn
+// or stale value forever.
+//
+// The project convention (index.Live's snapshot cache, the rescache
+// counters, exec.Guard) is typed atomics — atomic.Uint64, atomic.Pointer
+// — which make plain access a compile error. This analyzer covers the
+// remaining hole: a field of plain type reached via the function-style
+// API (atomic.LoadInt64(&s.n)) in one method and via ordinary
+// read/write in another. Every access must go through sync/atomic; the
+// durable fix is migrating the field to its typed equivalent.
+//
+// Pre-publication initialization (a constructor writing the field before
+// the value escapes) is a real pattern; it takes a //tixlint:ignore
+// naming that argument.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "struct field accessed via sync/atomic on one path and plainly on another",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+
+	// Phase 1: find fields addressed into sync/atomic calls, remembering
+	// the selector nodes consumed by those calls so phase 2 does not
+	// count them as plain accesses.
+	atomicFields := map[*types.Var]token.Pos{}
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+	forEachNonTestFile(pass, func(file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, ok := pkgFuncCall(pass, call)
+			if !ok || pkg != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldVarOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			inAtomicCall[sel] = true
+			if _, seen := atomicFields[field]; !seen {
+				atomicFields[field] = sel.Pos()
+			}
+			return true
+		})
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Phase 2: any other selector reaching one of those fields is a
+	// plain access.
+	forEachNonTestFile(pass, func(file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			field := fieldVarOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			first, isAtomic := atomicFields[field]
+			if !isAtomic {
+				return true
+			}
+			atomicAt := pass.Fset().Position(first)
+			pass.Reportf(sel.Pos(), SeverityError,
+				"field %s is accessed via sync/atomic at %s:%d but plainly here: mixed access races — route every access through sync/atomic, or migrate the field to its typed atomic equivalent",
+				fieldDesc(field), relModule(pass.Prog, atomicAt.Filename), atomicAt.Line)
+			return true
+		})
+	})
+}
+
+// fieldVarOf resolves sel to the struct-field variable it selects, or nil
+// when sel is not a field selection.
+func fieldVarOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldDesc renders "Type.field" for a struct-field variable.
+func fieldDesc(v *types.Var) string {
+	name := v.Name()
+	if v.Pkg() != nil {
+		return lastSegment(v.Pkg().Path()) + "." + name
+	}
+	return name
+}
+
+// forEachNonTestFile applies fn to every non-test file of the pass's
+// package.
+func forEachNonTestFile(pass *Pass, fn func(*ast.File)) {
+	for _, file := range pass.Pkg.Files {
+		if isTestFilename(pass.Filename(file.Pos())) {
+			continue
+		}
+		fn(file)
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CacheKey enforces the result-cache coherence contract from PR 8: every
+// exported field of every struct that is baked into a rescache key must
+// be consumed by the key encoder. A field that callers can set but the
+// encoder ignores makes two semantically different requests collide on
+// one cache entry, and the cache silently serves the first request's
+// results to the second — a correctness bug that no crash, race, or
+// timeout ever surfaces.
+//
+// Seeds are found structurally so the check survives refactors: any
+// struct-typed parameter of an exported function in the rescache package
+// that returns the package's Key type participates in keying, and so
+// does every exported struct-typed field reachable from it (TermOpts
+// embeds exec.Limits, so the Limits fields are part of the contract
+// too). Consumption means a selection of the field somewhere in the
+// package's non-test code — in practice, the keyEnc methods.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "exported fields of cache-key option structs must be consumed by the key encoder",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(pass *Pass) {
+	if pass.Pkg.Segment() != "rescache" || pass.Pkg.Types == nil {
+		return
+	}
+
+	// A keyed field, with the seed function's position as the diagnostic
+	// anchor when the owning struct lives in another package (export-data
+	// objects have no stable position in our file set).
+	type keyedField struct {
+		field *types.Var
+		owner string
+		seed  token.Pos
+	}
+	var required []keyedField
+	seen := map[*types.Named]bool{}
+	var collect func(n *types.Named, seed token.Pos)
+	collect = func(n *types.Named, seed token.Pos) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			required = append(required, keyedField{field: f, owner: n.Obj().Name(), seed: seed})
+			collect(namedOf(f.Type()), seed)
+		}
+	}
+
+	forEachNonTestFile(pass, func(file *ast.File) {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Results == nil {
+				continue
+			}
+			returnsKey := false
+			for _, res := range fd.Type.Results.List {
+				if n := namedOf(pass.TypeOf(res.Type)); n != nil &&
+					n.Obj().Pkg() == pass.Pkg.Types && n.Obj().Name() == "Key" {
+					returnsKey = true
+				}
+			}
+			if !returnsKey || fd.Type.Params == nil {
+				continue
+			}
+			for _, par := range fd.Type.Params.List {
+				if n := namedOf(pass.TypeOf(par.Type)); n != nil {
+					if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+						collect(n, fd.Name.Pos())
+					}
+				}
+			}
+		}
+	})
+	if len(required) == 0 {
+		return
+	}
+
+	consumed := map[*types.Var]bool{}
+	forEachNonTestFile(pass, func(file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if f := fieldVarOf(pass, sel); f != nil {
+					consumed[f] = true
+				}
+			}
+			return true
+		})
+	})
+
+	for _, r := range required {
+		if consumed[r.field] {
+			continue
+		}
+		pos := r.seed
+		if r.field.Pkg() == pass.Pkg.Types && r.field.Pos().IsValid() {
+			pos = r.field.Pos()
+		}
+		pass.Reportf(pos, SeverityError,
+			"exported field %s.%s is baked into cache keys but never consumed by the key encoder: option values differing only in this field collide on one cache entry and serve each other's results — extend the key encoding (or unexport the field)",
+			r.owner, r.field.Name())
+	}
+}

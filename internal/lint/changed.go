@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Changed-file mode (`tixlint -changed <ref>`): the full suite still runs
+// over the whole module — cross-package analyzers need the whole program
+// — but only diagnostics landing in files that differ from ref (plus
+// untracked files) are reported. This keeps pre-merge lint output scoped
+// to the change under review while preserving whole-program soundness.
+
+// ChangedFiles returns the module-relative, slash-separated paths of
+// files that differ from ref, plus untracked files, for the git work
+// tree containing dir. Paths outside the module are dropped.
+func ChangedFiles(dir, ref string) (map[string]bool, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	top, err := gitLines(absDir, "rev-parse", "--show-toplevel")
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving git root: %w", err)
+	}
+	if len(top) == 0 {
+		return nil, fmt.Errorf("lint: %s is not inside a git work tree", absDir)
+	}
+	root := top[0]
+	diff, err := gitLines(absDir, "diff", "--name-only", ref, "--")
+	if err != nil {
+		return nil, fmt.Errorf("lint: diffing against %s: %w", ref, err)
+	}
+	untracked, err := gitLines(absDir, "ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, fmt.Errorf("lint: listing untracked files: %w", err)
+	}
+	set := map[string]bool{}
+	for _, line := range append(diff, untracked...) {
+		rel, err := filepath.Rel(absDir, filepath.Join(root, filepath.FromSlash(line)))
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		set[filepath.ToSlash(rel)] = true
+	}
+	return set, nil
+}
+
+// gitLines runs one git command in dir and returns its non-empty output
+// lines.
+func gitLines(dir string, args ...string) ([]string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git %s: %w\n%s", strings.Join(args, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	var lines []string
+	for _, l := range strings.Split(string(out), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}
+
+// FilterChanged keeps the diagnostics whose file is in the changed set.
+func FilterChanged(diags []Diagnostic, changed map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if changed[d.Pos.Filename] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FilterStaleChanged keeps the stale directives whose file is in the
+// changed set.
+func FilterStaleChanged(stale []StaleDirective, changed map[string]bool) []StaleDirective {
+	var out []StaleDirective
+	for _, s := range stale {
+		if changed[s.File] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,725 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The flow-lite layer: a module-wide, standard-library-only approximation
+// of the facts the concurrency analyzers need — which functions call
+// which, which mutexes a function may acquire (directly or transitively),
+// which mutexes are held at each call site, and whether a function's body
+// ever observes a shutdown signal (a context, a channel, a WaitGroup).
+//
+// It is deliberately *lite*. Statements are scanned in source order with
+// a held-lock multiset; branches are scanned against a copy of the
+// incoming state and the state is restored afterwards, so an unlock on an
+// early-return path never leaks into the fallthrough path and a lock
+// taken in only one arm never poisons its sibling. Function literals are
+// scanned with an empty held set (a closure runs when its caller decides,
+// not where it is written), and `go`/`defer` bodies likewise. The net
+// effect is an under-approximation: every (outer, inner) pair the layer
+// reports corresponds to a syntactic path that really acquires inner
+// while outer is held, while patterns it cannot prove are simply not
+// reported. Analyzers built on it therefore err toward silence, and the
+// fixture module pins the shapes they must still catch.
+//
+// Cross-package resolution is by symbol string ("pkg/path.Func" or
+// "pkg/path.(Type).Method"): every package in the program is type-checked
+// independently, so object identity does not survive package boundaries
+// but symbol names do. Interface calls stay unresolved — the layer tracks
+// the static call graph only.
+
+// lockID names one mutex at type granularity: every instance of
+// db.DB.mu is the same node in the acquisition graph. seg is the owning
+// package's import-path segment (so the fixture module matches the real
+// one), typ the named struct owning the field, or "" for a package-level
+// mutex var.
+type lockID struct {
+	seg   string
+	typ   string
+	field string
+}
+
+// String renders "seg.Type.field" (or "seg.field" for package vars).
+func (l lockID) String() string {
+	if l.typ == "" {
+		return l.seg + "." + l.field
+	}
+	return l.seg + "." + l.typ + "." + l.field
+}
+
+func (l lockID) valid() bool { return l.field != "" }
+
+// funcKey is the cross-package symbol name of a function or method.
+type funcKey string
+
+// callSite is one static call with the tracked locks held at that point.
+type callSite struct {
+	callee funcKey
+	held   []lockID
+	pos    token.Pos
+}
+
+// lockPair is one direct ordering witness: inner was acquired at pos
+// while outer was held.
+type lockPair struct {
+	outer, inner lockID
+	pos          token.Pos
+}
+
+// goSpawn is one `go` statement in a non-main, non-test file.
+type goSpawn struct {
+	pos    token.Pos
+	seg    string
+	pkg    *Package
+	signal bool      // the spawned body itself observes a shutdown signal
+	callee funcKey   // static callee when the spawn is `go f(...)`, else ""
+	calls  []funcKey // static callees inside a spawned func literal
+}
+
+// funcSummary is the per-function fact base.
+type funcSummary struct {
+	key      funcKey
+	pkg      *Package
+	acquires map[lockID]token.Pos // direct acquisitions (first witness)
+	pairs    []lockPair           // direct (outer held, inner acquired)
+	calls    []callSite
+	signal   bool // body observes ctx / channel / WaitGroup.Done directly
+}
+
+// flowInfo is the module-wide result, built once per Program and shared
+// by every analyzer that needs it.
+type flowInfo struct {
+	funcs  map[funcKey]*funcSummary
+	order  []funcKey // deterministic iteration order
+	spawns []goSpawn
+
+	transAcq    map[funcKey]map[lockID]token.Pos // transitive acquisitions
+	transSignal map[funcKey]bool                 // transitive shutdown signal
+}
+
+// flowTrackedSegs are the package segments whose mutexes participate in
+// the acquisition graph: the mutation and serving tier whose lock
+// discipline PRs 6–8 established. Locks elsewhere (metrics registry,
+// local test scaffolding) are deliberately invisible.
+var flowTrackedSegs = map[string]bool{
+	"db": true, "shard": true, "fleet": true, "index": true, "rescache": true,
+}
+
+// flow returns the program's flow facts, building them on first use.
+func (prog *Program) flow() *flowInfo {
+	prog.flowOnce.Do(func() {
+		prog.flowInfo = buildFlow(prog)
+	})
+	return prog.flowInfo
+}
+
+func buildFlow(prog *Program) *flowInfo {
+	fi := &flowInfo{funcs: map[funcKey]*funcSummary{}}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			if isTestFilename(prog.Fset.Position(file.Pos()).Filename) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				b := &flowBuilder{prog: prog, pkg: pkg, fi: fi}
+				b.scanFunc(fd)
+			}
+		}
+	}
+	for k := range fi.funcs {
+		fi.order = append(fi.order, k)
+	}
+	sort.Slice(fi.order, func(i, j int) bool { return fi.order[i] < fi.order[j] })
+	fi.propagate()
+	return fi
+}
+
+// propagate runs the two fixpoints: transitive lock acquisition and
+// transitive shutdown-signal observation over the static call graph.
+func (fi *flowInfo) propagate() {
+	fi.transAcq = map[funcKey]map[lockID]token.Pos{}
+	fi.transSignal = map[funcKey]bool{}
+	for _, k := range fi.order {
+		s := fi.funcs[k]
+		acq := map[lockID]token.Pos{}
+		for id, pos := range s.acquires {
+			acq[id] = pos
+		}
+		fi.transAcq[k] = acq
+		fi.transSignal[k] = s.signal
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range fi.order {
+			s := fi.funcs[k]
+			acq := fi.transAcq[k]
+			for _, c := range s.calls {
+				for id, pos := range fi.transAcq[c.callee] {
+					if _, ok := acq[id]; !ok {
+						acq[id] = pos
+						changed = true
+					}
+				}
+				if !fi.transSignal[k] && fi.transSignal[c.callee] {
+					fi.transSignal[k] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// flowBuilder scans one function declaration.
+type flowBuilder struct {
+	prog *Program
+	pkg  *Package
+	fi   *flowInfo
+}
+
+// pending is one deferred body scan: function literals, `go` bodies and
+// `defer` bodies all start from an empty held set.
+type pending struct {
+	body *ast.BlockStmt
+}
+
+func (b *flowBuilder) scanFunc(fd *ast.FuncDecl) {
+	key := b.declKey(fd)
+	sum := &funcSummary{key: key, pkg: b.pkg, acquires: map[lockID]token.Pos{}}
+	b.fi.funcs[key] = sum
+
+	if hasCtxParam(b.pkg, fd.Type) {
+		sum.signal = true
+	}
+
+	var held []lockID
+	queue := []pending{}
+	b.scanStmt(fd.Body, &held, sum, &queue)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		var fresh []lockID
+		b.scanStmt(p.body, &fresh, sum, &queue)
+	}
+}
+
+// declKey builds the symbol name for a declaration in this package.
+func (b *flowBuilder) declKey(fd *ast.FuncDecl) funcKey {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return funcKey(b.pkg.PkgPath + "." + fd.Name.Name)
+	}
+	t := pkgTypeOf(b.pkg, fd.Recv.List[0].Type)
+	if n := namedOf(t); n != nil {
+		return funcKey(fmt.Sprintf("%s.(%s).%s", b.pkg.PkgPath, n.Obj().Name(), fd.Name.Name))
+	}
+	return funcKey(b.pkg.PkgPath + "." + fd.Name.Name)
+}
+
+// calleeKey resolves a call's static target to a symbol, or "".
+func calleeKey(pkg *Package, call *ast.CallExpr) funcKey {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkgObjectOf(pkg, fun)
+	case *ast.SelectorExpr:
+		obj = pkgObjectOf(pkg, fun.Sel)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		// Interface methods have no body to resolve to.
+		if types.IsInterface(recv.Type()) {
+			return ""
+		}
+		if n := namedOf(recv.Type()); n != nil {
+			return funcKey(fmt.Sprintf("%s.(%s).%s", fn.Pkg().Path(), n.Obj().Name(), fn.Name()))
+		}
+		return ""
+	}
+	return funcKey(fn.Pkg().Path() + "." + fn.Name())
+}
+
+// scanStmt walks one statement in source order, threading the held set.
+func (b *flowBuilder) scanStmt(st ast.Stmt, held *[]lockID, sum *funcSummary, queue *[]pending) {
+	switch s := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.scanStmt(inner, held, sum, queue)
+		}
+	case *ast.IfStmt:
+		b.scanStmt(s.Init, held, sum, queue)
+		b.scanExpr(s.Cond, held, sum, queue)
+		snap := append([]lockID(nil), *held...)
+		branch := append([]lockID(nil), snap...)
+		b.scanStmt(s.Body, &branch, sum, queue)
+		if s.Else != nil {
+			branch = append([]lockID(nil), snap...)
+			b.scanStmt(s.Else, &branch, sum, queue)
+		}
+		*held = snap
+	case *ast.ForStmt:
+		b.scanStmt(s.Init, held, sum, queue)
+		b.scanExpr(s.Cond, held, sum, queue)
+		snap := append([]lockID(nil), *held...)
+		branch := append([]lockID(nil), snap...)
+		b.scanStmt(s.Body, &branch, sum, queue)
+		b.scanStmt(s.Post, &branch, sum, queue)
+		*held = snap
+	case *ast.RangeStmt:
+		b.scanExpr(s.X, held, sum, queue)
+		snap := append([]lockID(nil), *held...)
+		branch := append([]lockID(nil), snap...)
+		b.scanStmt(s.Body, &branch, sum, queue)
+		*held = snap
+	case *ast.SwitchStmt:
+		b.scanStmt(s.Init, held, sum, queue)
+		b.scanExpr(s.Tag, held, sum, queue)
+		b.scanClauses(s.Body, held, sum, queue)
+	case *ast.TypeSwitchStmt:
+		b.scanStmt(s.Init, held, sum, queue)
+		b.scanStmt(s.Assign, held, sum, queue)
+		b.scanClauses(s.Body, held, sum, queue)
+	case *ast.SelectStmt:
+		b.scanClauses(s.Body, held, sum, queue)
+	case *ast.LabeledStmt:
+		b.scanStmt(s.Stmt, held, sum, queue)
+	case *ast.ExprStmt:
+		b.scanExpr(s.X, held, sum, queue)
+	case *ast.SendStmt:
+		b.scanExpr(s.Chan, held, sum, queue)
+		b.scanExpr(s.Value, held, sum, queue)
+		sum.signal = true
+	case *ast.IncDecStmt:
+		b.scanExpr(s.X, held, sum, queue)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			b.scanExpr(e, held, sum, queue)
+		}
+		for _, e := range s.Lhs {
+			b.scanExpr(e, held, sum, queue)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			b.scanExpr(e, held, sum, queue)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						b.scanExpr(e, held, sum, queue)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		b.scanDeferred(s.Call, sum, queue)
+	case *ast.GoStmt:
+		b.scanGo(s, sum, queue)
+	}
+}
+
+func (b *flowBuilder) scanClauses(body *ast.BlockStmt, held *[]lockID, sum *funcSummary, queue *[]pending) {
+	snap := append([]lockID(nil), *held...)
+	for _, cl := range body.List {
+		branch := append([]lockID(nil), snap...)
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				b.scanExpr(e, &branch, sum, queue)
+			}
+			for _, st := range c.Body {
+				b.scanStmt(st, &branch, sum, queue)
+			}
+		case *ast.CommClause:
+			sum.signal = true // select participates in a channel protocol
+			b.scanStmt(c.Comm, &branch, sum, queue)
+			for _, st := range c.Body {
+				b.scanStmt(st, &branch, sum, queue)
+			}
+		}
+	}
+	*held = snap
+}
+
+// scanDeferred handles `defer f(...)`: a deferred mutex Unlock keeps the
+// lock held to the end of the function (which is exactly what the pair
+// bookkeeping wants), a deferred literal runs under an unknown held set,
+// and any other deferred call is recorded with no locks held.
+func (b *flowBuilder) scanDeferred(call *ast.CallExpr, sum *funcSummary, queue *[]pending) {
+	if op, _ := b.mutexOp(call); op != mutexNone {
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		*queue = append(*queue, pending{body: lit.Body})
+		return
+	}
+	if key := calleeKey(b.pkg, call); key != "" {
+		sum.calls = append(sum.calls, callSite{callee: key, pos: call.Pos()})
+	}
+}
+
+// scanGo records the spawn for goroleak and scans the body with an empty
+// held set — the goroutine runs concurrently, so the spawner's locks
+// impose no ordering on it.
+func (b *flowBuilder) scanGo(s *ast.GoStmt, sum *funcSummary, queue *[]pending) {
+	sp := goSpawn{pos: s.Pos(), seg: b.pkg.Segment(), pkg: b.pkg}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		sp.signal = bodySignals(b.pkg, lit)
+		sp.calls = bodyCallees(b.pkg, lit.Body)
+		*queue = append(*queue, pending{body: lit.Body})
+	} else {
+		sp.callee = calleeKey(b.pkg, s.Call)
+		for _, arg := range s.Call.Args {
+			if typeFromPkg(pkgTypeOf(b.pkg, arg), "context", "Context") {
+				sp.signal = true
+			}
+		}
+	}
+	b.fi.spawns = append(b.fi.spawns, sp)
+}
+
+// scanExpr walks an expression in source order.
+func (b *flowBuilder) scanExpr(e ast.Expr, held *[]lockID, sum *funcSummary, queue *[]pending) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		*queue = append(*queue, pending{body: x.Body})
+	case *ast.CallExpr:
+		b.scanExpr(x.Fun, held, sum, queue)
+		for _, arg := range x.Args {
+			b.scanExpr(arg, held, sum, queue)
+		}
+		b.classifyCall(x, held, sum)
+	case *ast.ParenExpr:
+		b.scanExpr(x.X, held, sum, queue)
+	case *ast.SelectorExpr:
+		b.scanExpr(x.X, held, sum, queue)
+	case *ast.StarExpr:
+		b.scanExpr(x.X, held, sum, queue)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			sum.signal = true
+		}
+		b.scanExpr(x.X, held, sum, queue)
+	case *ast.BinaryExpr:
+		b.scanExpr(x.X, held, sum, queue)
+		b.scanExpr(x.Y, held, sum, queue)
+	case *ast.IndexExpr:
+		b.scanExpr(x.X, held, sum, queue)
+		b.scanExpr(x.Index, held, sum, queue)
+	case *ast.SliceExpr:
+		b.scanExpr(x.X, held, sum, queue)
+		b.scanExpr(x.Low, held, sum, queue)
+		b.scanExpr(x.High, held, sum, queue)
+		b.scanExpr(x.Max, held, sum, queue)
+	case *ast.TypeAssertExpr:
+		b.scanExpr(x.X, held, sum, queue)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			b.scanExpr(el, held, sum, queue)
+		}
+	case *ast.KeyValueExpr:
+		b.scanExpr(x.Value, held, sum, queue)
+	}
+}
+
+type mutexOpKind int
+
+const (
+	mutexNone mutexOpKind = iota
+	mutexAcquire
+	mutexRelease
+)
+
+var mutexAcquireNames = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var mutexReleaseNames = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// mutexOp classifies call as an acquisition or release of a tracked
+// mutex, returning the lock's identity.
+func (b *flowBuilder) mutexOp(call *ast.CallExpr) (mutexOpKind, lockID) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexNone, lockID{}
+	}
+	var kind mutexOpKind
+	switch {
+	case mutexAcquireNames[sel.Sel.Name]:
+		kind = mutexAcquire
+	case mutexReleaseNames[sel.Sel.Name]:
+		kind = mutexRelease
+	default:
+		return mutexNone, lockID{}
+	}
+	rt := pkgTypeOf(b.pkg, sel.X)
+	if !typeFromPkg(rt, "sync", "Mutex") && !typeFromPkg(rt, "sync", "RWMutex") {
+		return mutexNone, lockID{}
+	}
+	return kind, b.lockIDOf(sel.X)
+}
+
+// lockIDOf names the mutex expression: a struct field keyed by its
+// owner's named type, or a package-level var. Local mutexes and mutexes
+// owned by untracked packages return the invalid id.
+func (b *flowBuilder) lockIDOf(e ast.Expr) lockID {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		owner := namedOf(pkgTypeOf(b.pkg, x.X))
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return lockID{}
+		}
+		seg := lastSegment(owner.Obj().Pkg().Path())
+		if !flowTrackedSegs[seg] {
+			return lockID{}
+		}
+		return lockID{seg: seg, typ: owner.Obj().Name(), field: x.Sel.Name}
+	case *ast.Ident:
+		obj := pkgObjectOf(b.pkg, x)
+		if obj == nil || obj.Pkg() == nil {
+			return lockID{}
+		}
+		// Package-level mutex var only; locals are invisible to callers.
+		if obj.Parent() != obj.Pkg().Scope() {
+			return lockID{}
+		}
+		seg := lastSegment(obj.Pkg().Path())
+		if !flowTrackedSegs[seg] {
+			return lockID{}
+		}
+		return lockID{seg: seg, field: obj.Name()}
+	}
+	return lockID{}
+}
+
+// classifyCall updates the held set on mutex operations and records any
+// other static call with the locks held at that point.
+func (b *flowBuilder) classifyCall(call *ast.CallExpr, held *[]lockID, sum *funcSummary) {
+	op, id := b.mutexOp(call)
+	switch op {
+	case mutexAcquire:
+		if !id.valid() {
+			return
+		}
+		if _, seen := sum.acquires[id]; !seen {
+			sum.acquires[id] = call.Pos()
+		}
+		for _, outer := range *held {
+			sum.pairs = append(sum.pairs, lockPair{outer: outer, inner: id, pos: call.Pos()})
+		}
+		*held = append(*held, id)
+		return
+	case mutexRelease:
+		if !id.valid() {
+			return
+		}
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i] == id {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isWaitGroupDone(b.pkg, sel) {
+			sum.signal = true
+		}
+	}
+	if key := calleeKey(b.pkg, call); key != "" {
+		sum.calls = append(sum.calls, callSite{
+			callee: key,
+			held:   append([]lockID(nil), *held...),
+			pos:    call.Pos(),
+		})
+	}
+}
+
+// pkgTypeOf is Pass.TypeOf without a Pass — flow runs before any
+// analyzer-specific pass exists.
+func pkgTypeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pkgObjectOf(pkg, id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// pkgObjectOf is Pass.ObjectOf without a Pass.
+func pkgObjectOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pkg *Package, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if typeFromPkg(pkgTypeOf(pkg, field.Type), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupDone reports whether sel is (*sync.WaitGroup).Done.
+func isWaitGroupDone(pkg *Package, sel *ast.SelectorExpr) bool {
+	return sel.Sel.Name == "Done" && typeFromPkg(pkgTypeOf(pkg, sel.X), "sync", "WaitGroup")
+}
+
+// bodySignals reports whether a function literal's body directly observes
+// a shutdown signal: it references a context, performs any channel
+// operation (receive, send, select, range-over-channel, close), or calls
+// Done on a WaitGroup. Nested literals are included — a signal anywhere
+// under the spawned body still bounds the goroutine.
+func bodySignals(pkg *Package, lit *ast.FuncLit) bool {
+	if hasCtxParam(pkg, lit.Type) {
+		return true
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if typeFromPkg(pkgTypeOf(pkg, x), "context", "Context") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := pkgTypeOf(pkg, x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && isWaitGroupDone(pkg, sel) {
+				found = true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isB := pkgObjectOf(pkg, id).(*types.Builtin); isB && b.Name() == "close" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyCallees collects the static callees invoked anywhere under body.
+func bodyCallees(pkg *Package, body *ast.BlockStmt) []funcKey {
+	var out []funcKey
+	seen := map[funcKey]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key := calleeKey(pkg, call); key != "" && !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// lockEdges assembles the module-wide acquisition graph: an edge
+// outer→inner for every direct pair and for every lock transitively
+// acquirable by a callee invoked while outer was held. The witness
+// position is the smallest-position evidence for that edge.
+func (fi *flowInfo) lockEdges(fset *token.FileSet) map[lockID]map[lockID]token.Pos {
+	edges := map[lockID]map[lockID]token.Pos{}
+	add := func(outer, inner lockID, pos token.Pos) {
+		m := edges[outer]
+		if m == nil {
+			m = map[lockID]token.Pos{}
+			edges[outer] = m
+		}
+		old, ok := m[inner]
+		if !ok || posLess(fset, pos, old) {
+			m[inner] = pos
+		}
+	}
+	for _, k := range fi.order {
+		s := fi.funcs[k]
+		for _, p := range s.pairs {
+			add(p.outer, p.inner, p.pos)
+		}
+		for _, c := range s.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for inner := range fi.transAcq[c.callee] {
+				for _, outer := range c.held {
+					add(outer, inner, c.pos)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// posLess orders positions by (file, line, column) so witness selection
+// is deterministic across runs.
+func posLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// sortedLockIDs returns the map's keys in lexical order.
+func sortedLockIDs[V any](m map[lockID]V) []lockID {
+	out := make([]lockID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// joinLockPath renders "a → b → c".
+func joinLockPath(ids []lockID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,57 @@
+package lint
+
+// GoroLeak flags goroutine launches in library packages that have no
+// visible shutdown path. A library goroutine that nothing can stop
+// outlives its owner: it pins memory, keeps timers firing, and — the
+// shape PR 7/8 guard against — keeps touching a store or cache after
+// Close, which the race detector reports only if a test happens to
+// overlap the window.
+//
+// A spawn is considered bounded when the flow-lite layer can see any of:
+//
+//   - the spawned body (or its callee, transitively through the static
+//     call graph) observes a context;
+//   - it performs a channel operation — receive, send, select, range
+//     over a channel, or close — meaning some peer can signal it;
+//   - it calls (*sync.WaitGroup).Done, meaning an owner Waits for it;
+//   - a context.Context is passed as an argument at the spawn site.
+//
+// This is deliberately generous: any plausible shutdown protocol
+// silences the check, so a finding means no protocol is visible at all.
+// Fire-and-forget goroutines that are intentionally process-lifetime
+// (in a cmd/ main, say) are out of scope — main packages are skipped —
+// and a deliberate library exception takes a directive naming who
+// guarantees termination.
+var GoroLeak = &Analyzer{
+	Name:         "goroleak",
+	Doc:          "library goroutine launched without a ctx/channel/WaitGroup shutdown path",
+	Run:          runGoroLeak,
+	ProgramScope: true,
+}
+
+func runGoroLeak(pass *Pass) {
+	fi := pass.Prog.flow()
+	for _, sp := range fi.spawns {
+		if sp.pkg.Name == "main" {
+			continue
+		}
+		if sp.signal {
+			continue
+		}
+		if sp.callee != "" && fi.transSignal[sp.callee] {
+			continue
+		}
+		bounded := false
+		for _, callee := range sp.calls {
+			if fi.transSignal[callee] {
+				bounded = true
+				break
+			}
+		}
+		if bounded {
+			continue
+		}
+		pass.Reportf(sp.pos, SeverityWarning,
+			"goroutine launched with no visible shutdown path: the spawned body observes no context, performs no channel operation, and signals no WaitGroup, so nothing can stop it after its owner closes — plumb a ctx or stop channel, or register it with the owner's WaitGroup")
+	}
+}

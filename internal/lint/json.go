@@ -19,10 +19,23 @@ type FindingJSON struct {
 	Message  string `json:"message"`
 }
 
+// StaleJSON is one suppression directive that matched no finding,
+// surfaced structurally so CI artifacts capture directive rot with its
+// location and the reason that no longer applies.
+type StaleJSON struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Names  []string `json:"names"`
+	Reason string   `json:"reason"`
+}
+
 // ReportJSON is the top-level document.
 type ReportJSON struct {
 	Findings []FindingJSON `json:"findings"`
 	Count    int           `json:"count"`
+	// Stale lists suppression directives that matched no finding
+	// (populated when the full registry runs with unused-checking).
+	Stale []StaleJSON `json:"stale_directives"`
 	// Errors lists load/type-check failures; non-empty means the
 	// findings may be incomplete (tixlint exits 2).
 	Errors []string `json:"errors,omitempty"`
@@ -30,7 +43,15 @@ type ReportJSON struct {
 
 // Report converts sorted diagnostics into the JSON document shape.
 func Report(diags []Diagnostic, loadErrors []string) ReportJSON {
-	rep := ReportJSON{Findings: []FindingJSON{}, Count: len(diags), Errors: loadErrors}
+	return ReportAll(diags, nil, loadErrors)
+}
+
+// ReportAll is Report plus the structured stale-directive audit.
+func ReportAll(diags []Diagnostic, stale []StaleDirective, loadErrors []string) ReportJSON {
+	rep := ReportJSON{Findings: []FindingJSON{}, Count: len(diags), Stale: []StaleJSON{}, Errors: loadErrors}
+	for _, s := range stale {
+		rep.Stale = append(rep.Stale, StaleJSON{File: s.File, Line: s.Line, Names: s.Names, Reason: s.Reason})
+	}
 	for _, d := range diags {
 		rep.Findings = append(rep.Findings, FindingJSON{
 			Analyzer: d.Analyzer,

@@ -24,6 +24,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -79,11 +80,15 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one named check. Run inspects a single package and reports
-// findings through the pass.
+// findings through the pass — unless ProgramScope is set, in which case
+// Run is invoked exactly once with a package-less pass and walks
+// prog.Pkgs itself (cross-package graphs: lock ordering, metric-name
+// ownership).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name         string
+	Doc          string
+	Run          func(*Pass)
+	ProgramScope bool
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -133,9 +138,23 @@ func (p *Pass) Reportf(pos token.Pos, sev Severity, format string, args ...any) 
 	})
 }
 
-// Analyzers returns the full registry in stable order.
+// Analyzers returns the full registry sorted by name, so -list output
+// and the ratchet file are byte-stable across builds.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapIter, GuardCheck, ErrWrap, CtxHygiene, NoDeterm, SleepHygiene}
+	all := []*Analyzer{
+		MapIter, GuardCheck, ErrWrap, CtxHygiene, NoDeterm, SleepHygiene,
+		LockOrder, AtomicHygiene, CacheKey, AliasRet, GoroLeak, MetricReg,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// WriteList renders the registry one analyzer per line, sorted by name,
+// so `tixlint -list` output is byte-stable across builds.
+func WriteList(w io.Writer) {
+	for _, a := range Analyzers() {
+		fmt.Fprintf(w, "%-14s %s\n", a.Name, a.Doc)
+	}
 }
 
 // metaAnalyzer names the pseudo-analyzer that reports problems with
@@ -151,19 +170,43 @@ type Runner struct {
 	CheckUnused bool
 }
 
+// StaleDirective is a //tixlint:ignore comment that suppressed nothing —
+// surfaced both as a tixlint finding and structurally in -json output so
+// CI artifacts capture directive rot.
+type StaleDirective struct {
+	File   string
+	Line   int
+	Names  []string
+	Reason string
+}
+
 // Run executes every analyzer over every package, applies suppression
 // directives, and returns the surviving diagnostics sorted by position.
 // File paths are reported relative to the module root.
 func (r *Runner) Run(prog *Program) []Diagnostic {
+	diags, _ := r.RunAll(prog)
+	return diags
+}
+
+// RunAll is Run plus the structured list of stale suppression
+// directives (empty unless CheckUnused is set).
+func (r *Runner) RunAll(prog *Program) ([]Diagnostic, []StaleDirective) {
 	known := map[string]bool{metaAnalyzer: true}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
 
 	var raw []Diagnostic
+	for _, a := range r.Analyzers {
+		if a.ProgramScope {
+			a.Run(&Pass{Analyzer: a, Prog: prog, diags: &raw})
+		}
+	}
 	for _, pkg := range prog.Pkgs {
 		for _, a := range r.Analyzers {
-			a.Run(&Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &raw})
+			if !a.ProgramScope {
+				a.Run(&Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &raw})
+			}
 		}
 	}
 
@@ -174,6 +217,7 @@ func (r *Runner) Run(prog *Program) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	var stale []StaleDirective
 	for _, dir := range dirs {
 		if dir.malformed != "" {
 			out = append(out, Diagnostic{
@@ -183,19 +227,30 @@ func (r *Runner) Run(prog *Program) []Diagnostic {
 				Message:  dir.malformed,
 			})
 		} else if r.CheckUnused && !dir.used {
+			pos := prog.Fset.Position(dir.pos)
 			out = append(out, Diagnostic{
 				Analyzer: metaAnalyzer,
 				Severity: SeverityWarning,
-				Pos:      prog.Fset.Position(dir.pos),
+				Pos:      pos,
 				Message:  fmt.Sprintf("suppression for %s matches no finding; delete the stale directive", strings.Join(dir.names, ",")),
+			})
+			stale = append(stale, StaleDirective{
+				File:   relModule(prog, pos.Filename),
+				Line:   pos.Line,
+				Names:  append([]string(nil), dir.names...),
+				Reason: dir.reason,
 			})
 		}
 	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].File != stale[j].File {
+			return stale[i].File < stale[j].File
+		}
+		return stale[i].Line < stale[j].Line
+	})
 
 	for i := range out {
-		if rel, err := filepath.Rel(prog.ModuleDir, out[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			out[i].Pos.Filename = filepath.ToSlash(rel)
-		}
+		out[i].Pos.Filename = relModule(prog, out[i].Pos.Filename)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -213,5 +268,14 @@ func (r *Runner) Run(prog *Program) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, stale
+}
+
+// relModule rewrites an absolute filename relative to the module root
+// (slash-separated); paths outside the module pass through unchanged.
+func relModule(prog *Program, filename string) string {
+	if rel, err := filepath.Rel(prog.ModuleDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
 }

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -20,6 +22,7 @@ var fixtureRun struct {
 	once  sync.Once
 	prog  *Program
 	diags []Diagnostic
+	stale []StaleDirective
 	err   error
 }
 
@@ -37,12 +40,20 @@ func loadFixture(t *testing.T) (*Program, []Diagnostic) {
 		}
 		runner := &Runner{Analyzers: Analyzers(), CheckUnused: true}
 		fixtureRun.prog = prog
-		fixtureRun.diags = runner.Run(prog)
+		fixtureRun.diags, fixtureRun.stale = runner.RunAll(prog)
 	})
 	if fixtureRun.err != nil {
 		t.Fatalf("loading fixture module: %v", fixtureRun.err)
 	}
 	return fixtureRun.prog, fixtureRun.diags
+}
+
+// loadFixtureStale returns the stale-directive audit from the shared
+// fixture run.
+func loadFixtureStale(t *testing.T) []StaleDirective {
+	t.Helper()
+	loadFixture(t)
+	return fixtureRun.stale
 }
 
 // wantRe extracts the quoted pattern from a `// want "..."` expectation
@@ -167,6 +178,11 @@ func TestSuppressionDirectives(t *testing.T) {
 		{37, metaAnalyzer, SeverityError, `unknown analyzer "nosuchlint"`},
 		{38, "errwrap", SeverityError, "loses its wrap chain"},
 		{43, metaAnalyzer, SeverityWarning, "matches no finding"},
+		// An unknown analyzer anywhere in a multi-name list voids the
+		// whole directive, so the errwrap finding it would have covered
+		// surfaces alongside the malformed-directive error.
+		{58, metaAnalyzer, SeverityError, `unknown analyzer "nosuchlint"`},
+		{59, "errwrap", SeverityError, "loses its wrap chain"},
 	}
 	for _, e := range expected {
 		found := false
@@ -181,10 +197,12 @@ func TestSuppressionDirectives(t *testing.T) {
 			t.Errorf("missing expected diagnostic at suppress/suppress.go:%d [%s] ~%q", e.line, e.analyzer, e.substr)
 		}
 	}
-	// The well-formed directives on lines 19 and 25 must have suppressed
-	// Flatten's and Identity's errwrap findings (lines 20 and 25).
+	// The well-formed directives on lines 19, 25, and 50 must have
+	// suppressed the errwrap findings on lines 20, 25, and 51 — line 50's
+	// directive names two analyzers and only errwrap fires, which still
+	// marks it used rather than stale.
 	for _, d := range got {
-		if d.Analyzer == "errwrap" && (d.Pos.Line == 20 || d.Pos.Line == 25) {
+		if d.Analyzer == "errwrap" && (d.Pos.Line == 20 || d.Pos.Line == 25 || d.Pos.Line == 51) {
 			t.Errorf("directive failed to suppress finding at suppress/suppress.go:%d: %s", d.Pos.Line, d.Message)
 		}
 	}
@@ -201,12 +219,13 @@ func TestSuppressionDirectives(t *testing.T) {
 // byte-stable across repeated encodings of the same run.
 func TestJSONOutput(t *testing.T) {
 	prog, diags := loadFixture(t)
+	stale := loadFixtureStale(t)
 
 	var a, b bytes.Buffer
-	if err := WriteJSON(&a, Report(diags, prog.LoadErrors)); err != nil {
+	if err := WriteJSON(&a, ReportAll(diags, stale, prog.LoadErrors)); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
-	if err := WriteJSON(&b, Report(diags, prog.LoadErrors)); err != nil {
+	if err := WriteJSON(&b, ReportAll(diags, stale, prog.LoadErrors)); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -216,6 +235,7 @@ func TestJSONOutput(t *testing.T) {
 	var doc struct {
 		Findings []map[string]any `json:"findings"`
 		Count    int              `json:"count"`
+		Stale    []StaleJSON      `json:"stale_directives"`
 	}
 	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
@@ -240,6 +260,107 @@ func TestJSONOutput(t *testing.T) {
 			t.Errorf("findings out of order: %s:%d before %s:%d",
 				prev.Pos.Filename, prev.Pos.Line, cur.Pos.Filename, cur.Pos.Line)
 		}
+	}
+
+	// The stale-directive audit must appear structurally with file:line:
+	// the suppress fixture's deliberately stale mapiter directive is the
+	// known instance.
+	foundStale := false
+	for _, s := range doc.Stale {
+		if s.File == "suppress/suppress.go" && s.Line == 43 && len(s.Names) == 1 && s.Names[0] == "mapiter" {
+			foundStale = true
+			if s.Reason == "" {
+				t.Error("stale directive lost its recorded reason in JSON output")
+			}
+		}
+	}
+	if !foundStale {
+		t.Errorf("stale_directives missing the suppress fixture's known stale entry; got %+v", doc.Stale)
+	}
+}
+
+// TestListOutput checks that -list rendering is sorted by analyzer name
+// and byte-stable across renders.
+func TestListOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	WriteList(&a)
+	WriteList(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteList output is not byte-stable across renders")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != len(Analyzers()) {
+		t.Fatalf("WriteList rendered %d lines, want one per analyzer (%d)", len(lines), len(Analyzers()))
+	}
+	var names []string
+	for _, line := range lines {
+		names = append(names, strings.Fields(line)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("WriteList analyzers are not sorted by name: %v", names)
+	}
+}
+
+// TestRatchet covers the count/compare/round-trip cycle: every analyzer
+// appears in the counts even at zero, regressions are detected against
+// both explicit and absent baselines, and counts at or below baseline
+// pass.
+func TestRatchet(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "errwrap"}, {Analyzer: "errwrap"}, {Analyzer: "lockorder"},
+	}
+	counts := CountByAnalyzer(diags)
+	if counts["errwrap"] != 2 || counts["lockorder"] != 1 {
+		t.Fatalf("CountByAnalyzer = %v, want errwrap=2 lockorder=1", counts)
+	}
+	for _, a := range Analyzers() {
+		if _, ok := counts[a.Name]; !ok {
+			t.Errorf("CountByAnalyzer omits %s; the ratchet file must be a complete inventory", a.Name)
+		}
+	}
+
+	base := &Ratchet{Counts: map[string]int{"errwrap": 2}}
+	regressions := CheckRatchet(base, counts)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "lockorder") {
+		t.Errorf("CheckRatchet = %v, want exactly one lockorder regression (absent baseline entries count as zero)", regressions)
+	}
+	if got := CheckRatchet(&Ratchet{Counts: map[string]int{"errwrap": 5, "lockorder": 1}}, counts); len(got) != 0 {
+		t.Errorf("CheckRatchet flagged counts at or below baseline: %v", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "ratchet.json")
+	if err := WriteRatchet(path, counts); err != nil {
+		t.Fatalf("WriteRatchet: %v", err)
+	}
+	loaded, err := ReadRatchet(path)
+	if err != nil {
+		t.Fatalf("ReadRatchet: %v", err)
+	}
+	if got := CheckRatchet(loaded, counts); len(got) != 0 {
+		t.Errorf("round-tripped baseline rejects its own counts: %v", got)
+	}
+}
+
+// TestFilterChanged checks the -changed diagnostic scoping against a
+// changed-file set.
+func TestFilterChanged(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "errwrap", Pos: token.Position{Filename: "a/a.go", Line: 3}},
+		{Analyzer: "mapiter", Pos: token.Position{Filename: "b/b.go", Line: 9}},
+	}
+	stale := []StaleDirective{
+		{File: "a/a.go", Line: 5, Names: []string{"errwrap"}},
+		{File: "c/c.go", Line: 7, Names: []string{"mapiter"}},
+	}
+	changed := map[string]bool{"a/a.go": true}
+	if got := FilterChanged(diags, changed); len(got) != 1 || got[0].Pos.Filename != "a/a.go" {
+		t.Errorf("FilterChanged = %v, want only a/a.go", got)
+	}
+	if got := FilterStaleChanged(stale, changed); len(got) != 1 || got[0].File != "a/a.go" {
+		t.Errorf("FilterStaleChanged = %v, want only a/a.go", got)
+	}
+	if got := FilterChanged(diags, map[string]bool{}); got != nil {
+		t.Errorf("FilterChanged with empty set = %v, want none", got)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Program is a loaded, type-checked view of one Go module — the unit
@@ -31,6 +32,11 @@ type Program struct {
 	// Analyzers still run over whatever loaded, but a non-empty list
 	// means results may be incomplete and tixlint exits 2.
 	LoadErrors []string
+
+	// The flow-lite layer (flow.go) is built lazily on first use and
+	// shared by every analyzer that consumes it.
+	flowOnce sync.Once
+	flowInfo *flowInfo
 }
 
 // Package is one type-checked package (possibly a test variant, which

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// LockOrder builds the module-wide mutex acquisition graph over the
+// mutation and serving tier (db, shard, fleet, index, rescache) from the
+// flow-lite layer and flags two discipline violations:
+//
+//   - a cycle in the graph — two code paths that acquire the same pair
+//     of locks in opposite orders deadlock the first time they race, and
+//     a self-loop (a lock acquired while a path that already holds it is
+//     live) deadlocks without any help;
+//   - an acquisition of the fleet ingest mutex while any other tracked
+//     lock is held. PR 8's replicated-ingest discipline makes
+//     fleet.Fleet.ingestMu the outermost lock of the whole mutation
+//     path: it serializes fleet-wide id allocation, so taking it under a
+//     facade or index lock inverts the only ordering that keeps
+//     replicated mutation deadlock-free.
+//
+// Locks are identified at type granularity (every db.DB instance's mu is
+// one node), which is the standard static approximation: it can conflate
+// hand-over-hand locking of two instances of one type, so that shape —
+// should it ever appear — takes a //tixlint:ignore explaining why the
+// instances are provably distinct and ordered.
+var LockOrder = &Analyzer{
+	Name:         "lockorder",
+	Doc:          "mutex acquisition cycles or fleet-ingest-mutex ordering violations across db/shard/fleet/index/rescache",
+	Run:          runLockOrder,
+	ProgramScope: true,
+}
+
+// outermostLocks must never be acquired while any other tracked lock is
+// held.
+var outermostLocks = map[lockID]string{
+	{seg: "fleet", typ: "Fleet", field: "ingestMu"}: "it serializes replicated ingest fleet-wide and must be the outermost lock of the mutation path (PR 8)",
+}
+
+func runLockOrder(pass *Pass) {
+	fi := pass.Prog.flow()
+	edges := fi.lockEdges(pass.Fset())
+
+	// Outermost-lock discipline: any inbound edge is a violation.
+	for _, outer := range sortedLockIDs(edges) {
+		for _, inner := range sortedLockIDs(edges[outer]) {
+			why, isOutermost := outermostLocks[inner]
+			if !isOutermost || outer == inner {
+				continue
+			}
+			pass.Reportf(edges[outer][inner], SeverityError,
+				"%s acquired while %s is held: %s — release the held lock (or hoist the %s acquisition) before entering the ingest path",
+				inner, outer, why, inner)
+		}
+	}
+
+	reportCycles(pass, edges)
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports one diagnostic per component, anchored at the
+// smallest witness position among the component's edges so suppression
+// and // want fixtures have a stable line to target.
+func reportCycles(pass *Pass, edges map[lockID]map[lockID]token.Pos) {
+	ids := sortedLockIDs(edges)
+	index := map[lockID]int{}
+	low := map[lockID]int{}
+	onStack := map[lockID]bool{}
+	var stack []lockID
+	next := 0
+	var sccs [][]lockID
+
+	var strongconnect func(v lockID)
+	strongconnect = func(v lockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range sortedLockIDs(edges[v]) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []lockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range ids {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		selfLoop := len(scc) == 1 && hasEdge(edges, scc[0], scc[0])
+		if len(scc) < 2 && !selfLoop {
+			continue
+		}
+		member := map[lockID]bool{}
+		for _, id := range scc {
+			member[id] = true
+		}
+		// Witness: smallest-position edge inside the component.
+		var witness token.Pos
+		haveWitness := false
+		for _, a := range sortedLockIDs(edges) {
+			if !member[a] {
+				continue
+			}
+			for _, bID := range sortedLockIDs(edges[a]) {
+				if !member[bID] {
+					continue
+				}
+				pos := edges[a][bID]
+				if !haveWitness || posLess(pass.Fset(), pos, witness) {
+					witness = pos
+					haveWitness = true
+				}
+			}
+		}
+		if !haveWitness {
+			continue
+		}
+		if selfLoop {
+			pass.Reportf(witness, SeverityError,
+				"lock %s may be acquired while a path already holding it is live (self-deadlock): the callee locks the same mutex its caller holds — split out a *Locked variant that asserts rather than acquires",
+				scc[0])
+			continue
+		}
+		cycle := sortedLockIDs(member)
+		path := append(append([]lockID(nil), cycle...), cycle[0])
+		pass.Reportf(witness, SeverityError,
+			"lock-order cycle %s: these locks are acquired in inconsistent orders on different paths and will deadlock under contention — pick one global order and restructure the offenders",
+			joinLockPath(path))
+	}
+}
+
+func hasEdge(edges map[lockID]map[lockID]token.Pos, a, b lockID) bool {
+	m, ok := edges[a]
+	if !ok {
+		return false
+	}
+	_, ok = m[b]
+	return ok
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MetricReg audits every metrics.Registry registration call in the
+// module. The metrics surface is the operational contract PRs 4–8 built
+// up (tix_query_seconds, tix_fleet_*, tix_rescache_*); dashboards and
+// the load driver grep it by name, so three properties must hold
+// statically:
+//
+//   - every registered name has a statically-derivable family — a
+//     string literal or constant, a constant prefix joined to a dynamic
+//     label suffix, or an fmt.Sprintf whose format is a literal. A name
+//     computed entirely at runtime cannot be audited, documented, or
+//     grepped;
+//   - the family matches tix_ snake_case
+//     (^tix_[a-z0-9]+(_[a-z0-9]+)*$);
+//   - a fully-static name is registered by exactly one package. The
+//     Registry get-or-create API makes repeat calls within a package
+//     the normal idiom, but the same literal name appearing in two
+//     packages means two subsystems silently share (and double-count)
+//     one time series. Label-suffixed families are exempt — db and
+//     shard intentionally record the same per-op families into
+//     caller-provided registries.
+var MetricReg = &Analyzer{
+	Name:         "metricreg",
+	Doc:          "tix_* metric names must be static, snake_case, and owned by one package",
+	Run:          runMetricReg,
+	ProgramScope: true,
+}
+
+// metricRegMethods are the Registry get-or-create registration entry
+// points.
+var metricRegMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+var metricFamilyRE = regexp.MustCompile(`^tix_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// metricSite is one registration call with its resolved name.
+type metricSite struct {
+	family string
+	full   string // complete name when fully static, else ""
+	static bool
+	known  bool // family could be derived at all
+	pkg    *Package
+	pos    token.Pos
+}
+
+func runMetricReg(pass *Pass) {
+	var sites []metricSite
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			if isTestFilename(pass.Fset().Position(file.Pos()).Filename) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !metricRegMethods[sel.Sel.Name] || len(call.Args) == 0 {
+					return true
+				}
+				if !typeFromPkg(pkgTypeOf(pkg, sel.X), "metrics", "Registry") {
+					return true
+				}
+				site := metricNameOf(pkg, call.Args[0])
+				site.pkg = pkg
+				site.pos = call.Args[0].Pos()
+				sites = append(sites, site)
+				return true
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return posLess(pass.Fset(), sites[i].pos, sites[j].pos) })
+
+	// Per-site shape checks.
+	for _, s := range sites {
+		if !s.known {
+			pass.Reportf(s.pos, SeverityError,
+				"metric name is computed at runtime: registrations must have a statically-derivable tix_* family (literal, constant, constant prefix + label suffix, or Sprintf with a literal format) so the metrics surface can be audited")
+			continue
+		}
+		if !metricFamilyRE.MatchString(s.family) {
+			pass.Reportf(s.pos, SeverityError,
+				"metric family %q does not match tix_* snake_case (^tix_[a-z0-9]+(_[a-z0-9]+)*$): the tix_ prefix namespaces this module's metrics and dashboards depend on it",
+				s.family)
+		}
+	}
+
+	// Cross-package ownership of fully-static names. Sites are in
+	// position order, so the first registration in the module owns the
+	// name and later foreign registrations are the findings.
+	owner := map[string]metricSite{}
+	for _, s := range sites {
+		if !s.static {
+			continue
+		}
+		first, seen := owner[s.full]
+		if !seen {
+			owner[s.full] = s
+			continue
+		}
+		if first.pkg.PkgPath == s.pkg.PkgPath {
+			continue // within-package repeat: the get-or-create idiom
+		}
+		firstAt := pass.Fset().Position(first.pos)
+		pass.Reportf(s.pos, SeverityError,
+			"metric %q is already registered by package %s (%s:%d): a fully-static tix_* name has one owning package — reuse that subsystem's registration or rename",
+			s.full, first.pkg.PkgPath, relModule(pass.Prog, firstAt.Filename), firstAt.Line)
+	}
+}
+
+// metricNameOf derives the registered name from the argument expression.
+func metricNameOf(pkg *Package, e ast.Expr) metricSite {
+	e = ast.Unparen(e)
+
+	// Fully constant (literal, const ident, constant concatenation).
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		full := constant.StringVal(tv.Value)
+		return metricSite{family: metricFamily(full), full: full, static: true, known: true}
+	}
+
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		// Constant prefix + dynamic label suffix: "tix_query_seconds" + lbl.
+		// Concatenation is left-associative, so recurse down the left
+		// spine until the constant prefix surfaces.
+		if x.Op == token.ADD {
+			if left := metricNameOf(pkg, x.X); left.known {
+				return metricSite{family: left.family, known: true}
+			}
+		}
+	case *ast.CallExpr:
+		// fmt.Sprintf(`tix_x{replica="%d"}`, i): family is the format up
+		// to the first label brace or verb.
+		if p, name, ok := pkgFuncCallOf(pkg, x); ok && p == "fmt" && name == "Sprintf" && len(x.Args) > 0 {
+			if tv, ok := pkg.Info.Types[ast.Unparen(x.Args[0])]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				return metricSite{family: metricFamily(constant.StringVal(tv.Value)), known: true}
+			}
+		}
+	}
+	return metricSite{}
+}
+
+// metricFamily truncates a name at its label block or first format verb
+// and trims a trailing separator left by the cut.
+func metricFamily(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	if i := strings.IndexByte(name, '%'); i >= 0 {
+		name = name[:i]
+	}
+	return strings.TrimRight(name, "_")
+}
+
+// pkgFuncCallOf is pkgFuncCall without a Pass, for program-scope use.
+func pkgFuncCallOf(pkg *Package, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pkgObjectOf(pkg, base).(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The ratchet file pins per-analyzer finding counts so the suite can only
+// get cleaner: a run whose count for any analyzer exceeds the committed
+// baseline fails, while runs at or below it pass. The repository's
+// baseline is all zeros — every analyzer clean — and `-ratchet-write`
+// re-records the counts after a deliberate change.
+
+// Ratchet is the on-disk baseline (.tixlint-ratchet.json).
+type Ratchet struct {
+	Counts map[string]int `json:"findings_per_analyzer"`
+}
+
+// CountByAnalyzer tallies diagnostics per analyzer, with every
+// registered analyzer (and the directive meta-analyzer) present even at
+// zero so the ratchet file is a complete inventory.
+func CountByAnalyzer(diags []Diagnostic) map[string]int {
+	counts := map[string]int{metaAnalyzer: 0}
+	for _, a := range Analyzers() {
+		counts[a.Name] = 0
+	}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	return counts
+}
+
+// ReadRatchet loads a baseline file.
+func ReadRatchet(path string) (*Ratchet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading ratchet: %w", err)
+	}
+	var r Ratchet
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("lint: parsing ratchet %s: %w", path, err)
+	}
+	if r.Counts == nil {
+		r.Counts = map[string]int{}
+	}
+	return &r, nil
+}
+
+// WriteRatchet records counts as the new baseline. encoding/json sorts
+// map keys, so the file is byte-stable for a given count set.
+func WriteRatchet(path string, counts map[string]int) error {
+	data, err := json.MarshalIndent(Ratchet{Counts: counts}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckRatchet compares a run against the baseline and returns one
+// message per regressed analyzer (count above baseline), sorted by
+// analyzer name. An analyzer absent from the baseline has baseline zero.
+func CheckRatchet(base *Ratchet, counts map[string]int) []string {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		if n, b := counts[name], base.Counts[name]; n > b {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d findings, ratchet allows %d — fix the new findings or consciously re-baseline with -ratchet-write", name, n, b))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,103 @@
+// Package db mirrors the mutation tier's lock shapes so lockorder has
+// cycles, self-deadlocks, sanctioned orderings, and a justified
+// suppression to classify.
+package db
+
+import "sync"
+
+// A holds two locks whose acquisition order differs across methods:
+// LockAB takes mu before aux, LockBA takes aux before mu. Under
+// contention the two paths deadlock; lockorder reports the cycle once,
+// anchored at the earliest edge witness.
+type A struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+}
+
+func (a *A) LockAB() {
+	a.mu.Lock()
+	a.aux.Lock() // want "lock-order cycle db.A.aux -> db.A.mu -> db.A.aux"
+	a.aux.Unlock()
+	a.mu.Unlock()
+}
+
+func (a *A) LockBA() {
+	a.aux.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.aux.Unlock()
+}
+
+// R reproduces the classic helper-relock: Outer still holds mu (the
+// deferred unlock runs at return) when it calls refresh, which acquires
+// the same mutex again.
+type R struct {
+	mu sync.Mutex
+}
+
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.refresh() // want "self-deadlock"
+}
+
+func (r *R) refresh() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// N locks parent before child on every path — the sanctioned single
+// global order. No finding.
+type N struct {
+	parent sync.Mutex
+	child  sync.Mutex
+}
+
+func (n *N) First() {
+	n.parent.Lock()
+	n.child.Lock()
+	n.child.Unlock()
+	n.parent.Unlock()
+}
+
+func (n *N) Second() {
+	n.parent.Lock()
+	defer n.parent.Unlock()
+	n.child.Lock()
+	defer n.child.Unlock()
+}
+
+// Either acquires the same lock in both arms of a branch. The flow
+// walker scans each arm against a copy of the incoming held set, so the
+// arms must not be mistaken for a nested (self-pair) acquisition.
+func (n *N) Either(flag bool) {
+	if flag {
+		n.parent.Lock()
+		n.parent.Unlock()
+	} else {
+		n.parent.Lock()
+		n.parent.Unlock()
+	}
+}
+
+// S's inverted orders are tolerated by an outer protocol; the
+// suppression on the witness line records that justification.
+type S struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (s *S) LockCD() {
+	s.c.Lock()
+	//tixlint:ignore lockorder callers of LockCD and LockDC are serialized by the fixture's outer protocol, so the inverted orders never race
+	s.d.Lock()
+	s.d.Unlock()
+	s.c.Unlock()
+}
+
+func (s *S) LockDC() {
+	s.d.Lock()
+	s.c.Lock()
+	s.c.Unlock()
+	s.d.Unlock()
+}

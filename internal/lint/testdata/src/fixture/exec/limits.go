@@ -1,0 +1,11 @@
+package exec
+
+import "time"
+
+// Limits mirrors the real execution budget struct that rescache bakes
+// into its cache keys; cachekey requires every exported field here to be
+// consumed by the fixture key encoder.
+type Limits struct {
+	Timeout    time.Duration
+	MaxResults int64
+}

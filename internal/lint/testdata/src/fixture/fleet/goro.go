@@ -1,0 +1,43 @@
+package fleet
+
+import "context"
+
+// SpawnLeaky launches a worker that observes no context, no channel, and
+// no WaitGroup: nothing can ever stop it.
+func SpawnLeaky() {
+	go func() { // want "no visible shutdown path"
+		for i := 0; ; i++ {
+			step(i)
+		}
+	}()
+}
+
+func step(int) {}
+
+// SpawnStop's worker drains a stop channel — bounded.
+func SpawnStop(stop <-chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// SpawnCtx hands its context to a callee that honors it; the shutdown
+// signal is visible transitively through the static call graph.
+func SpawnCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// SpawnPump is deliberately process-lifetime; the directive records who
+// guarantees termination.
+func SpawnPump() {
+	//tixlint:ignore goroleak process-lifetime telemetry pump by design: the fixture harness owns it and exits with the process
+	go func() {
+		for i := 0; ; i++ {
+			step(i)
+		}
+	}()
+}

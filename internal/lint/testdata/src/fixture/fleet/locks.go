@@ -1,0 +1,30 @@
+package fleet
+
+import "sync"
+
+// Fleet mirrors the real serving tier's lock fields: ingestMu is the
+// fleet-wide mutation lock that the lockorder analyzer pins as
+// outermost.
+type Fleet struct {
+	ingestMu sync.Mutex
+	routeMu  sync.Mutex
+	statsMu  sync.Mutex
+}
+
+// BadNesting acquires the ingest mutex while holding the routing lock —
+// the inversion the outermost-lock rule exists to catch.
+func (f *Fleet) BadNesting() {
+	f.routeMu.Lock()
+	defer f.routeMu.Unlock()
+	f.ingestMu.Lock() // want "fleet.Fleet.ingestMu acquired while fleet.Fleet.routeMu is held"
+	f.ingestMu.Unlock()
+}
+
+// GoodNesting holds ingestMu outermost, as the discipline requires; the
+// stats lock nests under it without complaint.
+func (f *Fleet) GoodNesting() {
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+	f.statsMu.Lock()
+	f.statsMu.Unlock()
+}

@@ -1,0 +1,44 @@
+package index
+
+import "sync/atomic"
+
+// Stats mixes function-style atomics with plain access: hits is
+// incremented atomically but read plainly, which races; miss is atomic
+// on every path and stays quiet.
+type Stats struct {
+	hits int64
+	miss int64
+}
+
+func (s *Stats) IncHits() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) ReadHits() int64 {
+	return s.hits // want "field index.hits is accessed via sync/atomic at .* but plainly here"
+}
+
+func (s *Stats) IncMiss() {
+	atomic.AddInt64(&s.miss, 1)
+}
+
+func (s *Stats) ReadMiss() int64 {
+	return atomic.LoadInt64(&s.miss)
+}
+
+// boot's plain write happens before the value escapes its constructor —
+// the sanctioned pre-publication exception, recorded by the directive.
+type boot struct {
+	ready int32
+}
+
+func newBoot() *boot {
+	b := new(boot)
+	//tixlint:ignore atomichygiene pre-publication write: b has not escaped newBoot yet, so no other goroutine can observe it
+	b.ready = 1
+	return b
+}
+
+func (b *boot) markReady() {
+	atomic.StoreInt32(&b.ready, 1)
+}

@@ -1,0 +1,28 @@
+// Package metrics mirrors the real registry's get-or-create API so
+// metricreg's receiver-type matching works against the fixture module.
+package metrics
+
+// Counter is a monotonically increasing series.
+type Counter struct{}
+
+func (c *Counter) Inc()      {}
+func (c *Counter) Add(int64) {}
+
+// Gauge is a point-in-time series.
+type Gauge struct{}
+
+func (g *Gauge) Set(int64) {}
+
+// Histogram records a distribution.
+type Histogram struct{}
+
+func (h *Histogram) Observe(float64) {}
+
+// Registry hands out named series, creating them on first use.
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }

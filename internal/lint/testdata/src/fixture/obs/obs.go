@@ -1,0 +1,25 @@
+// Package obs exercises metricreg's name-shape rules: static literals,
+// constant-prefix concatenation, Sprintf families, a malformed name, a
+// fully dynamic name, and a justified suppression.
+package obs
+
+import (
+	"fmt"
+
+	"fixture/metrics"
+)
+
+// Register records every sanctioned and offending name shape.
+func Register(reg *metrics.Registry, shard int) {
+	reg.Counter("tix_obs_requests_total").Inc()
+	reg.Histogram("tix_obs_seconds" + shardLabel(shard)).Observe(0)
+	reg.Gauge(fmt.Sprintf(`tix_obs_depth{shard="%d"}`, shard)).Set(0)
+	reg.Counter("Tix-Obs-Bad").Inc()     // want "metric family .Tix-Obs-Bad. does not match tix_"
+	reg.Counter(shardLabel(shard)).Inc() // want "metric name is computed at runtime"
+	//tixlint:ignore metricreg legacy dashboard series kept under its historical name for graph continuity
+	reg.Counter("legacy_obs_total").Inc()
+}
+
+func shardLabel(shard int) string {
+	return fmt.Sprintf(`{shard="%d"}`, shard)
+}

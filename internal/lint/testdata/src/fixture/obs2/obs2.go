@@ -1,0 +1,11 @@
+// Package obs2 re-registers a series that fixture/obs already owns:
+// metricreg's cross-package ownership rule flags the second registration
+// and names the first.
+package obs2
+
+import "fixture/metrics"
+
+// Register duplicates obs's request counter from a second package.
+func Register(reg *metrics.Registry) {
+	reg.Counter("tix_obs_requests_total").Inc() // want "already registered by package fixture/obs"
+}

@@ -1,0 +1,45 @@
+// Package rescache mirrors the result cache's key surface: option
+// structs baked into cache keys whose every exported field the key
+// encoder must consume. The Extra field below is the acceptance-
+// criterion proof — a field added to TermOpts without extending the
+// encoder is flagged at its declaration.
+package rescache
+
+import (
+	"fmt"
+
+	"fixture/exec"
+)
+
+// Key is the cache key type; returning it from an exported function is
+// what marks that function's struct parameters as key inputs.
+type Key string
+
+// TermOpts feeds TermKey. Complex, TopK, and Limits are consumed by the
+// encoder; Extra is not — the exact hole that makes two different
+// requests collide on one cache entry.
+type TermOpts struct {
+	Complex bool
+	TopK    int
+	Extra   string // want "exported field TermOpts.Extra is baked into cache keys but never consumed"
+	Limits  exec.Limits
+
+	// Debug is observational only and deliberately excluded from keying.
+	//tixlint:ignore cachekey debug output does not change query results, so keying on it would only fragment the cache
+	Debug bool
+
+	legacy bool // unexported: not part of the public key contract
+}
+
+// TermKey encodes every key-relevant field of o.
+func TermKey(term string, o TermOpts) Key {
+	tag := ""
+	if o.legacy {
+		tag = "L"
+	}
+	return Key(fmt.Sprintf("t|%s|%v|%d|%s|%s", term, o.Complex, o.TopK, encodeLimits(o.Limits), tag))
+}
+
+func encodeLimits(l exec.Limits) string {
+	return fmt.Sprintf("%d|%d", l.Timeout, l.MaxResults)
+}

@@ -1,0 +1,45 @@
+package storage
+
+// Table mirrors the PR 6 Store.Docs() bug surface: accessors that hand
+// out the owner's backing slices and maps without copying.
+type Table struct {
+	rows  []int32
+	byTag map[int32][]int32
+}
+
+// Rows aliases the internal slice directly.
+func (t *Table) Rows() []int32 {
+	return t.rows // want "exported Rows returns internal t.rows without copying"
+}
+
+// RowsPrefix reslices, which still shares the backing array.
+func (t *Table) RowsPrefix(n int) []int32 {
+	return t.rows[:n] // want "exported RowsPrefix returns internal t.rows without copying"
+}
+
+// ByTag indexes into an internal map of slices; the element aliases too.
+func (t *Table) ByTag(tag int32) []int32 {
+	return t.byTag[tag] // want "exported ByTag returns internal t.byTag without copying"
+}
+
+// RowsCopy returns a fresh slice — the sanctioned shape.
+func (t *Table) RowsCopy() []int32 {
+	out := make([]int32, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// tagIndex is package-level state; handing out its buckets aliases just
+// as badly as a receiver field.
+var tagIndex = map[int32][]int32{}
+
+func TagsFor(tag int32) []int32 {
+	return tagIndex[tag] // want "exported TagsFor returns internal tagIndex without copying"
+}
+
+// RowsView is a documented zero-copy accessor; the directive names the
+// contract that makes the aliasing safe.
+func (t *Table) RowsView() []int32 {
+	//tixlint:ignore aliasret documented read-only view: Table rows are immutable after construction and callers must not modify the slice
+	return t.rows
+}

@@ -43,3 +43,18 @@ func Stale() int {
 	//tixlint:ignore mapiter nothing ranges over a map here
 	return 1
 }
+
+// Multi names two analyzers on one directive; the errwrap match marks
+// the directive used even though sleephygiene never fires on this line.
+func Multi(err error) error {
+	//tixlint:ignore errwrap,sleephygiene the facade flattens deliberately; the second name documents a paired wait shim
+	return fmt.Errorf("multi: %v", err)
+}
+
+// MultiUnknown hides a typo inside a multi-name list: the whole
+// directive is malformed and suppresses nothing, so both the tixlint
+// error and the unsuppressed errwrap finding surface.
+func MultiUnknown(err error) error {
+	//tixlint:ignore errwrap,nosuchlint a typo in any position must not silently suppress
+	return fmt.Errorf("multi: %v", err)
+}

@@ -347,10 +347,14 @@ func (s *Store) NumNodes() int {
 
 // TagExtent returns the ordinals of all elements with the given tag in doc,
 // in document order. The returned slice must not be modified.
+//
+//tixlint:ignore aliasret Document is immutable after construction and TagExtent sits on the per-query hot path; callers hold a read-only view by documented contract
 func (d *Document) TagExtent(tag TagID) []int32 { return d.tagExtent[tag] }
 
 // Elements returns the ordinals of all element nodes in document order. The
 // returned slice must not be modified.
+//
+//tixlint:ignore aliasret Document is immutable after construction and Elements backs every structural join; copying per query would dominate operator cost
 func (d *Document) Elements() []int32 { return d.elements }
 
 // OrdByStart returns the ordinal of the node whose Start equals start, or

@@ -3,13 +3,14 @@
 # build + race-enabled tests + a cancellation/fault stress pass + the
 # replicated-serving chaos drills + a coverage floor on the sharded
 # execution layer + a short fuzz smoke over the snapshot loader + a
-# five-second open-loop load smoke with the result cache enabled.
+# five-second open-loop load smoke with the result cache enabled + the
+# hot-path bench gate against the committed BENCH_10.json baseline.
 
 GO ?= go
 
-.PHONY: check lint lint-changed tixlint vet build test race bench bench-json fmt-check stress chaos cover fuzz-smoke loadsmoke
+.PHONY: check lint lint-changed tixlint vet build test race bench bench-json bench-hotpath bench-gate fmt-check stress chaos cover fuzz-smoke loadsmoke
 
-check: lint build race stress chaos cover fuzz-smoke loadsmoke
+check: lint build race stress chaos cover fuzz-smoke loadsmoke bench-gate
 
 # The static-analysis gate: formatting, go vet, and the project's own
 # analyzers (see cmd/tixlint and DESIGN.md §9 + §14). tixlint compares
@@ -77,6 +78,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/db
 	$(GO) test -run '^$$' -fuzz=FuzzBlockDecode -fuzztime=10s ./internal/postings
+	$(GO) test -run '^$$' -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/postings
 	$(GO) test -run '^$$' -fuzz=FuzzMemtableMerge -fuzztime=10s ./internal/postings
 	$(GO) test -run '^$$' -fuzz=FuzzCacheKey -fuzztime=10s ./internal/rescache
 
@@ -97,9 +99,26 @@ bench:
 # corpus, as JSON. CI uploads the file so successive PRs can be diffed.
 # The shards experiment's extra planted pair is scaled to what 150
 # articles can absorb (the default 150,000 only fits the full corpus).
+# Override BENCH_OUT to write a different trajectory file.
+BENCH_OUT ?= BENCH_10.json
 bench-json:
-	$(GO) run ./cmd/tixbench -small -articles 150 -runs 1 -shard-freq 2000 -json > BENCH_6.json
-	@echo "wrote BENCH_6.json"
+	$(GO) run ./cmd/tixbench -small -articles 150 -runs 1 -shard-freq 2000 -json > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+# Regenerate the hot-path baseline: both rig tiers (the 20k-doc gate tier
+# and the million-document tier), with ns/op + allocs/op + bytes/op per
+# method, as the committed BENCH_10.json the gate compares against. The
+# 1M tier takes a few minutes; run after intentional perf changes.
+bench-hotpath:
+	$(GO) run ./cmd/tixbench -table hotpath -json > BENCH_10.json
+	@echo "wrote BENCH_10.json"
+
+# The perf regression gate (wired into `make check`): re-measure the
+# cheap gate tier and compare against the committed baseline, normalized
+# by the in-file calibration loop; fails on >10% normalized-time or
+# allocs/op regression.
+bench-gate:
+	$(GO) run ./cmd/tixbench -gate BENCH_10.json
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -44,7 +44,8 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which experiment: all, 1, 2, 3, 4, 5, pick, shards, index, ingest")
+		table    = flag.String("table", "all", "which experiment: all, 1, 2, 3, 4, 5, pick, shards, index, ingest, hotpath (or hotpath-<tier>)")
+		gateFile = flag.String("gate", "", "bench-gate mode: re-run the gate hotpath tier and compare against this baseline JSON; exits nonzero on >10% regression")
 		articles = flag.Int("articles", 5000, "synthetic corpus size in articles (~90 elements each)")
 		seed     = flag.Int64("seed", 42, "corpus generation seed")
 		runs     = flag.Int("runs", 3, "timed runs per cell (trimmed mean)")
@@ -65,10 +66,29 @@ func main() {
 		os.Exit(1)
 	}
 	shardCounts = counts
+	if *gateFile != "" {
+		if err := runGate(*gateFile, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tixbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*table, *articles, *seed, *runs, *small, *shardFq); err != nil {
 		fmt.Fprintln(os.Stderr, "tixbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runGate re-measures the cheap hotpath tier and compares it against the
+// committed baseline (the regression gate `make check` runs).
+func runGate(baseline string, seed int64) error {
+	f, err := os.Open(baseline)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(os.Stderr, "bench gate: re-measuring hotpath gate tier against %s...\n", baseline)
+	return bench.RunGate(f, "gate", seed, os.Stderr)
 }
 
 func run(table string, articles int, seed int64, runs int, small bool, shardFreq int) error {
@@ -87,6 +107,18 @@ func run(table string, articles int, seed int64, runs int, small bool, shardFreq
 	if table == "pick" {
 		// The Pick experiment needs no corpus.
 		return writeTables(nil, []string{"pick"}, seed)
+	}
+	if table == "hotpath" || strings.HasPrefix(table, "hotpath-") {
+		// The hot-path rig streams its own corpus per tier; "hotpath" runs
+		// every tier, "hotpath-<name>" just one.
+		which := strings.Split(table, ",")
+		if table == "hotpath" {
+			which = which[:0]
+			for _, t := range bench.HotpathTiers {
+				which = append(which, "hotpath-"+t.Name)
+			}
+		}
+		return writeTables(nil, which, seed)
 	}
 
 	fmt.Fprintf(os.Stderr, "building corpus (%d articles, seed %d)...\n", cfg.Articles, cfg.Seed)
@@ -134,7 +166,16 @@ func writeTables(c *bench.Corpus, which []string, seed int64) error {
 		case "ingest":
 			t, err = c.IngestTable()
 		default:
-			return fmt.Errorf("unknown table %q", w)
+			name, ok := strings.CutPrefix(strings.TrimSpace(w), "hotpath-")
+			if !ok {
+				return fmt.Errorf("unknown table %q", w)
+			}
+			var spec bench.HotpathTierSpec
+			if spec, err = bench.HotpathTier(name); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "building hotpath tier %q (%d docs, streamed)...\n", spec.Name, spec.Docs)
+			t, err = bench.HotpathTable(spec, seed)
 		}
 		if err != nil {
 			return err

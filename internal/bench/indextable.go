@@ -21,8 +21,8 @@ func (c *Corpus) IndexTable() (*Table, error) {
 	ms := c.Index.MemStats()
 	t.Rows = append(t.Rows, Row{
 		Label: "memory",
-		Extra: fmt.Sprintf("terms=%d postings=%d blocks=%d encoded=%dB (payload=%dB skip=%dB) raw=%dB ratio=%.2fx",
-			ms.Terms, ms.Postings, ms.Blocks, ms.EncodedBytes, ms.PayloadBytes, ms.SkipBytes, ms.RawBytes, ms.Ratio),
+		Extra: fmt.Sprintf("terms=%d postings=%d blocks=%d encoded=%dB (payload=%dB skip=%dB) raw=%dB ratio=%.2fx bitmapTerms=%d bitmapBytes=%dB",
+			ms.Terms, ms.Postings, ms.Blocks, ms.EncodedBytes, ms.PayloadBytes, ms.SkipBytes, ms.RawBytes, ms.Ratio, ms.BitmapTerms, ms.BitmapBytes),
 		Cells: []Cell{{Method: "Index", M: Measurement{Method: "Index", Results: int(ms.Postings)}}},
 	})
 

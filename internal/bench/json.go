@@ -25,13 +25,16 @@ type RowJSON struct {
 }
 
 // CellJSON is one method measurement; Error is set (and the measurement
-// fields zero) when the method failed.
+// fields zero) when the method failed. AllocsPerOp and BytesPerOp are
+// emitted only by workloads that measure them (the hot-path rig).
 type CellJSON struct {
-	Method  string    `json:"method"`
-	Seconds float64   `json:"seconds"`
-	Results int       `json:"results"`
-	Stats   StatsJSON `json:"stats"`
-	Error   string    `json:"error,omitempty"`
+	Method      string    `json:"method"`
+	Seconds     float64   `json:"seconds"`
+	Results     int       `json:"results"`
+	Stats       StatsJSON `json:"stats"`
+	AllocsPerOp float64   `json:"allocsPerOp,omitempty"`
+	BytesPerOp  float64   `json:"bytesPerOp,omitempty"`
+	Error       string    `json:"error,omitempty"`
 }
 
 // StatsJSON mirrors storage.AccessStats.
@@ -57,6 +60,8 @@ func (t *Table) JSON() TableJSON {
 			} else {
 				cell.Seconds = c.M.Seconds
 				cell.Results = c.M.Results
+				cell.AllocsPerOp = c.M.AllocsPerOp
+				cell.BytesPerOp = c.M.BytesPerOp
 				cell.Stats = StatsJSON{
 					NodeReads: c.M.Stats.NodeReads,
 					PageReads: c.M.Stats.PageReads,

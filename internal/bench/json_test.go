@@ -20,7 +20,8 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 			Cells: []Cell{
 				{Method: MTermJoin, M: Measurement{
 					Method: MTermJoin, Seconds: 0.125, Results: 5,
-					Stats: storage.AccessStats{NodeReads: 42, PageReads: 7, TextReads: 3, NavSteps: 1},
+					Stats:       storage.AccessStats{NodeReads: 42, PageReads: 7, TextReads: 3, NavSteps: 1},
+					AllocsPerOp: 34, BytesPerOp: 2048,
 				}},
 				{Method: MComp1, Err: errors.New("boom")},
 			},
@@ -40,6 +41,14 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 	cells := got[0].Rows[0].Cells
 	if cells[0].Seconds != 0.125 || cells[0].Results != 5 || cells[0].Stats.NodeReads != 42 {
 		t.Errorf("measurement cell = %+v", cells[0])
+	}
+	if cells[0].AllocsPerOp != 34 || cells[0].BytesPerOp != 2048 {
+		t.Errorf("alloc fields did not round-trip: %+v", cells[0])
+	}
+	// Cells that did not measure allocations omit the fields entirely, so
+	// older trajectory files keep diffing cleanly.
+	if bytes.Contains(b.Bytes(), []byte(`"allocsPerOp": 0`)) {
+		t.Errorf("zero allocsPerOp must be omitted:\n%s", b.String())
 	}
 	if cells[1].Error != "boom" {
 		t.Errorf("error cell = %+v", cells[1])

@@ -34,6 +34,11 @@ type Measurement struct {
 	Seconds float64
 	Results int
 	Stats   storage.AccessStats
+	// AllocsPerOp and BytesPerOp are heap-allocation costs per execution
+	// (runtime.MemStats deltas over the timed runs). Only the hot-path
+	// rig fills them; zero means "not measured".
+	AllocsPerOp float64
+	BytesPerOp  float64
 }
 
 // Runs is how many times each method executes per cell; following the

@@ -24,6 +24,13 @@ type PhraseMatch struct {
 // posting lists of the phrase's terms and uses the word-offset information
 // kept in the index to verify phrase adjacency during the intersection
 // itself — no post-hoc re-fetch of document text is needed.
+//
+// The intersection gallops (DESIGN.md §15): the rarest term drives the
+// scan, and for each of its occurrences the other terms are verified in
+// ascending-frequency order with SeekPos — each verifier's skip-table (or
+// bitmap-rank) seek jumps over the postings a stepwise merge would have
+// decoded. A phrase containing one rare word therefore costs O(rare)
+// seeks regardless of how common its other words are.
 type PhraseFinder struct {
 	Index *index.Index
 	// Phrase is the term sequence, e.g. ["information", "retrieval"].
@@ -42,9 +49,12 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 		return err
 	}
 	terms := normalizeTerms(p.Index, p.Phrase)
-	first := p.Index.List(terms[0])
+	lists := make([]index.List, len(terms))
+	for i, t := range terms {
+		lists[i] = p.Index.List(t)
+	}
 	if len(terms) == 1 {
-		for cur := first.Cursor(); cur.Valid(); cur.Advance() {
+		for cur := lists[0].Cursor(); cur.Valid(); cur.Advance() {
 			occ := cur.Cur()
 			if err := p.Guard.NoteEmit(); err != nil {
 				return err
@@ -53,28 +63,58 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 		}
 		return nil
 	}
-	cursors := make([]*index.Cursor, len(terms)-1)
-	for i, t := range terms[1:] {
+	// Drive from the rarest term; verify the others rarest-first so a
+	// non-match is rejected after the fewest (and cheapest) seeks.
+	di := 0
+	for i, l := range lists {
+		if l.Len() < lists[di].Len() {
+			di = i
+		}
+	}
+	order := make([]int, 0, len(terms)-1)
+	for i := range terms {
+		if i != di {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := lists[order[a]].Len(), lists[order[b]].Len()
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	cursors := make([]*index.Cursor, len(order))
+	for i, s := range order {
 		if err := p.Guard.Tick(); err != nil {
 			return err
 		}
-		cursors[i] = p.Index.List(t).Cursor()
+		cursors[i] = lists[s].Cursor()
 	}
-	// Merge: for each occurrence of the first term at position q, the
-	// phrase matches iff term i+1 occurs at q+i+1 (same document; adjacency
-	// in the shared word-position space implies the same text node).
-	for fc := first.Cursor(); fc.Valid(); fc.Advance() {
+	// For each occurrence of the driver (phrase slot di) at position q, the
+	// phrase matches iff slot s occurs at q+(s-di) for every other slot —
+	// same document, and the same text node (adjacency in the shared
+	// word-position space alone could cross a node boundary). Each verifier
+	// cursor only ever moves forward: driver occurrences ascend, so its
+	// target positions ascend too, which is what lets SeekPos gallop.
+	for fc := lists[di].Cursor(); fc.Valid(); fc.Advance() {
 		occ := fc.Cur()
 		if err := p.Guard.Tick(); err != nil {
 			return err
 		}
+		if occ.Pos < uint32(di) {
+			continue // phrase would start before position 0
+		}
 		ok := true
 		for i, c := range cursors {
-			want := occ.Pos + uint32(i+1)
+			s := order[i]
+			want := occ.Pos + uint32(s) - uint32(di)
 			c.SeekPos(occ.Doc, want)
 			if !c.Valid() {
-				ok = false
-				break
+				// An exhausted verifier stays exhausted — cursors never
+				// move backward and later driver occurrences only produce
+				// larger (doc, pos) targets — so no further match exists.
+				return nil
 			}
 			cur := c.Cur()
 			if cur.Doc != occ.Doc || cur.Pos != want || cur.Node != occ.Node {
@@ -86,7 +126,7 @@ func (p *PhraseFinder) Run(emit func(PhraseMatch)) error {
 			if err := p.Guard.NoteEmit(); err != nil {
 				return err
 			}
-			emit(PhraseMatch{Doc: occ.Doc, Node: occ.Node, Pos: occ.Pos})
+			emit(PhraseMatch{Doc: occ.Doc, Node: occ.Node, Pos: occ.Pos - uint32(di)})
 		}
 	}
 	return nil

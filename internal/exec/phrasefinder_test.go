@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -198,6 +199,52 @@ func TestPhraseOnSynthCorpusWithPlantedPhrases(t *testing.T) {
 	}
 	if !reflect.DeepEqual(phraseKeyList(got3), phraseKeyList(want)) {
 		t.Errorf("Comp3 disagrees with brute force")
+	}
+}
+
+// TestPhraseGallopingDriverSelection pins the galloping intersection on
+// skewed frequencies: the rarest term sits in the middle or at the end of
+// the phrase, so the driver is not slot 0 and match starts are recovered
+// by subtracting the driver's phrase offset. Every combination is checked
+// against the brute-force oracle.
+func TestPhraseGallopingDriverSelection(t *testing.T) {
+	s := storage.NewStore()
+	// "maple" is common, "quartz" rare, "ember" in between. Phrases plant
+	// the rare term at each slot; decoys share prefixes/suffixes so a
+	// wrong driver offset or node check would produce false matches.
+	docs := []string{
+		`<r><p>maple quartz ember in the grove</p><p>maple maple maple</p></r>`,
+		`<r><p>maple quartz ember</p><sec><p>quartz ember maple</p><p>ember maple quartz</p></sec></r>`,
+		`<r><p>maple ember quartz maple quartz ember maple</p></r>`,
+		`<r><p>maple</p><p>quartz ember</p><p>maple quartz</p><p>ember</p></r>`,
+		`<r><p>no match here at all just filler maple maple ember</p></r>`,
+	}
+	for i, d := range docs {
+		if _, err := s.AddTree(fmt.Sprintf("d%d.xml", i), mustParse(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := index.Build(s, tokenize.New())
+	phrases := [][]string{
+		{"maple", "quartz"},
+		{"quartz", "ember"},
+		{"maple", "quartz", "ember"},
+		{"quartz", "ember", "maple"},
+		{"ember", "maple", "quartz"},
+		{"maple", "ember", "quartz"},
+		{"maple", "maple"},
+		{"maple", "maple", "maple"},
+	}
+	for _, phrase := range phrases {
+		pf := &PhraseFinder{Index: idx, Phrase: phrase}
+		got, err := CollectPhrase(pf.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brutePhrase(idx, phrase)
+		if !reflect.DeepEqual(phraseKeyList(got), phraseKeyList(want)) {
+			t.Errorf("phrase %v: got %v want %v", phrase, got, want)
+		}
 	}
 }
 

@@ -44,6 +44,31 @@ type TermJoin struct {
 	// element, so a canceled or over-budget join stops within one check
 	// interval. The guard's access budget is attached to Acc at Run.
 	Guard *Guard
+	// Arena, when non-nil, supplies reusable run state (cursor structs,
+	// the element stack and its freelist, push scratch) so repeated Runs —
+	// TopKTermJoin executes one per surviving document — stay allocation-
+	// free. Runs sharing an arena must not overlap; see DESIGN.md §15 for
+	// the ownership rules.
+	Arena *TJArena
+}
+
+// tjPush is one pending ancestor push (ord plus region end).
+type tjPush struct {
+	ord int32
+	end uint32
+}
+
+// TJArena holds the allocation-heavy run state of a TermJoin for reuse
+// across runs. The zero value is ready. An arena is owned by exactly one
+// running TermJoin at a time; it holds no pooled resources that outlive it,
+// so dropping it is safe at any quiescent point.
+type TJArena struct {
+	cursors []index.Cursor
+	curPtrs []*index.Cursor
+	stack   []*tjEntry
+	free    []*tjEntry
+	toPush  []tjPush
+	chain   []tjPush
 }
 
 // tjEntry is one stack frame: an open element with the occurrence
@@ -70,25 +95,49 @@ func (t *TermJoin) Run(emit Emit) error {
 		return err
 	}
 	nTerms := len(t.Query.Terms)
-	terms := normalizeTerms(t.Index, t.Query.Terms)
-	cursors := make([]*index.Cursor, nTerms)
-	for i := range terms {
-		cursors[i] = t.Query.list(t.Index, terms, i).Cursor()
+	var terms []string
+	if t.Query.Lists == nil && t.Query.PostingLists == nil {
+		// Only the index-lookup path reads the normalized terms; skipping
+		// the remap keeps repeated list-fed runs (top-k) allocation-free.
+		terms = normalizeTerms(t.Index, t.Query.Terms)
+	}
+	ar := t.Arena
+	if ar == nil {
+		ar = &TJArena{}
+	}
+	if cap(ar.cursors) < nTerms {
+		ar.cursors = make([]index.Cursor, nTerms)
+		ar.curPtrs = make([]*index.Cursor, nTerms)
+	}
+	cs := ar.cursors[:nTerms]
+	cursors := ar.curPtrs[:nTerms]
+	for i := 0; i < nTerms; i++ {
+		t.Query.list(t.Index, terms, i).Reset(&cs[i])
+		cursors[i] = &cs[i]
 	}
 
-	var stack []*tjEntry
+	stack := ar.stack[:0]
 	curDoc := storage.DocID(-1)
 
 	// Freelist: stack frames are recycled so the whole merge allocates
-	// O(max depth) entries rather than one per element.
-	var free []*tjEntry
+	// O(max depth) entries rather than one per element — and with a shared
+	// arena they survive across runs entirely.
+	free := ar.free
+	defer func() {
+		ar.stack = stack[:0]
+		ar.free = free
+	}()
 	alloc := func(ord int32, end uint32) *tjEntry {
 		if n := len(free); n > 0 {
 			e := free[n-1]
 			free = free[:n-1]
 			e.ord, e.end = ord, end
-			for i := range e.counts {
-				e.counts[i] = 0
+			if len(e.counts) != nTerms {
+				e.counts = make([]int, nTerms)
+			} else {
+				for i := range e.counts {
+					e.counts[i] = 0
+				}
 			}
 			e.occs = e.occs[:0]
 			e.scoredChildren = 0
@@ -134,6 +183,15 @@ func (t *TermJoin) Run(emit Emit) error {
 		return nil
 	}
 
+	// Pending-push scratch, reused across occurrences (and, via the arena,
+	// across runs): declaring these in the loop body would allocate once
+	// per merged posting.
+	toPush, chain := ar.toPush, ar.chain
+	defer func() {
+		ar.toPush = toPush[:0]
+		ar.chain = chain[:0]
+	}()
+
 	for {
 		if err := t.Guard.Tick(); err != nil {
 			return err
@@ -172,19 +230,15 @@ func (t *TermJoin) Run(emit Emit) error {
 		// top. Each element is pushed exactly once over the whole run; the
 		// node record read during the walk supplies the region end, so no
 		// second store access is needed at push time.
-		type push struct {
-			ord int32
-			end uint32
-		}
-		var toPush []push
+		toPush = toPush[:0]
 		a := t.Acc.Node(p.Doc, p.Node).Parent
 		if t.FullAncestorWalk {
 			// Ablation mode: derive the entire chain to the root on every
 			// occurrence, then discard the part already on stack.
-			var chain []push
+			chain = chain[:0]
 			for a != storage.NoNode {
 				rec := t.Acc.Node(p.Doc, a)
-				chain = append(chain, push{a, rec.End})
+				chain = append(chain, tjPush{a, rec.End})
 				a = rec.Parent
 			}
 			for _, anc := range chain {
@@ -196,7 +250,7 @@ func (t *TermJoin) Run(emit Emit) error {
 		} else {
 			for a != storage.NoNode && (len(stack) == 0 || stack[len(stack)-1].ord != a) {
 				rec := t.Acc.Node(p.Doc, a)
-				toPush = append(toPush, push{a, rec.End})
+				toPush = append(toPush, tjPush{a, rec.End})
 				a = rec.Parent
 			}
 		}

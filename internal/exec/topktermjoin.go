@@ -80,44 +80,63 @@ func (t *TopKTermJoin) Run() ([]ScoredNode, error) {
 		}
 	}
 	tk := NewTopK(t.K)
+	// One evaluation context for the whole run: the accessor, the inner
+	// TermJoin with its arena, the per-document sub-list scratch and the
+	// heap's emit closure are all shared across every document evaluated,
+	// so the per-document cost is the join itself, not its setup.
+	q := t.Query
+	q.Lists = nil
+	q.PostingLists = nil
+	ev := &topkEval{
+		lists: lists,
+		sub:   make([]index.List, len(lists)),
+		emit:  tk.Emit(),
+		tj: TermJoin{
+			Index:       t.Index,
+			Acc:         storage.NewAccessor(t.Index.Store()),
+			Query:       q,
+			ChildCounts: t.ChildCounts,
+			Guard:       t.Guard,
+			Arena:       &TJArena{},
+		},
+	}
 	if t.Bound == nil && blocked {
-		if err := t.runBlockMax(lists, tk); err != nil {
+		if err := t.runBlockMax(lists, ev, tk); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := t.runExhaustive(lists, tk); err != nil {
+		if err := t.runExhaustive(lists, ev, tk); err != nil {
 			return nil, err
 		}
 	}
 	return tk.Results(), nil
 }
 
+// topkEval is the reusable per-document evaluation state of one
+// TopKTermJoin run.
+type topkEval struct {
+	lists []index.List
+	sub   []index.List
+	emit  Emit
+	tj    TermJoin
+}
+
 // evalDoc runs the regular TermJoin restricted to one document, feeding
 // the top-k heap.
-func (t *TopKTermJoin) evalDoc(lists []index.List, doc storage.DocID, tk *TopK) error {
+func (t *TopKTermJoin) evalDoc(ev *topkEval, doc storage.DocID) error {
 	t.DocsEvaluated++
-	sub := make([]index.List, len(lists))
-	for i, l := range lists {
-		sub[i] = l.Range(doc, doc+1)
+	for i, l := range ev.lists {
+		ev.sub[i] = l.Range(doc, doc+1)
 	}
-	q := t.Query
-	q.Lists = sub
-	q.PostingLists = nil
-	tj := &TermJoin{
-		Index:       t.Index,
-		Acc:         storage.NewAccessor(t.Index.Store()),
-		Query:       q,
-		ChildCounts: t.ChildCounts,
-		Guard:       t.Guard,
-	}
-	return tj.Run(tk.Emit())
+	ev.tj.Query.Lists = ev.sub
+	return ev.tj.Run(ev.emit)
 }
 
 // runExhaustive is the document-at-a-time path: one counting pass over
 // every posting, documents ordered by decreasing bound, stop at the first
 // bound the k-th score beats. It serves custom Bound functions, raw
 // posting lists, and the unpruned oracle (DisablePruning).
-func (t *TopKTermJoin) runExhaustive(lists []index.List, tk *TopK) error {
+func (t *TopKTermJoin) runExhaustive(lists []index.List, ev *topkEval, tk *TopK) error {
 	type docInfo struct {
 		doc    storage.DocID
 		counts []int
@@ -165,7 +184,7 @@ func (t *TopKTermJoin) runExhaustive(lists []index.List, tk *TopK) error {
 				break // no element of any remaining document can displace the k-th
 			}
 		}
-		if err := t.evalDoc(lists, di.doc, tk); err != nil {
+		if err := t.evalDoc(ev, di.doc); err != nil {
 			return err
 		}
 	}
@@ -181,13 +200,23 @@ func (t *TopKTermJoin) runExhaustive(lists []index.List, tk *TopK) error {
 // heap's tie-break prefers lower document ids, so an element from a later
 // document tying the k-th score can never displace it — a skip under
 // bound ≤ k-th is therefore lossless, matching the exhaustive path.
-func (t *TopKTermJoin) runBlockMax(lists []index.List, tk *TopK) error {
+func (t *TopKTermJoin) runBlockMax(lists []index.List, ev *topkEval, tk *TopK) error {
 	skips := make([][]postings.Skip, len(lists))
 	ptr := make([]int, len(lists))
 	for i, l := range lists {
 		skips[i] = l.Blocks().Skips() // nil for empty lists
 	}
 	counts := make([]int, len(lists))
+
+	// Per-interval document statistics, reused across intervals: the map
+	// is cleared (not reallocated) and docInfos recycle through a freelist.
+	type docInfo struct {
+		counts []int
+		occ    int
+	}
+	byDoc := map[storage.DocID]*docInfo{}
+	var diUsed, diFree []*docInfo
+	var docs []storage.DocID
 
 	next := storage.DocID(0) // all documents < next are fully handled
 	for {
@@ -263,11 +292,12 @@ func (t *TopKTermJoin) runBlockMax(lists []index.List, tk *TopK) error {
 		// The interval survives: resolve exact per-document counts with a
 		// document-stream-only scan, then bound and evaluate each document
 		// in ascending order.
-		type docInfo struct {
-			counts []int
-			occ    int
+		for _, di := range diUsed {
+			diFree = append(diFree, di)
 		}
-		byDoc := map[storage.DocID]*docInfo{}
+		diUsed = diUsed[:0]
+		clear(byDoc)
+		docs = docs[:0]
 		for i, l := range lists {
 			bl := l.Blocks()
 			err := bl.DocCounts(d, B, func(doc storage.DocID, n int) error {
@@ -276,8 +306,17 @@ func (t *TopKTermJoin) runBlockMax(lists []index.List, tk *TopK) error {
 				}
 				di := byDoc[doc]
 				if di == nil {
-					di = &docInfo{counts: make([]int, len(lists))}
+					if k := len(diFree); k > 0 {
+						di = diFree[k-1]
+						diFree = diFree[:k-1]
+						clear(di.counts)
+						di.occ = 0
+					} else {
+						di = &docInfo{counts: make([]int, len(lists))}
+					}
+					diUsed = append(diUsed, di)
 					byDoc[doc] = di
+					docs = append(docs, doc)
 				}
 				di.counts[i] += n
 				di.occ += n
@@ -286,10 +325,6 @@ func (t *TopKTermJoin) runBlockMax(lists []index.List, tk *TopK) error {
 			if err != nil {
 				return err
 			}
-		}
-		docs := make([]storage.DocID, 0, len(byDoc))
-		for doc := range byDoc {
-			docs = append(docs, doc)
 		}
 		sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
 		for _, doc := range docs {
@@ -302,7 +337,7 @@ func (t *TopKTermJoin) runBlockMax(lists []index.List, tk *TopK) error {
 					continue // exact bound says this document cannot place
 				}
 			}
-			if err := t.evalDoc(lists, doc, tk); err != nil {
+			if err := t.evalDoc(ev, doc); err != nil {
 				return err
 			}
 		}

@@ -144,7 +144,9 @@ func BuildChecked(s *storage.Store, tok *tokenize.Tokenizer) (*Index, error) {
 	idx.lists = make(map[string]*postings.BlockList, len(raw))
 	//tixlint:ignore mapiter per-key encode writing only idx.lists[term]; no cross-key state, so iteration order cannot leak
 	for term, ps := range raw {
-		idx.lists[term] = postings.Encode(ps)
+		bl := postings.Encode(ps)
+		bl.MaybeBitmap() // pre-publication: the list is still exclusively ours
+		idx.lists[term] = bl
 	}
 	return idx, nil
 }
@@ -171,7 +173,9 @@ func Restore(s *storage.Store, tok *tokenize.Tokenizer, raw map[string][]Posting
 			return nil, fmt.Errorf("index: restored postings for %q are out of order", term)
 		}
 		idx.total += int64(len(ps))
-		idx.lists[term] = postings.Encode(ps)
+		bl := postings.Encode(ps)
+		bl.MaybeBitmap()
+		idx.lists[term] = bl
 	}
 	return idx, nil
 }
@@ -185,9 +189,12 @@ func RestoreBlocks(s *storage.Store, tok *tokenize.Tokenizer, lists map[string]*
 		tok:   tok,
 		lists: lists,
 	}
-	//tixlint:ignore mapiter integer accumulation over list lengths is order-independent
+	// Adoption here covers the snapshot-load path: the lists were just
+	// validated by NewBlockList and are not yet visible to any reader.
+	//tixlint:ignore mapiter per-list accumulation and adoption; no cross-key state, so iteration order cannot leak
 	for _, bl := range lists {
 		idx.total += int64(bl.Len())
+		bl.MaybeBitmap()
 	}
 	return idx
 }
@@ -407,15 +414,22 @@ func (idx *Index) TermNearFreq(want int, exclude map[string]bool) (string, error
 // (payload + skip-table) bytes versus what the same postings would cost
 // as raw 16-byte structs, and the resulting compression ratio.
 type MemStats struct {
-	Terms         int     // vocabulary size
-	Postings      int64   // total encoded postings
-	Blocks        int     // total encoded blocks
-	PayloadBytes  int64   // block payload bytes
-	SkipBytes     int64   // skip-table bytes
-	MemtableBytes int64   // raw bytes held in uncompressed memtable runs
-	EncodedBytes  int64   // PayloadBytes + SkipBytes + MemtableBytes
-	RawBytes      int64   // baseline: Postings * 16
-	Ratio         float64 // RawBytes / EncodedBytes (0 when empty)
+	Terms         int   // vocabulary size
+	Postings      int64 // total encoded postings
+	Blocks        int   // total encoded blocks
+	PayloadBytes  int64 // block payload bytes
+	SkipBytes     int64 // skip-table bytes
+	MemtableBytes int64 // raw bytes held in uncompressed memtable runs
+	// The adaptive dense representation (postings.MaybeBitmap) is an
+	// accelerator layered over the encoded form, not a replacement for it,
+	// so its resident cost is reported separately and does not enter the
+	// compression ratio — the encoded payload stays authoritative for
+	// persistence either way.
+	BitmapTerms  int     // lists carrying the adopted dense representation
+	BitmapBytes  int64   // resident bytes of the dense representation
+	EncodedBytes int64   // PayloadBytes + SkipBytes + MemtableBytes
+	RawBytes     int64   // baseline: Postings * 16
+	Ratio        float64 // RawBytes / EncodedBytes (0 when empty)
 }
 
 // MemStats reports the compression accounting over every term's list,
@@ -437,6 +451,10 @@ func (idx *Index) MemStats() MemStats {
 			ms.PayloadBytes += int64(bl.PayloadBytes())
 			ms.SkipBytes += int64(bl.SkipBytes())
 			ms.RawBytes += int64(bl.RawBytes())
+			if bl.HasBitmap() {
+				ms.BitmapTerms++
+				ms.BitmapBytes += int64(bl.BitmapBytes())
+			}
 		}
 	}
 	for _, mv := range idx.mems {

@@ -349,7 +349,9 @@ func foldSegments(segs []*segment, tomb *postings.Tombstones) *segment {
 		if len(ps) == 0 {
 			continue
 		}
-		out.lists[term] = postings.Encode(ps)
+		bl := postings.Encode(ps)
+		bl.MaybeBitmap() // the fresh segment is unpublished until the swap below
+		out.lists[term] = bl
 		out.total += int64(len(ps))
 	}
 	return out

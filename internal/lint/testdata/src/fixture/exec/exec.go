@@ -130,6 +130,39 @@ func EachGuarded(g *Guard, lists []postings.List) uint32 {
 	return total
 }
 
+// GallopUnguarded mirrors the galloping phrase intersection: a driver
+// cursor scanned occurrence by occurrence, verifier cursors skipped
+// forward with SeekPos. The verifier seeks may each decode a block (or
+// rank into a bitmap), so the loop is charged and must tick.
+func GallopUnguarded(driver, verifier *postings.Cursor) uint32 {
+	var hits uint32
+	for ; driver.Valid(); driver.Advance() { // want "guardcheck: loop calls storage accessor Cursor.Cur without consulting exec.Guard"
+		want := driver.Cur().Pos + 1
+		verifier.SeekPos(want)
+		if verifier.Valid() && verifier.Cur().Pos == want {
+			hits++
+		}
+	}
+	return hits
+}
+
+// GallopGuarded ticks once per driver occurrence — the sanctioned
+// pattern: each tick bounds one driver step plus its verifier seeks.
+func GallopGuarded(g *Guard, driver, verifier *postings.Cursor) (uint32, error) {
+	var hits uint32
+	for ; driver.Valid(); driver.Advance() {
+		if err := g.Tick(); err != nil {
+			return 0, err
+		}
+		want := driver.Cur().Pos + 1
+		verifier.SeekPos(want)
+		if verifier.Valid() && verifier.Cur().Pos == want {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
 // LenLoop only reads uncharged metadata; no guard is required.
 func LenLoop(lists []postings.List) int {
 	total := 0

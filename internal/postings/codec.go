@@ -23,6 +23,12 @@ type BlockList struct {
 	skips    []Skip
 	n        int
 	nodeFreq int // distinct (doc, node) pairs, computed while encoding/validating
+
+	// bitmap is the optional dense representation for very high-frequency
+	// terms (see bitmap.go). Attached by MaybeBitmap strictly before the
+	// list is published to readers; nil for the overwhelming majority of
+	// terms.
+	bitmap *bitmapRep
 }
 
 // Block payload layout (per block, count postings known from the skip
@@ -412,14 +418,12 @@ func (b *BlockList) decodeBlock(i int, dst []Posting) ([]Posting, error) {
 }
 
 // mustDecodeBlock is the post-validation decode path: Encode and
-// NewBlockList prove every block decodable, so a failure here is a
-// corrupted-memory-level invariant violation, not bad input.
+// NewBlockList prove every block decodable, so the batch decoder can skip
+// the scalar path's structural checks entirely. A malformed block here is a
+// corrupted-memory-level invariant violation, not bad input, and surfaces
+// as a panic from the decoder itself.
 func (b *BlockList) mustDecodeBlock(i int, dst []Posting) []Posting {
-	out, err := b.decodeBlock(i, dst)
-	if err != nil {
-		panic(fmt.Sprintf("postings: validated block %d failed to decode: %v", i, err))
-	}
-	return out
+	return b.decodeBlockFast(i, dst)
 }
 
 // decodeDocs decodes only block i's document stream, appending one DocID
@@ -430,29 +434,16 @@ func (b *BlockList) decodeDocs(i int, dst []storage.DocID) []storage.DocID {
 	count := int(sk.End) - b.blockStart(i)
 	data := b.blockBytes(i)
 	// Skip the three stream-length headers; the doc stream follows them.
-	hdr := 0
-	docLen := 0
-	for s := 0; s < 3; s++ {
-		v, n, err := uvarintAt(data, hdr, i)
-		if err != nil {
-			panic(fmt.Sprintf("postings: validated block %d stream header unreadable", i))
-		}
-		if s == 0 {
-			docLen = int(v)
-		}
-		hdr += n
-	}
-	if docLen > len(data)-hdr {
-		panic(fmt.Sprintf("postings: validated block %d doc stream header unreadable", i))
-	}
-	docS := data[hdr : hdr+docLen]
+	// The block is validated, so the unchecked reader is safe here.
+	docLen, n0 := uv(data, 0)
+	_, n1 := uv(data, n0)
+	_, n2 := uv(data, n0+n1)
+	hdr := n0 + n1 + n2
+	docS := data[hdr : hdr+int(docLen)]
 	o := 0
 	doc := uint64(sk.FirstDoc)
 	for j := 0; j < count; j++ {
-		gap, n, err := uvarintAt(docS, o, i)
-		if err != nil {
-			panic(fmt.Sprintf("postings: validated block %d doc stream unreadable: %v", i, err))
-		}
+		gap, n := uv(docS, o)
 		o += n
 		doc += gap
 		dst = append(dst, storage.DocID(doc))
@@ -467,6 +458,9 @@ func (b *BlockList) decodeDocs(i int, dst []storage.DocID) []storage.DocID {
 func (b *BlockList) DocCounts(lo, hi storage.DocID, fn func(doc storage.DocID, n int) error) error {
 	if b == nil || b.n == 0 || lo >= hi {
 		return nil
+	}
+	if b.bitmap != nil {
+		return b.bitmap.docCounts(lo, hi, fn)
 	}
 	// First block that can contain lo.
 	i := sort.Search(len(b.skips), func(k int) bool { return b.skips[k].LastDoc >= lo })

@@ -24,6 +24,14 @@ type Cursor struct {
 	base int       // absolute index of dec[0]
 	dec  []Posting // decoded postings of block blk
 
+	// Bitmap mode (see bitmap.go): bm points at the list's adopted dense
+	// representation and the cursor walks its resident columns instead of
+	// decoding blocks. bmDoc/bmRank track the current document lazily;
+	// bmRank == -1 means unsynced.
+	bm     *bitmapRep
+	bmDoc  storage.DocID
+	bmRank int
+
 	// Merged mode (see Union): the cursor is a settled k-way merge over
 	// sub-cursors with tombstoned documents skipped.
 	subs []*Cursor
@@ -49,6 +57,9 @@ func (c *Cursor) Valid() bool {
 func (c *Cursor) Cur() Posting {
 	if c.subs != nil {
 		return c.mergedCur()
+	}
+	if c.bm != nil {
+		return c.bmCur()
 	}
 	if c.bl == nil {
 		return c.raw[c.i]
@@ -93,6 +104,10 @@ func (c *Cursor) SeekPos(doc storage.DocID, pos uint32) {
 		return
 	}
 	if c.i >= c.hi {
+		return
+	}
+	if c.bm != nil {
+		c.bmSeek(doc, pos)
 		return
 	}
 	ge := func(p Posting) bool {

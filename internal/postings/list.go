@@ -62,9 +62,32 @@ func (l List) Cursor() *Cursor {
 		return l.mergedCursor()
 	}
 	if l.bl != nil {
-		return &Cursor{bl: l.bl, lo: l.lo, hi: l.hi, i: l.lo, blk: -1}
+		return &Cursor{bl: l.bl, lo: l.lo, hi: l.hi, i: l.lo, blk: -1, bm: l.bl.bitmap, bmRank: -1}
 	}
 	return &Cursor{raw: l.raw, hi: len(l.raw)}
+}
+
+// Reset repositions an existing cursor at the first posting of l, reusing
+// the decode buffer it accumulated in earlier runs — the arena-reuse hook
+// for operators that run many short cursor passes (one per document in
+// top-k evaluation). Merged views fall back to a fresh cursor structure.
+func (l List) Reset(c *Cursor) {
+	if l.sub != nil {
+		*c = *l.mergedCursor()
+		return
+	}
+	dec := c.dec
+	*c = Cursor{}
+	if l.bl != nil {
+		c.bl, c.lo, c.hi, c.i, c.blk = l.bl, l.lo, l.hi, l.lo, -1
+		c.dec = dec[:0]
+		c.bm = l.bl.bitmap
+		c.bmRank = -1
+		return
+	}
+	c.raw = l.raw
+	c.hi = len(l.raw)
+	c.dec = dec[:0]
 }
 
 // Range narrows the view to postings with lo <= Doc < hi. Block-backed
@@ -96,6 +119,18 @@ func (l List) Range(lo, hi storage.DocID) List {
 // lowerBound returns the index of the first posting with Doc >= doc, or
 // b.n if none.
 func (b *BlockList) lowerBound(doc storage.DocID) int {
+	if bm := b.bitmap; bm != nil {
+		if doc <= bm.base {
+			return 0
+		}
+		if doc > bm.last {
+			return b.n
+		}
+		// Whether doc is present or not, the first posting with Doc >= doc
+		// is the first posting of the rank-r document.
+		r, _ := bm.rankOf(doc)
+		return int(bm.cum[r])
+	}
 	// First block whose LastDoc >= doc.
 	lo, hi := 0, len(b.skips)
 	for lo < hi {

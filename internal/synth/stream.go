@@ -1,0 +1,241 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// StreamConfig sizes a streamed many-document corpus. Unlike Config —
+// which materializes one large <corpus> tree — the streamed generator
+// emits one small document at a time, so a million-document tier never
+// holds more than one un-ingested tree in memory.
+type StreamConfig struct {
+	// Docs is the number of documents to emit.
+	Docs int
+	// ParasPerDoc and WordsPerPara bound the uniform random counts
+	// ([min,max], inclusive).
+	ParasPerDoc  [2]int
+	WordsPerPara [2]int
+	// VocabSize is the background vocabulary size (Zipf s=1.1, names
+	// w000001…), as in Config.
+	VocabSize int
+	// Seed makes generation deterministic; each document derives its own
+	// RNG from (Seed, doc index), so document i's content is a pure
+	// function of the config.
+	Seed int64
+	// ControlTerms maps a control term to its exact total frequency across
+	// the whole stream. Occurrences are spread with an exact period: term
+	// occurrence k lands in document floor(k·Docs/freq), so every prefix of
+	// the stream carries its proportional share.
+	ControlTerms map[string]int
+	// Phrases plants adjacent T1 T2 co-occurrences, spread with the same
+	// exact period; planted pairs count toward both terms' ControlTerms
+	// budgets, which must cover them.
+	Phrases []PhraseSpec
+}
+
+// DefaultStreamConfig returns the document shape used by the hot-path
+// benchmark tiers: small articles (~30 words) so a million documents fit
+// comfortably in memory.
+func DefaultStreamConfig(docs int) StreamConfig {
+	return StreamConfig{
+		Docs:         docs,
+		ParasPerDoc:  [2]int{1, 3},
+		WordsPerPara: [2]int{6, 18},
+		VocabSize:    20000,
+		Seed:         1,
+	}
+}
+
+// StreamStats summarizes a finished stream.
+type StreamStats struct {
+	Docs  int
+	Words int
+	// Planted records the exact number of occurrences emitted per control
+	// term (phrase pairs included).
+	Planted map[string]int
+}
+
+// quota returns how many of freq evenly-spread occurrences land in
+// document i of docs: occurrence k goes to document floor(k·docs/freq),
+// so the count for document i is ceil((i+1)·freq/docs) - ceil(i·freq/docs)
+// computed via the equivalent floor form. Summed over all documents this
+// is exactly freq.
+func quota(i, docs, freq int) int {
+	return int(int64(i+1)*int64(freq)/int64(docs) - int64(i)*int64(freq)/int64(docs))
+}
+
+// GenerateStream emits cfg.Docs documents in order, calling emit with each
+// document's index and numbered root. The tree passed to emit is not
+// retained by the generator; ingest it (or drop it) freely.
+func GenerateStream(cfg StreamConfig, emit func(i int, root *xmltree.Node) error) (*StreamStats, error) {
+	if cfg.Docs <= 0 {
+		return nil, fmt.Errorf("synth: Docs must be positive")
+	}
+	if cfg.VocabSize <= 0 {
+		return nil, fmt.Errorf("synth: VocabSize must be positive")
+	}
+	// Phrase budgets must fit inside the terms' total frequencies, exactly
+	// as in Generate.
+	pairBudget := map[string]int{}
+	for _, ph := range cfg.Phrases {
+		if ph.Together < 0 {
+			return nil, fmt.Errorf("synth: phrase %q %q: negative Together", ph.T1, ph.T2)
+		}
+		if ph.T1 == ph.T2 {
+			return nil, fmt.Errorf("synth: streamed phrase %q %q must use distinct terms", ph.T1, ph.T2)
+		}
+		pairBudget[ph.T1] += ph.Together
+		pairBudget[ph.T2] += ph.Together
+	}
+	budgetTerms := make([]string, 0, len(pairBudget))
+	for t := range pairBudget {
+		budgetTerms = append(budgetTerms, t)
+	}
+	sort.Strings(budgetTerms)
+	for _, t := range budgetTerms {
+		if have, ok := cfg.ControlTerms[t]; !ok || have < pairBudget[t] {
+			return nil, fmt.Errorf("synth: term %q needs frequency >= %d for its phrases, have %d", t, pairBudget[t], cfg.ControlTerms[t])
+		}
+	}
+	// Fixed iteration orders: planting consumes the per-document RNG, so
+	// ranging over maps here would make generation run-dependent.
+	terms := make([]string, 0, len(cfg.ControlTerms))
+	for t := range cfg.ControlTerms {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	// Singles quota per term = total frequency minus planted pairs.
+	singles := make([]int, len(terms))
+	for ti, t := range terms {
+		singles[ti] = cfg.ControlTerms[t] - pairBudget[t]
+	}
+
+	// The background vocabulary is interned once; per-word Sprintf at the
+	// million-document tier would dominate generation time.
+	vocab := make([]string, cfg.VocabSize)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%06d", i)
+	}
+
+	stats := &StreamStats{Planted: map[string]int{}}
+	for i := 0; i < cfg.Docs; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15)))
+		zipf := rand.NewZipf(rng, 1.1, 1.0, uint64(cfg.VocabSize-1))
+
+		nParas := between(rng, cfg.ParasPerDoc)
+		if nParas < 1 {
+			nParas = 1
+		}
+		paras := make([][]string, nParas)
+		total := 0
+		for p := range paras {
+			n := between(rng, cfg.WordsPerPara)
+			if n < 1 {
+				n = 1
+			}
+			words := make([]string, n)
+			for w := range words {
+				words[w] = vocab[zipf.Uint64()]
+			}
+			paras[p] = words
+			total += n
+		}
+
+		// This document's exact share of the planted workload.
+		type pair struct{ t1, t2 string }
+		var pairs []pair
+		need := 0
+		for _, ph := range cfg.Phrases {
+			for k := 0; k < quota(i, cfg.Docs, ph.Together); k++ {
+				pairs = append(pairs, pair{ph.T1, ph.T2})
+				need += 2
+			}
+		}
+		type single struct{ term string }
+		var ones []single
+		for ti, t := range terms {
+			for k := 0; k < quota(i, cfg.Docs, singles[ti]); k++ {
+				ones = append(ones, single{t})
+				need++
+			}
+		}
+		// A document whose planted share exceeds half its words is padded
+		// with background text: the exact-period spread occasionally lands
+		// several terms on one small document, and failing (or skipping)
+		// would break frequency exactness.
+		for total < 2*need {
+			pi := rng.Intn(len(paras))
+			paras[pi] = append(paras[pi], vocab[zipf.Uint64()])
+			total++
+		}
+
+		used := map[[2]int]bool{}
+		pick := func(run int) ([2]int, bool) {
+			for tries := 0; tries < 10000; tries++ {
+				pi := rng.Intn(len(paras))
+				if len(paras[pi]) < run {
+					continue
+				}
+				wi := rng.Intn(len(paras[pi]) - run + 1)
+				ok := true
+				for k := 0; k < run; k++ {
+					if used[[2]int{pi, wi + k}] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return [2]int{pi, wi}, true
+				}
+			}
+			return [2]int{}, false
+		}
+		for _, pr := range pairs {
+			s, ok := pick(2)
+			if !ok {
+				return nil, fmt.Errorf("synth: could not place phrase %q %q in document %d", pr.t1, pr.t2, i)
+			}
+			paras[s[0]][s[1]] = pr.t1
+			paras[s[0]][s[1]+1] = pr.t2
+			used[s] = true
+			used[[2]int{s[0], s[1] + 1}] = true
+			stats.Planted[pr.t1]++
+			stats.Planted[pr.t2]++
+		}
+		for _, sg := range ones {
+			s, ok := pick(1)
+			if !ok {
+				return nil, fmt.Errorf("synth: could not place term %q in document %d", sg.term, i)
+			}
+			paras[s[0]][s[1]] = sg.term
+			used[s] = true
+			stats.Planted[sg.term]++
+		}
+
+		root := xmltree.NewElement("doc")
+		for _, words := range paras {
+			p := xmltree.NewElement("p")
+			p.AppendChild(xmltree.NewText(strings.Join(words, " ")))
+			root.AppendChild(p)
+		}
+		xmltree.Number(root)
+		if err := emit(i, root); err != nil {
+			return nil, err
+		}
+		stats.Docs++
+		stats.Words += total
+	}
+	return stats, nil
+}
+
+func between(rng *rand.Rand, b [2]int) int {
+	if b[1] <= b[0] {
+		return b[0]
+	}
+	return b[0] + rng.Intn(b[1]-b[0]+1)
+}

@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// collectStream renders every emitted document's text as one word slice
+// per document.
+func collectStream(t *testing.T, cfg StreamConfig) (*StreamStats, [][]string) {
+	t.Helper()
+	var docs [][]string
+	stats, err := GenerateStream(cfg, func(i int, root *xmltree.Node) error {
+		var words []string
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			if n.Kind == xmltree.Text {
+				words = append(words, strings.Fields(n.Text)...)
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(root)
+		docs = append(docs, words)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, docs
+}
+
+func streamTestConfig() StreamConfig {
+	cfg := DefaultStreamConfig(400)
+	cfg.Seed = 7
+	cfg.ControlTerms = map[string]int{"ct1": 37, "ct2": 151, "ct3": 800}
+	cfg.Phrases = []PhraseSpec{{T1: "ct1", T2: "ct2", Together: 11}}
+	return cfg
+}
+
+func TestStreamExactFrequencies(t *testing.T) {
+	cfg := streamTestConfig()
+	stats, docs := collectStream(t, cfg)
+	if stats.Docs != cfg.Docs {
+		t.Fatalf("emitted %d docs, want %d", stats.Docs, cfg.Docs)
+	}
+	count := map[string]int{}
+	adjacent := 0
+	for _, words := range docs {
+		for i, w := range words {
+			count[w]++
+			if w == "ct1" && i+1 < len(words) && words[i+1] == "ct2" {
+				adjacent++
+			}
+		}
+	}
+	for term, want := range cfg.ControlTerms {
+		if count[term] != want {
+			t.Errorf("term %s: %d occurrences, want exactly %d", term, count[term], want)
+		}
+		if stats.Planted[term] != want {
+			t.Errorf("stats.Planted[%s] = %d, want %d", term, stats.Planted[term], want)
+		}
+	}
+	// Planted adjacencies are a floor: independently planted singles can
+	// land adjacent by chance.
+	if adjacent < 11 {
+		t.Errorf("ct1 ct2 adjacencies = %d, want >= 11", adjacent)
+	}
+}
+
+// TestStreamPrefixProportionality pins the exact-period spread: every
+// prefix of the stream carries its proportional share of each control
+// term, so a tier can be cut short without skewing the workload.
+func TestStreamPrefixProportionality(t *testing.T) {
+	cfg := streamTestConfig()
+	_, docs := collectStream(t, cfg)
+	half := map[string]int{}
+	for _, words := range docs[:len(docs)/2] {
+		for _, w := range words {
+			if _, ok := cfg.ControlTerms[w]; ok {
+				half[w]++
+			}
+		}
+	}
+	for term, want := range cfg.ControlTerms {
+		lo, hi := want/2-1, want/2+1
+		if half[term] < lo || half[term] > hi {
+			t.Errorf("term %s: first half holds %d of %d occurrences, want %d..%d", term, half[term], want, lo, hi)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := streamTestConfig()
+	_, a := collectStream(t, cfg)
+	_, b := collectStream(t, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("doc counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if strings.Join(a[i], " ") != strings.Join(b[i], " ") {
+			t.Fatalf("document %d differs between runs", i)
+		}
+	}
+}
+
+func TestStreamRejectsBadConfigs(t *testing.T) {
+	cfg := streamTestConfig()
+	cfg.Docs = 0
+	if _, err := GenerateStream(cfg, nil); err == nil {
+		t.Error("Docs=0 should error")
+	}
+	cfg = streamTestConfig()
+	cfg.Phrases = []PhraseSpec{{T1: "nope", T2: "ct1", Together: 5}}
+	if _, err := GenerateStream(cfg, nil); err == nil {
+		t.Error("phrase term without frequency budget should error")
+	}
+	cfg = streamTestConfig()
+	cfg.Phrases = []PhraseSpec{{T1: "ct1", T2: "ct1", Together: 2}}
+	if _, err := GenerateStream(cfg, nil); err == nil {
+		t.Error("repeated-term streamed phrase should error")
+	}
+}
